@@ -1,0 +1,19 @@
+//! Ablations A2/A3: recovery mechanism and register dependence checking.
+use spt::experiments::ablation_policies;
+use spt_bench::{run_config, scale_from_args};
+
+fn main() {
+    let data = ablation_policies(
+        &["parsers", "gccs", "twolfs"],
+        scale_from_args(),
+        &run_config(),
+    );
+    println!("Ablations A2/A3: recovery mechanism and register checking");
+    for (name, rows) in &data {
+        println!("\n{name}:");
+        for (label, sp) in rows {
+            println!("  {:<16} {:>7.1}%", label, (sp - 1.0) * 100.0);
+        }
+    }
+    println!("\n(Table 1 defaults: SRX+FC with value-based checking)");
+}

@@ -1,0 +1,25 @@
+//! Regenerate Figure 5's experiment: software value prediction on the
+//! x = bar(x) loop, with and without SVP.
+use spt::report::gain;
+use spt::{evaluate_program, RunConfig};
+use spt_workloads::kernels::svp_loop;
+
+fn main() {
+    let prog = svp_loop(3000);
+    let on_cfg = RunConfig::default();
+    let mut off_cfg = RunConfig::default();
+    off_cfg.compile.enable_svp = false;
+    let on = evaluate_program("svp-on", &prog, &on_cfg);
+    let off = evaluate_program("svp-off", &prog, &off_cfg);
+    println!("Figure 5: software value prediction");
+    println!(
+        "  without SVP: speedup {:>7}, fast-commit {:>5.1}%",
+        gain(off.speedup()),
+        off.spt.fast_commit_ratio() * 100.0
+    );
+    println!(
+        "  with SVP:    speedup {:>7}, fast-commit {:>5.1}%",
+        gain(on.speedup()),
+        on.spt.fast_commit_ratio() * 100.0
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerate Table 1: the default machine configuration.
+use spt::MachineConfig;
+use spt::report::render_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = MachineConfig::default()
+        .table1_rows()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    println!(
+        "{}",
+        render_table("Table 1: machine configuration", &["parameter", "value"], &rows)
+    );
+}

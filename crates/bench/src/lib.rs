@@ -1,0 +1,47 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation section:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — machine configuration |
+//! | `fig1` | Figure 1 case study — parser list-free loop |
+//! | `fig5` | Figure 5 — software value prediction |
+//! | `fig6` | Figure 6 — loop coverage vs body size |
+//! | `fig7` | Figure 7 — SPT loop number and coverage |
+//! | `fig8` | Figure 8 — SPT loop performance |
+//! | `fig9` | Figure 9 — overall program speedup breakdown |
+//! | `ablation_srb` | A1 — speculation result buffer size sweep |
+//! | `ablation_recovery` | A2/A3 — recovery and checking policies |
+//! | `ablation_compiler` | A4 — compiler feature ablation |
+//!
+//! Pass `--scale test|small|full` (default `small`) to trade time for
+//! fidelity.
+
+use spt::RunConfig;
+use spt_workloads::Scale;
+
+/// Parse `--scale` from argv; default Small.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+    {
+        Some("test") => Scale::Test,
+        Some("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// The default evaluation configuration used by all figure binaries.
+pub fn run_config() -> RunConfig {
+    RunConfig::default()
+}
+
+/// Format a float as a percent string.
+pub fn p(x: f64) -> String {
+    format!("{:>6.1}%", x * 100.0)
+}

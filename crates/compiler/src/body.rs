@@ -1,0 +1,688 @@
+//! Loop-body linearization (if-conversion).
+//!
+//! The partition search and code reordering of §4.2–4.3 operate on a loop
+//! body as an ordered list of statements. Internal control flow is
+//! if-converted into predication (the compile target is Itanium-like
+//! predicated hardware): each internal block's statements receive a guard
+//! computed from the branch conditions on the paths reaching it, turning
+//! control dependence into data dependence on the guard register — which is
+//! exactly how the paper maintains control dependences when moving
+//! "partial conditional statements" into the pre-fork region (the branch is
+//! copied along, §4.3).
+//!
+//! Supported shapes: loops whose blocks form a DAG from the header to a
+//! single latch, with the only loop exit on the latch branch. Loops with
+//! other shapes (multiple exits, multiple latches, inner loops) are
+//! rejected, mirroring the paper's structural rejections.
+
+use spt_sir::{
+    BinOp, BlockId, Cfg, Func, Guard, Inst, Loop, Op, Reg, StmtRef, Terminator,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a loop could not be linearized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinearizeError {
+    MultipleLatches,
+    /// An exit edge leaves from a non-latch block.
+    EarlyExit(BlockId),
+    /// Contains a nested loop.
+    InnerLoop(BlockId),
+    /// The latch does not end in a conditional branch with one edge back to
+    /// the header and one out of the loop.
+    BadLatch,
+}
+
+impl fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizeError::MultipleLatches => write!(f, "loop has multiple latches"),
+            LinearizeError::EarlyExit(b) => write!(f, "early exit from {b}"),
+            LinearizeError::InnerLoop(b) => write!(f, "inner loop headed at {b}"),
+            LinearizeError::BadLatch => write!(f, "latch is not a conditional loop branch"),
+        }
+    }
+}
+
+/// One linearized statement.
+#[derive(Clone, Debug)]
+pub struct LinearStmt {
+    pub inst: Inst,
+    /// Original static position, for dependence-profile lookup. `None` for
+    /// compiler-synthesized predicate computations.
+    pub origin: Option<StmtRef>,
+}
+
+/// A loop body as a straight-line list of guarded statements.
+#[derive(Clone, Debug)]
+pub struct LinearBody {
+    pub stmts: Vec<LinearStmt>,
+    /// The latch condition register (read by the new loop branch).
+    pub cond: Reg,
+    /// Branch arrangement: `true` if the loop continues when `cond` is
+    /// true.
+    pub continue_on_true: bool,
+    /// The block control flows to when the loop exits.
+    pub exit_target: BlockId,
+    /// Registers allocated so far (fresh registers continue from here).
+    pub n_regs: u32,
+    pub header: BlockId,
+}
+
+impl LinearBody {
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.n_regs);
+        self.n_regs += 1;
+        r
+    }
+
+    /// Static size (statement count).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// If-convert a loop into a [`LinearBody`].
+pub fn linearize(f: &Func, cfg: &Cfg, l: &Loop) -> Result<LinearBody, LinearizeError> {
+    if l.latches.len() != 1 {
+        return Err(LinearizeError::MultipleLatches);
+    }
+    let latch = l.latches[0];
+
+    // Reject inner loops: any loop block (other than the header) that is a
+    // branch target of a back edge inside the loop, i.e. any block with an
+    // in-loop predecessor that appears later in topological order. Simpler:
+    // the caller passes innermost loops; still, detect a cycle among
+    // non-header blocks below (topo sort failure).
+
+    // Exit edges allowed only from the latch.
+    for &b in &l.blocks {
+        if b == latch {
+            continue;
+        }
+        for s in f.block(b).term.successors() {
+            if !l.contains(s) {
+                return Err(LinearizeError::EarlyExit(b));
+            }
+        }
+    }
+
+    // Latch must be a conditional branch header-vs-exit, or (single-block
+    // loop) the same; a latch Jmp back to header would be an infinite loop
+    // at this level (no exit) — reject.
+    let (cond, continue_on_true, exit_target) = match &f.block(latch).term {
+        Terminator::Br {
+            cond,
+            taken,
+            not_taken,
+        } => {
+            if *taken == l.header && !l.contains(*not_taken) {
+                (*cond, true, *not_taken)
+            } else if *not_taken == l.header && !l.contains(*taken) {
+                (*cond, false, *taken)
+            } else {
+                return Err(LinearizeError::BadLatch);
+            }
+        }
+        _ => return Err(LinearizeError::BadLatch),
+    };
+
+    // Fast path: single-block loop.
+    if l.is_single_block() {
+        let blk = f.block(l.header);
+        let stmts = blk
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| LinearStmt {
+                inst: inst.clone(),
+                origin: Some(StmtRef::new(l.header, i)),
+            })
+            .collect();
+        return Ok(LinearBody {
+            stmts,
+            cond,
+            continue_on_true,
+            exit_target,
+            n_regs: f.n_regs,
+            header: l.header,
+        });
+    }
+
+    // Topologically order the loop blocks along forward edges (back edges to
+    // the header excluded). A failure to order = inner cycle.
+    let order = topo_order(f, cfg, l).ok_or(LinearizeError::InnerLoop(l.header))?;
+
+    // Predicates: pred[block] = Option<Reg> (None = always true).
+    let mut n_regs = f.n_regs;
+    let mut fresh = || {
+        let r = Reg(n_regs);
+        n_regs += 1;
+        r
+    };
+    let mut pred: HashMap<BlockId, Option<Reg>> = HashMap::new();
+    pred.insert(l.header, None);
+    // Incoming predicate contributions per block.
+    let mut incoming: HashMap<BlockId, Vec<Option<Reg>>> = HashMap::new();
+    let mut stmts: Vec<LinearStmt> = Vec::new();
+
+    let push_synth = |stmts: &mut Vec<LinearStmt>, inst: Inst| {
+        stmts.push(LinearStmt { inst, origin: None });
+    };
+
+    for &b in &order {
+        // Resolve this block's predicate from incoming contributions.
+        let p: Option<Reg> = if b == l.header {
+            None
+        } else {
+            let inc = incoming.remove(&b).unwrap_or_default();
+            if inc.iter().any(|c| c.is_none()) {
+                None // some path is unconditional
+            } else if inc.len() == 1 {
+                inc[0]
+            } else {
+                // OR the contributions together.
+                let mut acc = inc[0].expect("no None present");
+                for c in inc.iter().skip(1) {
+                    let r = fresh();
+                    push_synth(
+                        &mut stmts,
+                        Inst::new(Op::Bin {
+                            op: BinOp::Or,
+                            dst: r,
+                            a: acc,
+                            b: c.expect("no None present"),
+                        }),
+                    );
+                    acc = r;
+                }
+                Some(acc)
+            }
+        };
+        pred.insert(b, p);
+
+        // Emit the block's statements under predicate p.
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            let mut inst = inst.clone();
+            match (p, inst.guard) {
+                (None, _) => {}
+                (Some(pr), None) => inst.guard = Some(Guard::when(pr)),
+                (Some(pr), Some(g)) => {
+                    // combined = pr & (g.expect ? g.reg : !g.reg)
+                    let gval = if g.expect {
+                        g.reg
+                    } else {
+                        let t = fresh();
+                        // !g.reg as boolean: (g.reg == 0)
+                        let z = fresh();
+                        push_synth(&mut stmts, Inst::new(Op::Const { dst: z, imm: 0 }));
+                        push_synth(
+                            &mut stmts,
+                            Inst::new(Op::Bin {
+                                op: BinOp::CmpEq,
+                                dst: t,
+                                a: g.reg,
+                                b: z,
+                            }),
+                        );
+                        t
+                    };
+                    // Booleanize pr to guard against non-0/1 values before
+                    // AND: pr != 0.
+                    let pb = fresh();
+                    let z2 = fresh();
+                    push_synth(&mut stmts, Inst::new(Op::Const { dst: z2, imm: 0 }));
+                    push_synth(
+                        &mut stmts,
+                        Inst::new(Op::Bin {
+                            op: BinOp::CmpNe,
+                            dst: pb,
+                            a: pr,
+                            b: z2,
+                        }),
+                    );
+                    let gb = fresh();
+                    let z3 = fresh();
+                    push_synth(&mut stmts, Inst::new(Op::Const { dst: z3, imm: 0 }));
+                    push_synth(
+                        &mut stmts,
+                        Inst::new(Op::Bin {
+                            op: BinOp::CmpNe,
+                            dst: gb,
+                            a: gval,
+                            b: z3,
+                        }),
+                    );
+                    let c2 = fresh();
+                    push_synth(
+                        &mut stmts,
+                        Inst::new(Op::Bin {
+                            op: BinOp::And,
+                            dst: c2,
+                            a: pb,
+                            b: gb,
+                        }),
+                    );
+                    inst.guard = Some(Guard::when(c2));
+                }
+            }
+            stmts.push(LinearStmt {
+                inst,
+                origin: Some(StmtRef::new(b, i)),
+            });
+        }
+
+        // Propagate predicate contributions along forward edges.
+        if b == latch {
+            continue;
+        }
+        match &f.block(b).term {
+            Terminator::Jmp(t) => {
+                incoming.entry(*t).or_default().push(p);
+            }
+            Terminator::Br {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                // taken-path predicate: p & cond; not-taken: p & !cond.
+                let not_cond = {
+                    let z = fresh();
+                    push_synth(&mut stmts, Inst::new(Op::Const { dst: z, imm: 0 }));
+                    let nc = fresh();
+                    let mut inst = Inst::new(Op::Bin {
+                        op: BinOp::CmpEq,
+                        dst: nc,
+                        a: *cond,
+                        b: z,
+                    });
+                    if let Some(pr) = p {
+                        inst.guard = Some(Guard::when(pr));
+                    }
+                    stmts.push(LinearStmt { inst, origin: None });
+                    nc
+                };
+                let taken_pred = match p {
+                    None => {
+                        // p is true: contribution = booleanized cond.
+                        let z = fresh();
+                        push_synth(&mut stmts, Inst::new(Op::Const { dst: z, imm: 0 }));
+                        let tc = fresh();
+                        push_synth(
+                            &mut stmts,
+                            Inst::new(Op::Bin {
+                                op: BinOp::CmpNe,
+                                dst: tc,
+                                a: *cond,
+                                b: z,
+                            }),
+                        );
+                        tc
+                    }
+                    Some(pr) => {
+                        let z = fresh();
+                        push_synth(&mut stmts, Inst::new(Op::Const { dst: z, imm: 0 }));
+                        let cb = fresh();
+                        push_synth(
+                            &mut stmts,
+                            Inst::new(Op::Bin {
+                                op: BinOp::CmpNe,
+                                dst: cb,
+                                a: *cond,
+                                b: z,
+                            }),
+                        );
+                        let t = fresh();
+                        push_synth(
+                            &mut stmts,
+                            Inst::new(Op::Bin {
+                                op: BinOp::And,
+                                dst: t,
+                                a: pr,
+                                b: cb,
+                            }),
+                        );
+                        t
+                    }
+                };
+                let ntaken_pred = match p {
+                    None => not_cond,
+                    Some(pr) => {
+                        let t = fresh();
+                        push_synth(
+                            &mut stmts,
+                            Inst::new(Op::Bin {
+                                op: BinOp::And,
+                                dst: t,
+                                a: pr,
+                                b: not_cond,
+                            }),
+                        );
+                        t
+                    }
+                };
+                // A guarded-off not_cond computation leaves a stale value;
+                // make the contribution sound by ANDing with p was done
+                // above (ntaken_pred = pr & not_cond; not_cond guarded by
+                // pr may be stale, but AND with pr=0 gives 0, and when pr=1
+                // not_cond is fresh). Same for taken.
+                incoming.entry(*taken).or_default().push(Some(taken_pred));
+                incoming
+                    .entry(*not_taken)
+                    .or_default()
+                    .push(Some(ntaken_pred));
+            }
+            Terminator::Ret(_) => return Err(LinearizeError::EarlyExit(b)),
+        }
+    }
+
+    Ok(LinearBody {
+        stmts,
+        cond,
+        continue_on_true,
+        exit_target,
+        n_regs,
+        header: l.header,
+    })
+}
+
+/// Topological order of loop blocks along forward edges (header first,
+/// latch last). `None` if a cycle exists among non-header blocks.
+fn topo_order(f: &Func, cfg: &Cfg, l: &Loop) -> Option<Vec<BlockId>> {
+    let mut indeg: HashMap<BlockId, usize> = l.blocks.iter().map(|&b| (b, 0)).collect();
+    for &b in &l.blocks {
+        for &s in &cfg.succs[b.index()] {
+            if l.contains(s) && s != l.header {
+                *indeg.get_mut(&s).expect("loop block") += 1;
+            }
+        }
+    }
+    let mut ready: Vec<BlockId> = vec![l.header];
+    let mut out = Vec::with_capacity(l.blocks.len());
+    let mut seen = 0;
+    while let Some(b) = ready.pop() {
+        out.push(b);
+        seen += 1;
+        for &s in &cfg.succs[b.index()] {
+            if l.contains(s) && s != l.header {
+                let d = indeg.get_mut(&s).expect("loop block");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        // Keep deterministic order: smallest block id first.
+        ready.sort_by(|a, b| b.cmp(a));
+    }
+    if seen == l.blocks.len() {
+        // Ensure latch last for readability (topo already guarantees no
+        // successor constraint violation; the latch has no forward succs in
+        // the loop so it can be anywhere after its preds — it will be last
+        // or near-last; acceptable either way, but the caller assumes
+        // statement order only).
+        let _ = f;
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_interp::{Cursor, Memory};
+    use spt_sir::{analyze_loops, BinOp, Program, ProgramBuilder};
+
+    fn run_ret(prog: &Program) -> i64 {
+        let mut mem = Memory::for_program(prog);
+        let mut cur = Cursor::at_entry(prog);
+        let mut fuel = 0;
+        while cur.step(&mut mem).is_some() {
+            fuel += 1;
+            assert!(fuel < 1_000_000);
+        }
+        cur.return_value().expect("program returns a value")
+    }
+
+    /// Build a function with a diamond in the loop body:
+    /// for i in 0..n { if i&1 { odd += i } else { even += i } }
+    fn diamond_loop(n: i64) -> (Program, spt_sir::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let odd = f.reg();
+        let even = f.reg();
+        let nn = f.const_reg(n);
+        let header = f.new_block();
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(odd, 0);
+        f.const_(even, 0);
+        f.jmp(header);
+        f.switch_to(header);
+        let one = f.const_reg(1);
+        let par = f.reg();
+        f.bin(BinOp::And, par, i, one);
+        f.br(par, then_b, else_b);
+        f.switch_to(then_b);
+        f.bin(BinOp::Add, odd, odd, i);
+        f.jmp(latch);
+        f.switch_to(else_b);
+        f.bin(BinOp::Add, even, even, i);
+        f.jmp(latch);
+        f.switch_to(latch);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, header, exit);
+        f.switch_to(exit);
+        // return odd*10000 + even
+        let k = f.const_reg(10000);
+        let t = f.reg();
+        f.bin(BinOp::Mul, t, odd, k);
+        let r = f.reg();
+        f.bin(BinOp::Add, r, t, even);
+        f.ret(Some(r));
+        let id = f.finish();
+        (pb.finish(id, 0), id)
+    }
+
+    /// Replace the loop with its linearized body as a single block and
+    /// check the program still computes the same value.
+    fn relinearize_and_run(prog: &Program, func: spt_sir::FuncId) -> i64 {
+        let f = prog.func(func);
+        let (cfg, _, forest) = analyze_loops(f);
+        let lid = forest.innermost_loops()[0];
+        let l = forest.get(lid).clone();
+        let lb = linearize(f, &cfg, &l).expect("linearizable");
+
+        let mut prog2 = prog.clone();
+        {
+            let f2 = prog2.func_mut(func);
+            f2.n_regs = lb.n_regs;
+            // New single body block.
+            let new_body = BlockId(f2.blocks.len() as u32);
+            let term = if lb.continue_on_true {
+                Terminator::Br {
+                    cond: lb.cond,
+                    taken: new_body,
+                    not_taken: lb.exit_target,
+                }
+            } else {
+                Terminator::Br {
+                    cond: lb.cond,
+                    taken: lb.exit_target,
+                    not_taken: new_body,
+                }
+            };
+            f2.blocks.push(spt_sir::Block {
+                insts: lb.stmts.iter().map(|s| s.inst.clone()).collect(),
+                term,
+            });
+            // Redirect all edges into the old header from outside the loop.
+            for bi in 0..f2.blocks.len() - 1 {
+                let b = BlockId(bi as u32);
+                if l.contains(b) {
+                    continue;
+                }
+                f2.blocks[bi]
+                    .term
+                    .rewrite_targets(|t| if t == l.header { new_body } else { t });
+            }
+        }
+        prog2.verify().unwrap();
+        run_ret(&prog2)
+    }
+
+    #[test]
+    fn single_block_loop_is_identity() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(5);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(fun, &cfg, &l).unwrap();
+        assert_eq!(lb.len(), fun.block(l.header).insts.len());
+        assert!(lb.stmts.iter().all(|s| s.origin.is_some()));
+        assert!(lb.continue_on_true);
+    }
+
+    #[test]
+    fn diamond_if_converts_and_preserves_semantics() {
+        let (prog, id) = diamond_loop(10);
+        let expect = run_ret(&prog);
+        // odd = 1+3+5+7+9 = 25; even = 0+2+4+6+8 = 20.
+        assert_eq!(expect, 25 * 10000 + 20);
+        let got = relinearize_and_run(&prog, id);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn diamond_if_conversion_guards_statements() {
+        let (prog, id) = diamond_loop(10);
+        let f = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(f, &cfg, &l).unwrap();
+        // The two adds must now be guarded.
+        let guarded = lb
+            .stmts
+            .iter()
+            .filter(|s| s.inst.guard.is_some() && s.origin.is_some())
+            .count();
+        assert!(guarded >= 2, "guarded = {guarded}");
+    }
+
+    #[test]
+    fn early_exit_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let c = f.const_reg(1);
+        let header = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.jmp(header);
+        f.switch_to(header);
+        f.br(c, latch, exit); // early exit from header
+        f.switch_to(latch);
+        f.br(c, header, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        assert!(matches!(
+            linearize(fun, &cfg, &l),
+            Err(LinearizeError::EarlyExit(_))
+        ));
+    }
+
+    #[test]
+    fn inner_loop_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let c = f.const_reg(1);
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.jmp(outer);
+        f.switch_to(outer);
+        f.jmp(inner);
+        f.switch_to(inner);
+        f.br(c, inner, latch);
+        f.switch_to(latch);
+        f.br(c, outer, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        // Pick the OUTER loop (contains the inner).
+        let outer_l = forest
+            .loops
+            .iter()
+            .find(|l| l.blocks.len() == 3)
+            .unwrap()
+            .clone();
+        assert!(matches!(
+            linearize(fun, &cfg, &outer_l),
+            Err(LinearizeError::InnerLoop(_))
+        ));
+    }
+
+    #[test]
+    fn inverted_latch_supported() {
+        // Loop continues on FALSE: br cond ? exit : header.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(5);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpGe, c, i, nn);
+        f.br(c, exit, body);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        assert_eq!(run_ret(&prog), 5);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(fun, &cfg, &l).unwrap();
+        assert!(!lb.continue_on_true);
+    }
+}

@@ -1,0 +1,503 @@
+//! Data-dependence graphs over a linearized loop body.
+//!
+//! Two layers, matching §4.1's annotated graphs:
+//!
+//! * **intra-iteration** dependences (register true/anti/output, memory
+//!   ordering, guard-as-control) — these define *legality*: the pre-fork
+//!   region must be closed under dependence predecessors, because pre-fork
+//!   statements execute before all post-fork statements of the same
+//!   iteration after reordering;
+//! * **cross-iteration** dependences from the dependence profile, annotated
+//!   with the probability that the dependence manifests (and, for register
+//!   dependences, that the value actually changed — what the value-based
+//!   checker trips on).
+
+use crate::body::LinearBody;
+use spt_sir::{FuncId, Op, Program, Reg, StmtRef};
+use spt_profile::LoopDeps;
+use std::collections::HashMap;
+
+/// A simple growable bitset used for dependence closures and partitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl BitSet {
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.contains(i))
+    }
+
+    pub fn len_bits(&self) -> usize {
+        self.n
+    }
+
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Kind of an intra-iteration dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntraKind {
+    True,
+    Anti,
+    Output,
+    Mem,
+}
+
+/// Intra-iteration dependence: `to` must stay after `from`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntraDep {
+    pub from: usize,
+    pub to: usize,
+    pub kind: IntraKind,
+}
+
+/// Cross-iteration dependence from the profile, mapped to linear indices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossDep {
+    /// Source statement (the violation-candidate side, previous iteration).
+    pub src: usize,
+    /// Reading statement (next iteration).
+    pub dst: usize,
+    /// Probability the dependence manifests in an iteration.
+    pub prob: f64,
+    /// Probability it manifests *and* the value changed.
+    pub prob_value: f64,
+    pub is_mem: bool,
+}
+
+/// The full dependence picture of one linear body.
+pub struct Ddg {
+    pub n: usize,
+    pub intra: Vec<IntraDep>,
+    /// True-dependence predecessors per statement (for cost propagation).
+    pub true_preds: Vec<Vec<usize>>,
+    /// Backward closure over all intra dependences: `closure[i]` = the set
+    /// of statements that must move with `i` into the pre-fork region.
+    pub closure: Vec<BitSet>,
+    pub cross: Vec<CrossDep>,
+    /// Execution probability per statement (guard/reach probability).
+    pub exec_prob: Vec<f64>,
+    /// Cost (estimated cycles) per statement.
+    pub cost: Vec<f64>,
+    /// Last definition index of each register within the body.
+    pub last_def: HashMap<u32, usize>,
+    /// Number of defs of each register within the body.
+    pub def_count: HashMap<u32, u32>,
+}
+
+impl Ddg {
+    pub fn build(
+        lb: &LinearBody,
+        prog: &Program,
+        func: FuncId,
+        deps: &LoopDeps,
+        exec_prob: Vec<f64>,
+    ) -> Ddg {
+        Self::build_with(lb, prog, func, deps, exec_prob, &HashMap::new())
+    }
+
+    /// [`Ddg::build`] with profiled per-function call costs.
+    pub fn build_with(
+        lb: &LinearBody,
+        prog: &Program,
+        func: FuncId,
+        deps: &LoopDeps,
+        exec_prob: Vec<f64>,
+        call_costs: &HashMap<spt_sir::FuncId, f64>,
+    ) -> Ddg {
+        let n = lb.stmts.len();
+        assert_eq!(exec_prob.len(), n);
+        let mut intra = Vec::new();
+        let mut true_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // Register scan.
+        let mut last_write: HashMap<u32, usize> = HashMap::new();
+        let mut readers_since: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut last_def: HashMap<u32, usize> = HashMap::new();
+        let mut def_count: HashMap<u32, u32> = HashMap::new();
+        for (i, s) in lb.stmts.iter().enumerate() {
+            let mut srcs = s.inst.srcs_with_guard();
+            srcs.sort();
+            srcs.dedup();
+            for r in srcs {
+                if let Some(&w) = last_write.get(&r.0) {
+                    intra.push(IntraDep {
+                        from: w,
+                        to: i,
+                        kind: IntraKind::True,
+                    });
+                    // A statement may read several registers produced by
+                    // the same predecessor; one propagation edge suffices.
+                    if !true_preds[i].contains(&w) {
+                        true_preds[i].push(w);
+                    }
+                }
+                readers_since.entry(r.0).or_default().push(i);
+            }
+            if let Some(d) = s.inst.dst() {
+                if let Some(&w) = last_write.get(&d.0) {
+                    intra.push(IntraDep {
+                        from: w,
+                        to: i,
+                        kind: IntraKind::Output,
+                    });
+                }
+                for &rd in readers_since.get(&d.0).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if rd != i {
+                        intra.push(IntraDep {
+                            from: rd,
+                            to: i,
+                            kind: IntraKind::Anti,
+                        });
+                    }
+                }
+                readers_since.insert(d.0, Vec::new());
+                last_write.insert(d.0, i);
+                last_def.insert(d.0, i);
+                *def_count.entry(d.0).or_insert(0) += 1;
+            }
+        }
+
+        // Memory ordering: conservative may-alias between memory operations,
+        // with an obviously-disjoint refinement (same base register not
+        // redefined in between, different offsets).
+        let mem_ops: Vec<usize> = lb
+            .stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.inst.is_load() || s.inst.is_store() || s.inst.is_call()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // def positions per register, to check base stability.
+        let defs_between = |reg: Reg, a: usize, b: usize| -> bool {
+            lb.stmts[a + 1..b]
+                .iter()
+                .any(|s| s.inst.dst() == Some(reg))
+        };
+        for (x, &i) in mem_ops.iter().enumerate() {
+            for &j in &mem_ops[x + 1..] {
+                let (si, sj) = (&lb.stmts[i].inst, &lb.stmts[j].inst);
+                let need_order = si.is_store()
+                    || si.is_call()
+                    || sj.is_store()
+                    || sj.is_call();
+                if !need_order {
+                    continue; // load-load never ordered
+                }
+                if let (Some((bi, oi)), Some((bj, oj))) = (base_off(si), base_off(sj)) {
+                    if bi == bj && oi != oj && !defs_between(bi, i, j) {
+                        continue; // provably disjoint
+                    }
+                }
+                intra.push(IntraDep {
+                    from: i,
+                    to: j,
+                    kind: IntraKind::Mem,
+                });
+            }
+        }
+
+        // Backward closures (preds all have smaller index).
+        let mut preds_all: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for d in &intra {
+            preds_all[d.to].push(d.from);
+        }
+        let mut closure: Vec<BitSet> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut bs = BitSet::new(n);
+            bs.insert(i);
+            for &p in &preds_all[i] {
+                let prev = closure[p].clone();
+                bs.union_with(&prev);
+            }
+            closure.push(bs);
+        }
+
+        // Map profiled cross deps to linear indices via origins. After
+        // unrolling the same origin appears in several copies: the
+        // residual cross-iteration dependence runs from the *last* copy of
+        // the source to the *first* copy of the destination.
+        let mut first_of: HashMap<StmtRef, usize> = HashMap::new();
+        let mut last_of: HashMap<StmtRef, usize> = HashMap::new();
+        for (i, s) in lb.stmts.iter().enumerate() {
+            if let Some(o) = s.origin {
+                first_of.entry(o).or_insert(i);
+                last_of.insert(o, i);
+            }
+        }
+        let mut cross = Vec::new();
+        let iters = deps.iterations.max(2);
+        let denom = (iters - 1) as f64;
+        for (&(w, r), c) in deps.reg_deps.iter().chain(deps.mem_deps.iter()) {
+            let is_mem = deps.mem_deps.contains_key(&(w, r))
+                && !deps.reg_deps.contains_key(&(w, r));
+            if let (Some(&src), Some(&dst)) = (last_of.get(&w), first_of.get(&r)) {
+                cross.push(CrossDep {
+                    src,
+                    dst,
+                    prob: c.occurrences as f64 / denom,
+                    prob_value: c.value_changed as f64 / denom,
+                    is_mem,
+                });
+            }
+        }
+
+        // Costs.
+        let cost: Vec<f64> = lb
+            .stmts
+            .iter()
+            .map(|s| crate::cost::stmt_cost_with(&s.inst, prog, call_costs))
+            .collect();
+        let _ = func;
+
+        Ddg {
+            n,
+            intra,
+            true_preds,
+            closure,
+            cross,
+            exec_prob,
+            cost,
+            last_def,
+            def_count,
+        }
+    }
+
+    /// Estimated sequential body cost (Σ exec_prob × cost).
+    pub fn body_cost(&self) -> f64 {
+        self.exec_prob
+            .iter()
+            .zip(&self.cost)
+            .map(|(p, c)| p * c)
+            .sum()
+    }
+
+    /// Cost of a statement subset.
+    pub fn subset_cost(&self, set: &BitSet) -> f64 {
+        set.iter().map(|i| self.exec_prob[i] * self.cost[i]).sum()
+    }
+}
+
+fn base_off(inst: &spt_sir::Inst) -> Option<(Reg, i64)> {
+    match inst.op {
+        Op::Load { base, off, .. } => Some((base, off)),
+        Op::Store { base, off, .. } => Some((base, off)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::linearize;
+    use spt_profile::{profile_loops, LoopKey};
+    use spt_sir::{analyze_loops, BinOp, ProgramBuilder};
+
+    /// reduction: acc += a[i]; i += 1
+    fn build() -> (spt_sir::Program, FuncId, LinearBody, LoopDeps) {
+        let mut pb = ProgramBuilder::new();
+        for a in 0..64u64 {
+            pb.datum(a, 1);
+        }
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let acc = f.reg();
+        let nn = f.const_reg(64);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(acc, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let v = f.reg();
+        f.load(v, i, 0); // 0: v = a[i]
+        f.bin(BinOp::Add, acc, acc, v); // 1: acc += v
+        let one = f.const_reg(1); // 2
+        f.bin(BinOp::Add, i, i, one); // 3: i += 1
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn); // 4
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        let id = f.finish();
+        let prog = pb.finish(id, 64);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(fun, &cfg, &l).unwrap();
+        let key = LoopKey {
+            func: id,
+            loop_id: l.id,
+        };
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let deps = dp.loops[&key].clone();
+        (prog, id, lb, deps)
+    }
+
+    #[test]
+    fn intra_true_deps_found() {
+        let (prog, id, lb, deps) = build();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        // acc += v depends on v = load.
+        assert!(ddg
+            .intra
+            .iter()
+            .any(|d| d.from == 0 && d.to == 1 && d.kind == IntraKind::True));
+        // cmp depends on i += 1.
+        assert!(ddg
+            .intra
+            .iter()
+            .any(|d| d.from == 3 && d.to == 4 && d.kind == IntraKind::True));
+        assert!(ddg.true_preds[1].contains(&0));
+    }
+
+    #[test]
+    fn closures_are_transitive() {
+        let (prog, id, lb, deps) = build();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        // Closure of the cmp (idx 4) includes i += 1 (3) and its const (2),
+        // and — through the anti-dependence of the load on i's rewrite —
+        // the load (0): moving `i += 1` earlier would change the address
+        // the load reads, so the load must move along.
+        let cl = &ddg.closure[4];
+        assert!(cl.contains(4));
+        assert!(cl.contains(3));
+        assert!(cl.contains(2));
+        assert!(cl.contains(0), "anti dep load->i+=1 pulls the load in");
+        // But not the pure consumer of the load (acc += v).
+        assert!(!cl.contains(1));
+    }
+
+    #[test]
+    fn cross_deps_mapped_with_probabilities() {
+        let (prog, id, lb, deps) = build();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        // Expect cross deps: acc (1 -> 1), i (3 -> 0 load base, 3 -> 3, ...).
+        assert!(
+            ddg.cross.iter().any(|c| c.src == 1 && c.dst == 1),
+            "acc self-dep: {:?}",
+            ddg.cross
+        );
+        assert!(ddg.cross.iter().any(|c| c.src == 3 && c.dst == 0));
+        for c in &ddg.cross {
+            assert!(c.prob > 0.9, "loop deps fire every iteration");
+            assert!(c.prob_value <= c.prob + 1e-9);
+        }
+    }
+
+    #[test]
+    fn body_cost_positive_and_loads_cost_more() {
+        let (prog, id, lb, deps) = build();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        assert!(ddg.body_cost() > 0.0);
+        assert!(ddg.cost[0] > ddg.cost[2], "load > const");
+        let mut pre = BitSet::new(n);
+        pre.insert(2);
+        pre.insert(3);
+        assert!(ddg.subset_cost(&pre) < ddg.body_cost());
+    }
+
+    #[test]
+    fn last_def_tracking() {
+        let (prog, id, lb, deps) = build();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        // i (Reg 0) last defined at idx 3; acc (Reg 1) at idx 1.
+        assert_eq!(ddg.last_def.get(&0), Some(&3));
+        assert_eq!(ddg.last_def.get(&1), Some(&1));
+        assert_eq!(ddg.def_count.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut c = BitSet::new(130);
+        c.insert(1);
+        c.union_with(&b);
+        assert_eq!(c.count(), 4);
+        c.clear();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn disjoint_offsets_not_ordered() {
+        // store [base+0]; load [base+1] — provably disjoint.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let base = f.reg();
+        let x = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(base, 0);
+        f.const_(x, 1);
+        f.jmp(body);
+        f.switch_to(body);
+        f.store(x, base, 0); // 0
+        let y = f.reg();
+        f.load(y, base, 1); // 1 — disjoint from the store
+        let c = f.reg();
+        f.bin(BinOp::CmpEq, c, y, y);
+        f.br(c, exit, body);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 8);
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(fun, &cfg, &l).unwrap();
+        let deps = LoopDeps::default();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        assert!(
+            !ddg.intra
+                .iter()
+                .any(|d| d.kind == IntraKind::Mem && d.from == 0 && d.to == 1),
+            "disjoint store/load must not be ordered"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! Optimal loop-partition search (§4.2).
+//!
+//! A partition is decided uniquely by which *violation candidates* (sources
+//! of cross-iteration dependences) are satisfied in the pre-fork region, so
+//! the search enumerates combinations of violation candidates rather than
+//! combinations of statements. Two monotone constraint functions prune the
+//! space exactly as in the paper: the *cost-bounding* function (adding
+//! candidates to the pre-fork region only decreases misspeculation cost)
+//! and the *size-bounding* function (it only grows the pre-fork region,
+//! which Amdahl's law bounds).
+//!
+//! Each candidate can be satisfied three ways:
+//!
+//! * **move** — its full dependence closure relocates to the pre-fork
+//!   region;
+//! * **clone** — only the closure of its *inputs* moves; the defining
+//!   statement is cloned into the pre-fork region writing a fresh
+//!   temporary, and the register is restored from the temporary at the
+//!   start-point (the live-range-breaking temporaries of §4.3 — this is
+//!   exactly the `temp_c` pattern of Figure 1(b));
+//! * **SVP** — software value prediction (§4.4) when the value is
+//!   stride-predictable: the dependence probability drops to the
+//!   misprediction rate at a small fixed code cost.
+
+use crate::cost::{estimate_speedup, misspeculation_cost, CostParams};
+use crate::ddg::{BitSet, Ddg};
+use spt_sir::Op;
+use spt_profile::ValuePattern;
+use std::collections::HashMap;
+
+/// How a chosen candidate is satisfied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mitigation {
+    Move,
+    Clone,
+    Svp { stride: i64, miss_rate: f64 },
+}
+
+/// One violation candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Linear index of the dependence source statement.
+    pub stmt: usize,
+    /// Destination register of the source statement, if any.
+    pub reg: Option<u32>,
+    /// Statements that must move if this candidate is satisfied by code
+    /// motion (move or clone closure).
+    pub moveset: BitSet,
+    /// Whether `moveset` is the clone-closure (inputs only).
+    pub is_clone: bool,
+    /// SVP alternative, if the value is predictable.
+    pub svp: Option<(i64, f64)>, // (stride, miss_rate)
+    /// Misspeculation-cost reduction when this candidate alone is
+    /// satisfied.
+    pub impact: f64,
+}
+
+/// A candidate selected into the partition, with its mitigation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChosenCandidate {
+    /// Linear index of the dependence-source statement.
+    pub stmt: usize,
+    /// Destination register of that statement, if any.
+    pub reg: Option<u32>,
+    pub mitigation: Mitigation,
+}
+
+/// The chosen partition for one loop.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub chosen: Vec<ChosenCandidate>,
+    /// Statements moved into the pre-fork region.
+    pub pre: BitSet,
+    pub misspec_cost: f64,
+    pub pre_cost: f64,
+    pub body_cost: f64,
+    pub est_speedup: f64,
+}
+
+/// Why no partition could be produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    TooManyViolationCandidates(usize),
+}
+
+const MAX_CANDIDATES: usize = 20;
+const SEARCH_CANDIDATES: usize = 14;
+const SVP_MIN_HIT_RATE: f64 = 0.85;
+const SVP_MIN_SAMPLES: u64 = 8;
+/// Static cost of the SVP scaffolding per iteration (predict + check).
+const SVP_CODE_COST: f64 = 4.0;
+/// Static cost of a clone (cloned op + start-point restore).
+const CLONE_CODE_COST: f64 = 2.0;
+
+/// Build the candidate list and search for the optimal partition.
+pub fn search_partition(
+    ddg: &Ddg,
+    lb: &crate::body::LinearBody,
+    values: &HashMap<u32, ValuePattern>,
+    params: &CostParams,
+) -> Result<Partition, PartitionError> {
+    let n = ddg.n;
+    // Collect violation candidates: distinct cross-dep sources with
+    // non-negligible probability.
+    let mut srcs: Vec<usize> = Vec::new();
+    for c in &ddg.cross {
+        let q = if c.is_mem { c.prob } else { c.prob_value.max(c.prob * 0.1) };
+        if q >= 0.02 && !srcs.contains(&c.src) {
+            srcs.push(c.src);
+        }
+    }
+    if srcs.len() > MAX_CANDIDATES {
+        return Err(PartitionError::TooManyViolationCandidates(srcs.len()));
+    }
+
+    let empty = BitSet::new(n);
+    let base_cost = misspeculation_cost(ddg, &empty, &[]);
+
+    let mut cands: Vec<Candidate> = srcs
+        .iter()
+        .map(|&s| {
+            let inst = &lb.stmts[s].inst;
+            let reg = inst.dst().map(|r| r.0);
+            // Clone eligibility: pure ALU def that is the register's last
+            // definition (and only definition, if guarded).
+            let clone_ok = match reg {
+                Some(r) => {
+                    matches!(inst.op, Op::Const { .. } | Op::Un { .. } | Op::Bin { .. })
+                        && ddg.last_def.get(&r) == Some(&s)
+                        && (inst.guard.is_none() || ddg.def_count.get(&r) == Some(&1))
+                }
+                None => false,
+            };
+            let plain = ddg.closure[s].clone();
+            let (moveset, is_clone) = if clone_ok {
+                let mut m = BitSet::new(n);
+                for &v in &ddg.true_preds[s] {
+                    m.union_with(&ddg.closure[v]);
+                }
+                if m.count() + 1 < plain.count() {
+                    (m, true)
+                } else {
+                    (plain, false)
+                }
+            } else {
+                (plain, false)
+            };
+            // SVP eligibility.
+            let svp = reg.and_then(|r| {
+                let vp = values.get(&r)?;
+                if vp.hit_rate() >= SVP_MIN_HIT_RATE
+                    && vp.samples >= SVP_MIN_SAMPLES
+                    && ddg.last_def.get(&r) == Some(&s)
+                {
+                    Some((vp.best_stride, 1.0 - vp.hit_rate()))
+                } else {
+                    None
+                }
+            });
+            // Impact: cost reduction when this source alone is satisfied.
+            let mut sat = BitSet::new(n);
+            sat.insert(s);
+            let impact = base_cost - misspeculation_cost(ddg, &sat, &[]);
+            Candidate {
+                stmt: s,
+                reg,
+                moveset,
+                is_clone,
+                svp,
+                impact,
+            }
+        })
+        .collect();
+
+    // Keep the highest-impact candidates within search limits.
+    cands.sort_by(|a, b| b.impact.partial_cmp(&a.impact).unwrap_or(std::cmp::Ordering::Equal));
+    cands.truncate(SEARCH_CANDIDATES);
+    let k = cands.len();
+
+    let body_cost = ddg.body_cost();
+    let size_bound = (params.size_bound_frac * n as f64).ceil() as usize;
+
+    let mut best = evaluate(ddg, &cands, 0, params, body_cost);
+
+    // Enumerate candidate subsets (size-bounded). k <= 14.
+    for mask in 1u32..(1 << k) {
+        if let Some(p) = try_subset(ddg, &cands, mask, params, body_cost, size_bound) {
+            if p.est_speedup > best.est_speedup {
+                best = p;
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Evaluate the empty partition (no candidates satisfied).
+fn evaluate(
+    ddg: &Ddg,
+    _cands: &[Candidate],
+    _mask: u32,
+    params: &CostParams,
+    body_cost: f64,
+) -> Partition {
+    let empty = BitSet::new(ddg.n);
+    let m = misspeculation_cost(ddg, &empty, &[]);
+    Partition {
+        chosen: vec![],
+        pre: empty,
+        misspec_cost: m,
+        pre_cost: 0.0,
+        body_cost,
+        est_speedup: estimate_speedup(body_cost, 0.0, m, params),
+    }
+}
+
+/// Build and evaluate one subset; `None` if it violates the size bound.
+fn try_subset(
+    ddg: &Ddg,
+    cands: &[Candidate],
+    mask: u32,
+    params: &CostParams,
+    body_cost: f64,
+    size_bound: usize,
+) -> Option<Partition> {
+    let n = ddg.n;
+    let mut pre = BitSet::new(n);
+    let mut satisfied = BitSet::new(n);
+    let mut svp_scale: Vec<(usize, f64)> = Vec::new();
+    let mut chosen = Vec::new();
+    let mut extra_cost = 0.0;
+
+    for (i, c) in cands.iter().enumerate() {
+        if mask >> i & 1 == 0 {
+            continue;
+        }
+        // Prefer SVP outright when the motion's pre-fork cost exceeds the
+        // SVP scaffolding (moving a call-sized slice serializes more than
+        // predicting its value); otherwise try code motion and fall back to
+        // SVP when motion would blow the size bound.
+        if let Some((stride, miss)) = c.svp {
+            if ddg.subset_cost(&c.moveset) > SVP_CODE_COST {
+                svp_scale.push((c.stmt, miss));
+                extra_cost += SVP_CODE_COST;
+                chosen.push(ChosenCandidate {
+                    stmt: c.stmt,
+                    reg: c.reg,
+                    mitigation: Mitigation::Svp { stride, miss_rate: miss },
+                });
+                continue;
+            }
+        }
+        let mut candidate_pre = pre.clone();
+        candidate_pre.union_with(&c.moveset);
+        if candidate_pre.count() <= size_bound {
+            pre = candidate_pre;
+            satisfied.insert(c.stmt);
+            if c.is_clone {
+                extra_cost += CLONE_CODE_COST;
+                chosen.push(ChosenCandidate {
+                    stmt: c.stmt,
+                    reg: c.reg,
+                    mitigation: Mitigation::Clone,
+                });
+            } else {
+                chosen.push(ChosenCandidate {
+                    stmt: c.stmt,
+                    reg: c.reg,
+                    mitigation: Mitigation::Move,
+                });
+            }
+        } else if let Some((stride, miss)) = c.svp {
+            svp_scale.push((c.stmt, miss));
+            extra_cost += SVP_CODE_COST;
+            chosen.push(ChosenCandidate {
+                stmt: c.stmt,
+                reg: c.reg,
+                mitigation: Mitigation::Svp { stride, miss_rate: miss },
+            });
+        } else {
+            return None; // cannot satisfy this candidate within bounds
+        }
+    }
+
+    // A clone whose defining statement ended up inside the pre-fork region
+    // (pulled in by another candidate's closure) must be demoted to a plain
+    // move: the original already executes pre-fork, and emitting the clone
+    // too would apply the operation twice.
+    for ch in chosen.iter_mut() {
+        if ch.mitigation == Mitigation::Clone && pre.contains(ch.stmt) {
+            ch.mitigation = Mitigation::Move;
+            extra_cost -= CLONE_CODE_COST;
+        }
+    }
+
+    // Satisfied sources: moved statements also satisfy deps they source.
+    let mut sat_all = satisfied.clone();
+    sat_all.union_with(&pre);
+    let m = misspeculation_cost(ddg, &sat_all, &svp_scale);
+    let pre_cost = ddg.subset_cost(&pre) + extra_cost;
+    let total_body = body_cost + extra_cost;
+    Some(Partition {
+        chosen,
+        pre,
+        misspec_cost: m,
+        pre_cost,
+        body_cost: total_body,
+        est_speedup: estimate_speedup(total_body, pre_cost, m, params),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{LinearBody, LinearStmt};
+    use spt_profile::LoopDeps;
+    use spt_sir::{BinOp, BlockId, Inst, ProgramBuilder, Reg};
+
+    fn chain_ddg(n: usize, cross: &[(usize, usize, f64)]) -> (Ddg, LinearBody) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let stmts: Vec<LinearStmt> = (0..n)
+            .map(|i| LinearStmt {
+                inst: Inst::new(Op::Bin {
+                    op: BinOp::Add,
+                    dst: Reg(i as u32 + 1),
+                    a: Reg(i as u32),
+                    b: Reg(i as u32),
+                }),
+                origin: None,
+            })
+            .collect();
+        let lb = LinearBody {
+            stmts,
+            cond: Reg(0),
+            continue_on_true: true,
+            exit_target: BlockId(0),
+            n_regs: n as u32 + 2,
+            header: BlockId(0),
+        };
+        let mut ddg = Ddg::build(&lb, &prog, id, &LoopDeps::default(), vec![1.0; n]);
+        for &(s, d, p) in cross {
+            ddg.cross.push(crate::ddg::CrossDep {
+                src: s,
+                dst: d,
+                prob: p,
+                prob_value: p,
+                is_mem: false,
+            });
+        }
+        (ddg, lb)
+    }
+
+    #[test]
+    fn independent_body_yields_near_two_x() {
+        let (ddg, lb) = chain_ddg(40, &[]);
+        let p = search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()).unwrap();
+        assert!(p.chosen.is_empty());
+        assert_eq!(p.misspec_cost, 0.0);
+        assert!(p.est_speedup > 1.5, "speedup {}", p.est_speedup);
+    }
+
+    #[test]
+    fn cheap_candidate_moved_to_prefork() {
+        // Dependence source at stmt 1 (closure = {0,1}) feeding stmt 30 of
+        // the next iteration: moving 2 statements kills the whole cost.
+        let (ddg, lb) = chain_ddg(40, &[(1, 30, 1.0)]);
+        let p = search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()).unwrap();
+        assert_eq!(p.chosen.len(), 1);
+        assert!(p.pre.contains(1));
+        assert!(p.misspec_cost < 1e-9);
+        assert!(p.est_speedup > 1.4, "speedup {}", p.est_speedup);
+    }
+
+    #[test]
+    fn expensive_candidate_left_when_not_worth_it() {
+        // Source is the last statement: its closure is the entire chain, so
+        // moving it makes the pre-fork region the whole body. With a rare
+        // dependence (q = 0.03), leaving it speculative is better.
+        let (ddg, lb) = chain_ddg(40, &[(39, 0, 0.03)]);
+        let p = search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()).unwrap();
+        // Either empty or an SVP-free small partition; the pre region must
+        // not be the whole body.
+        assert!(p.pre.count() < 30, "pre = {}", p.pre.count());
+        assert!(p.est_speedup > 1.2, "speedup {}", p.est_speedup);
+    }
+
+    #[test]
+    fn svp_rescues_unmovable_dependence() {
+        // Source closure = whole chain, dependence certain (q=1): without
+        // SVP the loop is serial; with a predictable value it parallelizes.
+        let (ddg, lb) = chain_ddg(40, &[(39, 0, 1.0)]);
+        let no_svp = search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()).unwrap();
+        let mut vals = HashMap::new();
+        vals.insert(
+            40u32, // dst reg of stmt 39 = Reg(40)
+            ValuePattern {
+                samples: 100,
+                best_stride: 2,
+                hits: 97,
+            },
+        );
+        let with_svp = search_partition(&ddg, &lb, &vals, &CostParams::default()).unwrap();
+        assert!(
+            with_svp.est_speedup > no_svp.est_speedup + 0.2,
+            "svp {} vs none {}",
+            with_svp.est_speedup,
+            no_svp.est_speedup
+        );
+        assert!(with_svp
+            .chosen
+            .iter()
+            .any(|c| matches!(c.mitigation, Mitigation::Svp { .. })));
+    }
+
+    #[test]
+    fn too_many_candidates_rejected() {
+        let cross: Vec<(usize, usize, f64)> =
+            (0..25).map(|i| (i, (i + 1) % 25, 1.0)).collect();
+        let (ddg, lb) = chain_ddg(30, &cross);
+        assert!(matches!(
+            search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()),
+            Err(PartitionError::TooManyViolationCandidates(_))
+        ));
+    }
+
+    #[test]
+    fn low_probability_sources_ignored() {
+        let (ddg, lb) = chain_ddg(10, &[(5, 0, 0.001)]);
+        let p = search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()).unwrap();
+        assert!(p.chosen.is_empty(), "negligible dep must not drive motion");
+    }
+}

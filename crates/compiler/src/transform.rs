@@ -1,0 +1,456 @@
+//! SPT loop transformation (§4.3–4.4).
+//!
+//! Given a linearized body and its optimal partition, rebuild the loop as:
+//!
+//! ```text
+//! preheader:  tmp_c = r_c ... ; pred_s = r_s ... ; jmp body
+//! body:       r_c = tmp_c ...            // start-point restores
+//!             pred-predicts (SVP)        // pred_s = r_s + stride
+//!             <pre-fork statements>      // moved dependence closures
+//!             tmp_c = <clone of s_c> ... // live-range-breaking temporaries
+//!             spt_fork body
+//!             <post-fork statements>     // with SVP check/recover inserted
+//!             br cond ? body : exit_stub
+//! exit_stub:  spt_kill ; jmp original-exit
+//! ```
+//!
+//! This reproduces Figure 1(b) (the `temp_c` pattern) and Figure 5 (the
+//! software value predictor with its check-and-recover code) of the paper.
+
+use crate::body::LinearBody;
+use crate::partition::{Mitigation, Partition};
+use spt_sir::{
+    BinOp, Block, BlockId, FuncId, Guard, Inst, Loop, Op, Program, Reg, Terminator, UnOp,
+};
+
+/// Blocks created by the transformation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransformResult {
+    pub preheader: BlockId,
+    pub new_body: BlockId,
+    pub exit_stub: BlockId,
+}
+
+fn with_dst(mut inst: Inst, new_dst: Reg) -> Inst {
+    match &mut inst.op {
+        Op::Const { dst, .. }
+        | Op::Un { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::Load { dst, .. } => *dst = new_dst,
+        Op::Call { ret, .. } => *ret = Some(new_dst),
+        _ => panic!("with_dst on a non-defining statement"),
+    }
+    inst
+}
+
+/// Apply the partition to the loop, appending new blocks to the function
+/// and rewiring entry edges. The original loop blocks become unreachable.
+pub fn transform_loop(
+    prog: &mut Program,
+    func: FuncId,
+    l: &Loop,
+    lb: &LinearBody,
+    part: &Partition,
+) -> TransformResult {
+    let f = prog.func_mut(func);
+    f.n_regs = f.n_regs.max(lb.n_regs);
+
+    let new_body = BlockId(f.blocks.len() as u32);
+    let exit_stub = BlockId(f.blocks.len() as u32 + 1);
+    let preheader = BlockId(f.blocks.len() as u32 + 2);
+
+    // Allocate temporaries per chosen candidate.
+    struct CandRegs {
+        stmt: usize,
+        reg: Reg,
+        aux: Reg, // tmp (clone) or pred (SVP)
+        mitigation: Mitigation,
+    }
+    let mut cand_regs: Vec<CandRegs> = Vec::new();
+    for c in &part.chosen {
+        match c.mitigation {
+            Mitigation::Clone | Mitigation::Svp { .. } => {
+                let reg = Reg(c.reg.expect("clone/SVP candidates define a register"));
+                let aux = f.fresh_reg();
+                cand_regs.push(CandRegs {
+                    stmt: c.stmt,
+                    reg,
+                    aux,
+                    mitigation: c.mitigation,
+                });
+            }
+            Mitigation::Move => {}
+        }
+    }
+
+    let mut body: Vec<Inst> = Vec::new();
+
+    // 1. Start-point restores.
+    for cr in &cand_regs {
+        body.push(Inst::new(Op::Un {
+            op: UnOp::Mov,
+            dst: cr.reg,
+            src: cr.aux,
+        }));
+    }
+    // 2. SVP predictors: pred = r + stride.
+    for cr in &cand_regs {
+        if let Mitigation::Svp { stride, .. } = cr.mitigation {
+            let k = f.fresh_reg();
+            body.push(Inst::new(Op::Const {
+                dst: k,
+                imm: stride,
+            }));
+            body.push(Inst::new(Op::Bin {
+                op: BinOp::Add,
+                dst: cr.aux,
+                a: cr.reg,
+                b: k,
+            }));
+        }
+    }
+    // 3. Pre-fork region: moved statements in original order.
+    for (i, s) in lb.stmts.iter().enumerate() {
+        if part.pre.contains(i) {
+            body.push(s.inst.clone());
+        }
+    }
+    // 4. Clones.
+    for cr in &cand_regs {
+        if cr.mitigation == Mitigation::Clone {
+            body.push(with_dst(lb.stmts[cr.stmt].inst.clone(), cr.aux));
+        }
+    }
+    // 5. Fork.
+    body.push(Inst::new(Op::SptFork { start: new_body }));
+    // 6. Post-fork region, with SVP check/recover after each SVP candidate.
+    for (i, s) in lb.stmts.iter().enumerate() {
+        if part.pre.contains(i) {
+            continue;
+        }
+        body.push(s.inst.clone());
+        for cr in &cand_regs {
+            if cr.stmt == i {
+                if let Mitigation::Svp { .. } = cr.mitigation {
+                    let chk = f.fresh_reg();
+                    body.push(Inst::new(Op::Bin {
+                        op: BinOp::CmpNe,
+                        dst: chk,
+                        a: cr.aux,
+                        b: cr.reg,
+                    }));
+                    body.push(Inst::guarded(
+                        Op::Un {
+                            op: UnOp::Mov,
+                            dst: cr.aux,
+                            src: cr.reg,
+                        },
+                        Guard::when(chk),
+                    ));
+                }
+            }
+        }
+    }
+
+    let term = if lb.continue_on_true {
+        Terminator::Br {
+            cond: lb.cond,
+            taken: new_body,
+            not_taken: exit_stub,
+        }
+    } else {
+        Terminator::Br {
+            cond: lb.cond,
+            taken: exit_stub,
+            not_taken: new_body,
+        }
+    };
+    f.blocks.push(Block { insts: body, term });
+
+    // Exit stub: kill the speculative thread, then continue to the original
+    // exit.
+    let mut stub = Block::new(Terminator::Jmp(lb.exit_target));
+    stub.insts.push(Inst::new(Op::SptKill));
+    f.blocks.push(stub);
+
+    // Preheader: initialize temporaries/predictors, then enter the body.
+    let mut pre = Block::new(Terminator::Jmp(new_body));
+    for cr in &cand_regs {
+        pre.insts.push(Inst::new(Op::Un {
+            op: UnOp::Mov,
+            dst: cr.aux,
+            src: cr.reg,
+        }));
+    }
+    f.blocks.push(pre);
+
+    // Rewire: all edges into the old header from outside the loop now go to
+    // the preheader. (The three new blocks target only new_body /
+    // exit-target and need no rewiring.)
+    let header = l.header;
+    let nb = f.blocks.len() - 3; // original block count
+    for bi in 0..nb {
+        let b = BlockId(bi as u32);
+        if l.contains(b) {
+            continue;
+        }
+        f.blocks[bi]
+            .term
+            .rewrite_targets(|t| if t == header { preheader } else { t });
+    }
+
+    TransformResult {
+        preheader,
+        new_body,
+        exit_stub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::linearize;
+    use crate::cost::CostParams;
+    use crate::ddg::Ddg;
+    use crate::partition::search_partition;
+    use spt_interp::run;
+    use spt_sir::{analyze_loops, ProgramBuilder};
+    use spt_profile::{profile_loops, LoopKey};
+    use std::collections::HashMap;
+
+    const FUEL: u64 = 2_000_000;
+
+    /// Figure-1-shaped loop: pointer chase + per-node work.
+    /// list nodes at mem[p]: next pointer; mem[p+1]: payload.
+    /// while p != 0 { work += mem[p+1] * 3; p = mem[p]; }
+    fn pointer_chase(n: usize) -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        // Build the list with *scrambled* node placement so the next
+        // pointer is not stride-predictable (a real linked list): logical
+        // node i lives at slot perm(i).
+        let perm = |i: usize| -> u64 { 2 * (((i * 17) % n) as u64) + 2 };
+        for i in 0..n {
+            let addr = perm(i);
+            let next = if i + 1 < n { perm(i + 1) as i64 } else { 0 };
+            pb.datum(addr, next);
+            pb.datum(addr + 1, i as i64 + 1);
+        }
+        let mut f = pb.func("main", 0);
+        let p = f.reg();
+        let work = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(p, 2);
+        f.const_(work, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let v = f.reg();
+        f.load(v, p, 1); // payload
+        let three = f.const_reg(3);
+        let t = f.reg();
+        f.bin(BinOp::Mul, t, v, three);
+        f.bin(BinOp::Add, work, work, t);
+        f.load(p, p, 0); // p = p->next  (the critical recurrence)
+        let c = f.reg();
+        let zero = f.const_reg(0);
+        f.bin(BinOp::CmpNe, c, p, zero);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(work));
+        let id = f.finish();
+        (pb.finish(id, 2 * n + 4), id)
+    }
+
+    fn compile_one_loop(prog: &Program, func: FuncId) -> (Program, TransformResult) {
+        let f = prog.func(func);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = linearize(f, &cfg, &l).unwrap();
+        let key = LoopKey {
+            func,
+            loop_id: l.id,
+        };
+        let dp = profile_loops(prog, &[key], FUEL);
+        let deps = dp.loops[&key].clone();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, prog, func, &deps, vec![1.0; n]);
+        let part = search_partition(&ddg, &lb, &deps.values, &CostParams::default()).unwrap();
+        let mut prog2 = prog.clone();
+        let tr = transform_loop(&mut prog2, func, &l, &lb, &part);
+        prog2.verify().unwrap();
+        (prog2, tr)
+    }
+
+    #[test]
+    fn transformed_pointer_chase_preserves_semantics() {
+        let (prog, func) = pointer_chase(30);
+        let (expect, _) = run(&prog, FUEL);
+        assert_eq!(expect.ret, Some(3 * (30 * 31 / 2)));
+        let (prog2, tr) = compile_one_loop(&prog, func);
+        let (got, _) = run(&prog2, FUEL);
+        assert_eq!(got.ret, expect.ret, "transformation must be semantics-preserving");
+        // The new body must contain a fork.
+        let body = prog2.func(func).block(tr.new_body);
+        assert!(body
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::SptFork { .. })));
+        // The exit stub kills speculation.
+        let stub = prog2.func(func).block(tr.exit_stub);
+        assert!(stub.insts.iter().any(|i| matches!(i.op, Op::SptKill)));
+    }
+
+    #[test]
+    fn pointer_chase_moves_recurrence_prefork() {
+        // The p = mem[p] recurrence is the critical violation candidate;
+        // the partition should satisfy it (clone or move), so the fork
+        // appears *after* a load of p in the new body.
+        let (prog, func) = pointer_chase(30);
+        let (prog2, tr) = compile_one_loop(&prog, func);
+        let body = prog2.func(func).block(tr.new_body);
+        let fork_at = body
+            .insts
+            .iter()
+            .position(|i| matches!(i.op, Op::SptFork { .. }))
+            .expect("fork present");
+        let load_before_fork = body.insts[..fork_at]
+            .iter()
+            .any(|i| i.is_load());
+        assert!(
+            load_before_fork,
+            "pointer-chase load must be pre-fork; body:\n{}",
+            body.insts
+                .iter()
+                .map(|i| format!("  {i}\n"))
+                .collect::<String>()
+        );
+    }
+
+    #[test]
+    fn fig5_svp_loop_transforms_and_preserves_semantics() {
+        // while x < N { foo: work += x*x (cheap); x = bar(x) } where bar is
+        // a call (unmovable) returning x+2 — the Figure 5 scenario.
+        let mut pb = ProgramBuilder::new();
+        let bar = pb.declare("bar", 1);
+        let mut f = pb.func("main", 0);
+        let x = f.reg();
+        let work = f.reg();
+        let nn = f.const_reg(200);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(x, 0);
+        f.const_(work, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let sq = f.reg();
+        f.bin(BinOp::Mul, sq, x, x);
+        f.bin(BinOp::Add, work, work, sq);
+        f.call(bar, &[x], Some(x)); // x = bar(x)
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, x, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(work));
+        let main = f.finish();
+        let mut g = pb.build(bar);
+        let p = g.param(0);
+        let two = g.const_reg(2);
+        let r = g.reg();
+        g.bin(BinOp::Add, r, p, two);
+        // Pad the callee so it is clearly not worth moving.
+        for _ in 0..6 {
+            let t = g.reg();
+            g.bin(BinOp::Mul, t, r, r);
+        }
+        g.ret(Some(r));
+        g.finish();
+        let prog = pb.finish(main, 4);
+        prog.verify().unwrap();
+        let (expect, _) = run(&prog, FUEL);
+        let (prog2, tr) = compile_one_loop(&prog, main);
+        let (got, _) = run(&prog2, FUEL);
+        assert_eq!(got.ret, expect.ret);
+        // SVP should have been applied: a guarded mov (check/recover)
+        // appears in the body.
+        let body_blk = prog2.func(main).block(tr.new_body);
+        let has_guarded_mov = body_blk.insts.iter().any(|i| {
+            i.guard.is_some() && matches!(i.op, Op::Un { op: UnOp::Mov, .. })
+        });
+        assert!(
+            has_guarded_mov,
+            "SVP check/recover expected; body:\n{}",
+            body_blk
+                .insts
+                .iter()
+                .map(|i| format!("  {i}\n"))
+                .collect::<String>()
+        );
+    }
+
+    #[test]
+    fn multiple_invocations_of_transformed_loop() {
+        // The loop runs inside an outer loop: preheader re-inits temps each
+        // invocation.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let total = f.reg();
+        let outer_i = f.reg();
+        let outer_n = f.const_reg(5);
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let tail = f.new_block();
+        let exit = f.new_block();
+        f.const_(total, 0);
+        f.const_(outer_i, 0);
+        f.jmp(outer);
+        f.switch_to(outer);
+        let j = f.reg();
+        f.const_(j, 0);
+        f.jmp(inner);
+        f.switch_to(inner);
+        f.bin(BinOp::Add, total, total, j);
+        f.addi(j, j, 1);
+        let cj = f.reg();
+        let nj = f.const_reg(10);
+        f.bin(BinOp::CmpLt, cj, j, nj);
+        f.br(cj, inner, tail);
+        f.switch_to(tail);
+        f.addi(outer_i, outer_i, 1);
+        let co = f.reg();
+        f.bin(BinOp::CmpLt, co, outer_i, outer_n);
+        f.br(co, outer, exit);
+        f.switch_to(exit);
+        f.ret(Some(total));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let (expect, _) = run(&prog, FUEL);
+        assert_eq!(expect.ret, Some(5 * 45));
+
+        // Transform the INNER loop only.
+        let fun = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(fun);
+        let inner_l = forest
+            .loops
+            .iter()
+            .find(|l| l.is_single_block())
+            .unwrap()
+            .clone();
+        let lb = linearize(fun, &cfg, &inner_l).unwrap();
+        let key = LoopKey {
+            func: id,
+            loop_id: inner_l.id,
+        };
+        let dp = profile_loops(&prog, &[key], FUEL);
+        let deps = dp.loops[&key].clone();
+        let n = lb.len();
+        let ddg = Ddg::build(&lb, &prog, id, &deps, vec![1.0; n]);
+        let part = search_partition(&ddg, &lb, &deps.values, &CostParams::default()).unwrap();
+        let mut prog2 = prog.clone();
+        transform_loop(&mut prog2, id, &inner_l, &lb, &part);
+        prog2.verify().unwrap();
+        let (got, _) = run(&prog2, FUEL);
+        assert_eq!(got.ret, expect.ret);
+    }
+
+    use spt_sir::BinOp;
+}

@@ -1,0 +1,288 @@
+//! Predicated loop unrolling.
+//!
+//! One of the paper's enabling preprocessing techniques (§4, pass 1): small
+//! loop bodies are unrolled to amortize fork/commit overhead and expose
+//! more speculative parallelism per thread.
+//!
+//! Because the compile target is predicated, unrolling needs no prologue or
+//! trip-count restrictions: copy *j* of the body is guarded by the
+//! conjunction of the continue conditions of copies *1..j-1*, so arbitrary
+//! trip counts execute the right statement subset (the trailing copies of
+//! the final group are predicated off).
+
+use crate::body::{LinearBody, LinearStmt};
+use spt_sir::{BinOp, Guard, Inst, Op, Reg};
+
+/// Unroll a linear body by `factor` (≥ 2; 1 returns a clone).
+pub fn unroll_linear(lb: &LinearBody, factor: usize) -> LinearBody {
+    if factor <= 1 {
+        return lb.clone();
+    }
+    let mut out = LinearBody {
+        stmts: Vec::with_capacity(lb.stmts.len() * factor + 4 * factor),
+        cond: lb.cond,
+        continue_on_true: true,
+        exit_target: lb.exit_target,
+        n_regs: lb.n_regs,
+        header: lb.header,
+    };
+    // continue predicate after each copy; None = unconditional (copy 1).
+    let mut cont: Option<Reg> = None;
+    for copy in 0..factor {
+        for s in &lb.stmts {
+            let mut inst = s.inst.clone();
+            if let Some(c) = cont {
+                inst.guard = match inst.guard {
+                    None => Some(Guard::when(c)),
+                    Some(g) => {
+                        // combined = c & bool(g): booleanize the original
+                        // guard respecting its polarity, then AND.
+                        let gb = alloc(&mut out);
+                        let z = alloc(&mut out);
+                        out.stmts.push(synth(Op::Const { dst: z, imm: 0 }));
+                        out.stmts.push(synth(Op::Bin {
+                            op: if g.expect { BinOp::CmpNe } else { BinOp::CmpEq },
+                            dst: gb,
+                            a: g.reg,
+                            b: z,
+                        }));
+                        let combined = alloc(&mut out);
+                        out.stmts.push(synth(Op::Bin {
+                            op: BinOp::And,
+                            dst: combined,
+                            a: c,
+                            b: gb,
+                        }));
+                        Some(Guard::when(combined))
+                    }
+                };
+            }
+            out.stmts.push(LinearStmt {
+                inst,
+                origin: s.origin,
+            });
+        }
+        // Compute this copy's continue condition (guarded by the previous
+        // one so a stale latch register cannot resurrect a dead copy).
+        if copy + 1 < factor {
+            let z = alloc(&mut out);
+            let mut zc = synth(Op::Const { dst: z, imm: 0 });
+            if let Some(c) = cont {
+                zc.inst.guard = Some(Guard::when(c));
+            }
+            out.stmts.push(zc);
+            let b = alloc(&mut out);
+            let mut bo = synth(Op::Bin {
+                op: if lb.continue_on_true {
+                    BinOp::CmpNe
+                } else {
+                    BinOp::CmpEq
+                },
+                dst: b,
+                a: lb.cond,
+                b: z,
+            });
+            if let Some(c) = cont {
+                bo.inst.guard = Some(Guard::when(c));
+            }
+            out.stmts.push(bo);
+            let next = match cont {
+                None => b,
+                Some(c) => {
+                    let a = alloc(&mut out);
+                    out.stmts.push(synth(Op::Bin {
+                        op: BinOp::And,
+                        dst: a,
+                        a: c,
+                        b,
+                    }));
+                    a
+                }
+            };
+            cont = Some(next);
+        }
+    }
+
+    // Final latch: loop continues iff the *last* copy wants to continue and
+    // every earlier copy did too.
+    let z = alloc(&mut out);
+    out.stmts.push(synth(Op::Const { dst: z, imm: 0 }));
+    let last_b = alloc(&mut out);
+    out.stmts.push(synth(Op::Bin {
+        op: if lb.continue_on_true {
+            BinOp::CmpNe
+        } else {
+            BinOp::CmpEq
+        },
+        dst: last_b,
+        a: lb.cond,
+        b: z,
+    }));
+    let final_c = match cont {
+        None => last_b,
+        Some(c) => {
+            let a = alloc(&mut out);
+            out.stmts.push(synth(Op::Bin {
+                op: BinOp::And,
+                dst: a,
+                a: c,
+                b: last_b,
+            }));
+            a
+        }
+    };
+    out.cond = final_c;
+    out.continue_on_true = true;
+    out
+}
+
+fn alloc(lb: &mut LinearBody) -> Reg {
+    lb.fresh_reg()
+}
+
+fn synth(op: Op) -> LinearStmt {
+    LinearStmt {
+        inst: Inst::new(op),
+        origin: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_sir::{analyze_loops, Block, BlockId, Program, ProgramBuilder, Terminator};
+    use spt_interp::run;
+
+    /// Build a counted loop, return (program, func) for re-linearization.
+    fn counted(n: i64) -> (Program, spt_sir::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let acc = f.reg();
+        let nn = f.const_reg(n);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(acc, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        f.bin(BinOp::Add, acc, acc, i);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        let id = f.finish();
+        (pb.finish(id, 0), id)
+    }
+
+    /// Replace the loop with an unrolled linear body and run.
+    fn unroll_and_run(prog: &Program, func: spt_sir::FuncId, factor: usize) -> i64 {
+        let f = prog.func(func);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = crate::body::linearize(f, &cfg, &l).unwrap();
+        let un = unroll_linear(&lb, factor);
+        let mut prog2 = prog.clone();
+        {
+            let f2 = prog2.func_mut(func);
+            f2.n_regs = un.n_regs;
+            let nb = BlockId(f2.blocks.len() as u32);
+            f2.blocks.push(Block {
+                insts: un.stmts.iter().map(|s| s.inst.clone()).collect(),
+                term: Terminator::Br {
+                    cond: un.cond,
+                    taken: nb,
+                    not_taken: un.exit_target,
+                },
+            });
+            for bi in 0..f2.blocks.len() - 1 {
+                let b = BlockId(bi as u32);
+                if l.contains(b) {
+                    continue;
+                }
+                f2.blocks[bi]
+                    .term
+                    .rewrite_targets(|t| if t == l.header { nb } else { t });
+            }
+        }
+        prog2.verify().unwrap();
+        let (res, _) = run(&prog2, 1_000_000);
+        res.ret.expect("returns")
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (prog, id) = counted(10);
+        let f = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = crate::body::linearize(f, &cfg, &l).unwrap();
+        let un = unroll_linear(&lb, 1);
+        assert_eq!(un.stmts.len(), lb.stmts.len());
+    }
+
+    #[test]
+    fn exact_multiple_trip_count() {
+        let (prog, id) = counted(12);
+        let (seq, _) = run(&prog, 1_000_000);
+        assert_eq!(unroll_and_run(&prog, id, 4), seq.ret.unwrap());
+        assert_eq!(seq.ret, Some(66));
+    }
+
+    #[test]
+    fn remainder_trip_counts() {
+        for n in [1, 2, 3, 5, 7, 10, 13] {
+            let (prog, id) = counted(n);
+            let (seq, _) = run(&prog, 1_000_000);
+            for factor in [2, 3, 4] {
+                assert_eq!(
+                    unroll_and_run(&prog, id, factor),
+                    seq.ret.unwrap(),
+                    "n={n} factor={factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_body_grows_with_factor() {
+        let (prog, id) = counted(10);
+        let f = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = crate::body::linearize(f, &cfg, &l).unwrap();
+        let u2 = unroll_linear(&lb, 2);
+        let u4 = unroll_linear(&lb, 4);
+        assert!(u2.stmts.len() >= 2 * lb.stmts.len());
+        assert!(u4.stmts.len() >= 4 * lb.stmts.len());
+        // Copies past the first are guarded.
+        let guarded = u4
+            .stmts
+            .iter()
+            .filter(|s| s.inst.guard.is_some() && s.origin.is_some())
+            .count();
+        assert!(guarded >= 3 * lb.stmts.len(), "guarded = {guarded}");
+    }
+
+    #[test]
+    fn origins_preserved_across_copies() {
+        let (prog, id) = counted(10);
+        let f = prog.func(id);
+        let (cfg, _, forest) = analyze_loops(f);
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = crate::body::linearize(f, &cfg, &l).unwrap();
+        let u3 = unroll_linear(&lb, 3);
+        for orig in lb.stmts.iter().filter_map(|s| s.origin) {
+            let copies = u3
+                .stmts
+                .iter()
+                .filter(|s| s.origin == Some(orig))
+                .count();
+            assert_eq!(copies, 3, "origin {orig:?}");
+        }
+    }
+
+    use spt_sir::BinOp;
+}

@@ -1,0 +1,250 @@
+//! Property tests for the SPT compiler: every transformation — for any
+//! randomly generated loop — must preserve sequential semantics, and the
+//! full compile pipeline must emit verifiable programs.
+
+use proptest::prelude::*;
+use spt_compiler::{compile, CompileOptions};
+use spt_interp::run;
+use spt_sir::{BinOp, Program, ProgramBuilder, Reg};
+
+const FUEL: u64 = 2_000_000;
+const N_REGS: u32 = 5;
+const MEM: usize = 24;
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Alu(u8, u8, u8, u8),
+    Load(u8, u8, u8),
+    Store(u8, u8, u8),
+    Guarded(u8, u8, u8, u8),
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..6u8, 0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8)
+            .prop_map(|(o, d, a, b)| Stmt::Alu(o, d, a, b)),
+        (0..N_REGS as u8, 0..N_REGS as u8, 0..6u8).prop_map(|(d, b, o)| Stmt::Load(d, b, o)),
+        (0..N_REGS as u8, 0..N_REGS as u8, 0..6u8).prop_map(|(s, b, o)| Stmt::Store(s, b, o)),
+        (0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8)
+            .prop_map(|(g, d, a, b)| Stmt::Guarded(g, d, a, b)),
+    ]
+}
+
+fn op_of(c: u8) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Xor,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Mul,
+    ][c as usize % 6]
+}
+
+/// A counted loop over a random body, returning a register+memory checksum.
+fn build(body: &[Stmt], trip: u8) -> Program {
+    let mut pb = ProgramBuilder::new();
+    for a in 0..MEM as u64 {
+        pb.datum(a, a as i64 + 1);
+    }
+    let mut f = pb.func("main", 0);
+    let regs: Vec<Reg> = (0..N_REGS).map(|_| f.reg()).collect();
+    let i = f.reg();
+    let nn = f.reg();
+    let bodyb = f.new_block();
+    let exit = f.new_block();
+    for (k, r) in regs.iter().enumerate() {
+        f.const_(*r, k as i64 + 1);
+    }
+    f.const_(i, 0);
+    f.const_(nn, trip as i64);
+    f.jmp(bodyb);
+    f.switch_to(bodyb);
+    for s in body {
+        match *s {
+            Stmt::Alu(o, d, a, b) => f.bin(
+                op_of(o),
+                regs[d as usize % regs.len()],
+                regs[a as usize % regs.len()],
+                regs[b as usize % regs.len()],
+            ),
+            Stmt::Load(d, b, o) => f.load(
+                regs[d as usize % regs.len()],
+                regs[b as usize % regs.len()],
+                o as i64,
+            ),
+            Stmt::Store(s2, b, o) => f.store(
+                regs[s2 as usize % regs.len()],
+                regs[b as usize % regs.len()],
+                o as i64,
+            ),
+            Stmt::Guarded(g, d, a, b) => {
+                f.guard_when(regs[g as usize % regs.len()]);
+                f.bin(
+                    BinOp::Add,
+                    regs[d as usize % regs.len()],
+                    regs[a as usize % regs.len()],
+                    regs[b as usize % regs.len()],
+                );
+                f.unguard();
+            }
+        }
+    }
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, bodyb, exit);
+    f.switch_to(exit);
+    let sum = f.reg();
+    f.const_(sum, 0);
+    for r in &regs {
+        let t = f.reg();
+        f.bin(BinOp::Xor, t, sum, *r);
+        f.mov(sum, t);
+    }
+    for a in 0..4i64 {
+        let base = f.const_reg(a * 5 % MEM as i64);
+        let v = f.reg();
+        f.load(v, base, 0);
+        let t = f.reg();
+        f.bin(BinOp::Add, t, sum, v);
+        f.mov(sum, t);
+    }
+    f.ret(Some(sum));
+    let id = f.finish();
+    pb.finish(id, MEM)
+}
+
+fn lenient_opts() -> CompileOptions {
+    let mut o = CompileOptions::default();
+    // Select aggressively so the transformation machinery actually runs on
+    // random inputs.
+    o.min_coverage = 0.0;
+    o.min_trip = 1.0;
+    o.min_body = 1.0;
+    o.min_speedup = 0.0;
+    o.profile_fuel = FUEL;
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full compile pipeline preserves sequential semantics for any
+    /// random loop, with aggressive selection forcing real transformations.
+    #[test]
+    fn compile_preserves_semantics(
+        body in prop::collection::vec(stmt(), 1..12),
+        trip in 1..15u8,
+    ) {
+        let prog = build(&body, trip);
+        prog.verify().unwrap();
+        let (seq, _) = run(&prog, FUEL);
+        prop_assume!(!seq.out_of_fuel);
+        let res = compile(&prog, &lenient_opts());
+        res.program.verify().unwrap();
+        let (got, _) = run(&res.program, FUEL);
+        prop_assert_eq!(got.ret, seq.ret, "selected {} loops", res.loops.len());
+    }
+
+    /// Compiler feature toggles never break correctness.
+    #[test]
+    fn feature_toggles_preserve_semantics(
+        body in prop::collection::vec(stmt(), 1..10),
+        trip in 1..10u8,
+        svp in any::<bool>(),
+        unroll in any::<bool>(),
+    ) {
+        let prog = build(&body, trip);
+        let (seq, _) = run(&prog, FUEL);
+        prop_assume!(!seq.out_of_fuel);
+        let mut opts = lenient_opts();
+        opts.enable_svp = svp;
+        opts.enable_unroll = unroll;
+        let res = compile(&prog, &opts);
+        let (got, _) = run(&res.program, FUEL);
+        prop_assert_eq!(got.ret, seq.ret);
+    }
+
+    /// Unrolling a linearized body by any factor is semantics-preserving.
+    #[test]
+    fn unroll_preserves_semantics(
+        body in prop::collection::vec(stmt(), 1..8),
+        trip in 1..15u8,
+        factor in 2..6usize,
+    ) {
+        use spt_compiler::{linearize, unroll_linear};
+        use spt_sir::{analyze_loops, Block, BlockId, Terminator};
+
+        let prog = build(&body, trip);
+        let (seq, _) = run(&prog, FUEL);
+        prop_assume!(!seq.out_of_fuel);
+
+        let fun = prog.func(prog.entry);
+        let (cfg, _, forest) = analyze_loops(fun);
+        prop_assume!(!forest.is_empty());
+        let l = forest.get(forest.innermost_loops()[0]).clone();
+        let lb = match linearize(fun, &cfg, &l) {
+            Ok(lb) => lb,
+            Err(_) => return Ok(()), // structurally rejected: nothing to test
+        };
+        let un = unroll_linear(&lb, factor);
+        let mut prog2 = prog.clone();
+        {
+            let f2 = prog2.func_mut(prog.entry);
+            f2.n_regs = un.n_regs;
+            let nb = BlockId(f2.blocks.len() as u32);
+            f2.blocks.push(Block {
+                insts: un.stmts.iter().map(|s| s.inst.clone()).collect(),
+                term: Terminator::Br {
+                    cond: un.cond,
+                    taken: nb,
+                    not_taken: un.exit_target,
+                },
+            });
+            for bi in 0..f2.blocks.len() - 1 {
+                let b = BlockId(bi as u32);
+                if l.contains(b) {
+                    continue;
+                }
+                f2.blocks[bi]
+                    .term
+                    .rewrite_targets(|t| if t == l.header { nb } else { t });
+            }
+        }
+        prog2.verify().unwrap();
+        let (got, _) = run(&prog2, FUEL);
+        prop_assert_eq!(got.ret, seq.ret, "factor {}", factor);
+    }
+
+    /// End-to-end: compiled program on the SPT machine still matches.
+    #[test]
+    fn compile_then_simulate_matches(
+        body in prop::collection::vec(stmt(), 1..10),
+        trip in 2..10u8,
+    ) {
+        use spt_mach::MachineConfig;
+        use spt_sim::{LoopAnnot, LoopAnnotations, SptSim};
+
+        let prog = build(&body, trip);
+        let (seq, _) = run(&prog, FUEL);
+        prop_assume!(!seq.out_of_fuel);
+        let res = compile(&prog, &lenient_opts());
+        let annots = LoopAnnotations {
+            loops: res
+                .loops
+                .iter()
+                .enumerate()
+                .map(|(i, l)| LoopAnnot {
+                    id: i,
+                    func: l.func,
+                    blocks: vec![l.body_block],
+                    fork_start: Some(l.body_block),
+                })
+                .collect(),
+        };
+        let rep = SptSim::new(&res.program, MachineConfig::default(), annots).run(FUEL);
+        prop_assert!(!rep.out_of_fuel);
+        prop_assert_eq!(rep.ret, seq.ret);
+    }
+}

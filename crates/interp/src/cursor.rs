@@ -1,0 +1,559 @@
+//! The steppable interpreter.
+
+use crate::event::{Branch, EvKind, Event, MemRef};
+use crate::mem::{wrap_addr, MemView};
+use spt_sir::{BlockId, FuncId, LatClass, Op, Program, Reg, StmtRef, Terminator};
+
+/// One activation record.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub func: FuncId,
+    pub block: BlockId,
+    /// Index of the next statement in `block`; `== insts.len()` means the
+    /// terminator is next.
+    pub idx: usize,
+    pub regs: Vec<i64>,
+    /// Where the caller wants this frame's return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// A steppable interpreter with an explicit call stack.
+///
+/// `step` executes exactly one statement or terminator and describes it as
+/// an [`Event`]. Cloning a cursor clones the whole execution context (all
+/// frames and register files) — that is precisely the register-context copy
+/// the SPT architecture performs at `spt_fork`.
+#[derive(Clone, Debug)]
+pub struct Cursor<'p> {
+    pub prog: &'p Program,
+    pub frames: Vec<Frame>,
+    halted: bool,
+    ret_val: Option<i64>,
+}
+
+impl<'p> Cursor<'p> {
+    /// A cursor positioned at the program's entry function.
+    pub fn at_entry(prog: &'p Program) -> Self {
+        let f = prog.func(prog.entry);
+        Cursor {
+            prog,
+            frames: vec![Frame {
+                func: prog.entry,
+                block: f.entry,
+                idx: 0,
+                regs: vec![0; f.n_regs as usize],
+                ret_dst: None,
+            }],
+            halted: false,
+            ret_val: None,
+        }
+    }
+
+    /// A cursor positioned at an arbitrary function (used by tests and by
+    /// loop-region simulation).
+    pub fn at_func(prog: &'p Program, func: FuncId, args: &[i64]) -> Self {
+        let f = prog.func(func);
+        let mut regs = vec![0; f.n_regs as usize];
+        for (i, &a) in args.iter().enumerate().take(f.n_params as usize) {
+            regs[i] = a;
+        }
+        Cursor {
+            prog,
+            frames: vec![Frame {
+                func,
+                block: f.entry,
+                idx: 0,
+                regs,
+                ret_dst: None,
+            }],
+            halted: false,
+            ret_val: None,
+        }
+    }
+
+    /// Clone this execution context and reposition the top frame at `start`
+    /// — the hardware fork: copy the register context, begin at the
+    /// start-point.
+    pub fn fork_speculative(&self, start: BlockId) -> Cursor<'p> {
+        let mut c = self.clone();
+        let top = c.frames.last_mut().expect("fork from live cursor");
+        top.block = start;
+        top.idx = 0;
+        c.halted = false;
+        c.ret_val = None;
+        c
+    }
+
+    /// Replace this cursor's execution context with `other`'s (the commit of
+    /// a speculative thread: the speculative register context becomes
+    /// architectural).
+    pub fn adopt(&mut self, other: &Cursor<'p>) {
+        self.frames = other.frames.clone();
+        self.halted = other.halted;
+        self.ret_val = other.ret_val;
+    }
+
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The entry function's return value once halted.
+    pub fn return_value(&self) -> Option<i64> {
+        self.ret_val
+    }
+
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("live cursor has a frame")
+    }
+
+    /// Register file of the frame at `level` (0 = outermost).
+    pub fn regs_at(&self, level: usize) -> &[i64] {
+        &self.frames[level].regs
+    }
+
+    /// Current static position (for divergence comparison): the event kind
+    /// `step` would produce next.
+    pub fn position(&self) -> Option<EvKind> {
+        if self.halted {
+            return None;
+        }
+        let fr = self.top();
+        let f = self.prog.func(fr.func);
+        let blk = f.block(fr.block);
+        Some(if fr.idx < blk.insts.len() {
+            EvKind::Inst {
+                func: fr.func,
+                sref: StmtRef::new(fr.block, fr.idx),
+            }
+        } else {
+            EvKind::Term {
+                func: fr.func,
+                block: fr.block,
+            }
+        })
+    }
+
+    /// Execute one statement or terminator. Returns `None` once halted.
+    pub fn step(&mut self, mem: &mut dyn MemView) -> Option<Event> {
+        if self.halted {
+            return None;
+        }
+        let depth = (self.frames.len() - 1) as u32;
+        let fr = self.frames.last_mut().expect("live cursor has a frame");
+        let func_id = fr.func;
+        let f = self.prog.func(func_id);
+        let blk = f.block(fr.block);
+
+        if fr.idx < blk.insts.len() {
+            let sref = StmtRef::new(fr.block, fr.idx);
+            let inst = &blk.insts[fr.idx];
+            fr.idx += 1;
+            let kind = EvKind::Inst {
+                func: func_id,
+                sref,
+            };
+            let mut ev = Event::blank(kind, inst.lat_class(), depth);
+
+            // Guard evaluation.
+            if let Some(g) = inst.guard {
+                ev.srcs.push(g.reg);
+                if !g.passes(fr.regs[g.reg.index()]) {
+                    ev.executed = false;
+                    return Some(ev);
+                }
+            }
+
+            match &inst.op {
+                Op::Const { dst, imm } => {
+                    fr.regs[dst.index()] = *imm;
+                    ev.dst = Some(*dst);
+                    ev.dst_val = *imm;
+                }
+                Op::Un { op, dst, src } => {
+                    ev.srcs.push(*src);
+                    let v = op.eval(fr.regs[src.index()]);
+                    fr.regs[dst.index()] = v;
+                    ev.dst = Some(*dst);
+                    ev.dst_val = v;
+                }
+                Op::Bin { op, dst, a, b } => {
+                    ev.srcs.push(*a);
+                    ev.srcs.push(*b);
+                    let v = op.eval(fr.regs[a.index()], fr.regs[b.index()]);
+                    fr.regs[dst.index()] = v;
+                    ev.dst = Some(*dst);
+                    ev.dst_val = v;
+                }
+                Op::Load { dst, base, off } => {
+                    ev.srcs.push(*base);
+                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(*off), mem.words());
+                    let v = mem.load(addr);
+                    fr.regs[dst.index()] = v;
+                    ev.dst = Some(*dst);
+                    ev.dst_val = v;
+                    ev.mem = Some(MemRef {
+                        addr,
+                        is_store: false,
+                        value: v,
+                    });
+                }
+                Op::Store { src, base, off } => {
+                    ev.srcs.push(*src);
+                    ev.srcs.push(*base);
+                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(*off), mem.words());
+                    let v = fr.regs[src.index()];
+                    mem.store(addr, v);
+                    ev.mem = Some(MemRef {
+                        addr,
+                        is_store: true,
+                        value: v,
+                    });
+                }
+                Op::Call { callee, args, ret } => {
+                    ev.srcs = args.iter().copied().collect();
+                    let cf = self.prog.func(*callee);
+                    let mut regs = vec![0i64; cf.n_regs as usize];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = fr.regs[a.index()];
+                    }
+                    let new_frame = Frame {
+                        func: *callee,
+                        block: cf.entry,
+                        idx: 0,
+                        regs,
+                        ret_dst: *ret,
+                    };
+                    self.frames.push(new_frame);
+                }
+                Op::SptFork { start } => {
+                    ev.fork = Some(*start);
+                }
+                Op::SptKill => {
+                    ev.kill = true;
+                }
+                Op::Nop { units } => {
+                    ev.extra_slots = units.saturating_sub(1);
+                }
+            }
+            Some(ev)
+        } else {
+            // Terminator.
+            let kind = EvKind::Term {
+                func: func_id,
+                block: fr.block,
+            };
+            let mut ev = Event::blank(kind, LatClass::Alu, depth);
+            match blk.term.clone() {
+                Terminator::Jmp(t) => {
+                    fr.block = t;
+                    fr.idx = 0;
+                    ev.branch = Some(Branch {
+                        conditional: false,
+                        taken: true,
+                        target: Some(t),
+                    });
+                }
+                Terminator::Br {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    ev.srcs.push(cond);
+                    let is_taken = fr.regs[cond.index()] != 0;
+                    let t = if is_taken { taken } else { not_taken };
+                    fr.block = t;
+                    fr.idx = 0;
+                    ev.branch = Some(Branch {
+                        conditional: true,
+                        taken: is_taken,
+                        target: Some(t),
+                    });
+                }
+                Terminator::Ret(val) => {
+                    let v = val.map(|r| fr.regs[r.index()]);
+                    if let Some(r) = val {
+                        ev.srcs.push(r);
+                    }
+                    let ret_dst = fr.ret_dst;
+                    self.frames.pop();
+                    ev.branch = Some(Branch {
+                        conditional: false,
+                        taken: true,
+                        target: None,
+                    });
+                    if let Some(caller) = self.frames.last_mut() {
+                        if let (Some(dst), Some(v)) = (ret_dst, v) {
+                            caller.regs[dst.index()] = v;
+                            ev.dst = Some(dst);
+                            ev.dst_val = v;
+                        }
+                    } else {
+                        self.halted = true;
+                        self.ret_val = v;
+                    }
+                }
+            }
+            Some(ev)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Memory;
+    use spt_sir::{BinOp, ProgramBuilder};
+
+    fn sum_loop_program() -> Program {
+        // sum = Σ i for i = 1..=5, stored to mem[0]
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let sum = f.reg();
+        let n = f.reg();
+        let base = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(sum, 0);
+        f.const_(n, 5);
+        f.const_(base, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        f.bin(BinOp::Add, sum, sum, i);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, n);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.store(sum, base, 0);
+        f.ret(Some(sum));
+        let id = f.finish();
+        pb.finish(id, 4)
+    }
+
+    fn run_to_halt(prog: &Program) -> (Memory, Option<i64>, usize) {
+        let mut mem = Memory::for_program(prog);
+        let mut cur = Cursor::at_entry(prog);
+        let mut steps = 0;
+        while cur.step(&mut mem).is_some() {
+            steps += 1;
+            assert!(steps < 100_000, "runaway program");
+        }
+        let rv = cur.return_value();
+        (mem, rv, steps)
+    }
+
+    #[test]
+    fn sum_loop_computes_15() {
+        let prog = sum_loop_program();
+        prog.verify().unwrap();
+        let (mem, rv, _) = run_to_halt(&prog);
+        assert_eq!(rv, Some(15));
+        assert_eq!(mem.peek(0), 15);
+    }
+
+    #[test]
+    fn events_report_branch_outcomes() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        let mut taken = 0;
+        let mut not_taken = 0;
+        while let Some(ev) = cur.step(&mut mem) {
+            if let Some(b) = ev.branch {
+                if b.conditional {
+                    if b.taken {
+                        taken += 1;
+                    } else {
+                        not_taken += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(taken, 4); // back edges for i=1..4
+        assert_eq!(not_taken, 1); // exit
+    }
+
+    #[test]
+    fn call_and_return_value_flow() {
+        let mut pb = ProgramBuilder::new();
+        let sq = pb.declare("square", 1);
+        let mut f = pb.func("main", 0);
+        let a = f.const_reg(6);
+        let r = f.reg();
+        f.call(sq, &[a], Some(r));
+        f.ret(Some(r));
+        let main = f.finish();
+        let mut g = pb.build(sq);
+        let p0 = g.param(0);
+        let out = g.reg();
+        g.bin(BinOp::Mul, out, p0, p0);
+        g.ret(Some(out));
+        g.finish();
+        let prog = pb.finish(main, 0);
+        prog.verify().unwrap();
+        let (_, rv, _) = run_to_halt(&prog);
+        assert_eq!(rv, Some(36));
+    }
+
+    #[test]
+    fn call_events_change_depth() {
+        let mut pb = ProgramBuilder::new();
+        let id_fn = pb.declare("id", 1);
+        let mut f = pb.func("main", 0);
+        let a = f.const_reg(3);
+        let r = f.reg();
+        f.call(id_fn, &[a], Some(r));
+        f.ret(Some(r));
+        let main = f.finish();
+        let mut g = pb.build(id_fn);
+        let p0 = g.param(0);
+        g.ret(Some(p0));
+        g.finish();
+        let prog = pb.finish(main, 0);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        let mut max_depth = 0;
+        while let Some(ev) = cur.step(&mut mem) {
+            max_depth = max_depth.max(ev.depth);
+        }
+        assert_eq!(max_depth, 1);
+        assert_eq!(cur.return_value(), Some(3));
+    }
+
+    #[test]
+    fn guard_false_suppresses_effect() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("g", 0);
+        let p = f.reg();
+        let x = f.reg();
+        f.const_(p, 0);
+        f.const_(x, 1);
+        f.guard_when(p);
+        f.const_(x, 99);
+        f.unguard();
+        f.ret(Some(x));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let mut mem = Memory::new(1);
+        let mut cur = Cursor::at_entry(&prog);
+        let mut suppressed = 0;
+        while let Some(ev) = cur.step(&mut mem) {
+            if !ev.executed {
+                suppressed += 1;
+                assert_eq!(ev.dst, None);
+            }
+        }
+        assert_eq!(suppressed, 1);
+        assert_eq!(cur.return_value(), Some(1));
+    }
+
+    #[test]
+    fn fork_speculative_copies_context() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        // Execute the 4 consts + jmp (5 steps: 4 insts include addi's const..)
+        for _ in 0..4 {
+            cur.step(&mut mem);
+        }
+        let spec = cur.fork_speculative(BlockId(1));
+        assert_eq!(spec.top().block, BlockId(1));
+        assert_eq!(spec.top().idx, 0);
+        assert_eq!(spec.top().regs, cur.top().regs);
+        assert!(!spec.is_halted());
+    }
+
+    #[test]
+    fn adopt_transfers_state() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let mut a = Cursor::at_entry(&prog);
+        let mut b = Cursor::at_entry(&prog);
+        for _ in 0..6 {
+            b.step(&mut mem);
+        }
+        a.adopt(&b);
+        assert_eq!(a.position(), b.position());
+        assert_eq!(a.top().regs, b.top().regs);
+    }
+
+    #[test]
+    fn position_tracks_next_step() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        let pos = cur.position().unwrap();
+        assert!(matches!(pos, EvKind::Inst { sref, .. } if sref == StmtRef::new(BlockId(0), 0)));
+        // Step through all four consts; next is the jmp terminator.
+        for _ in 0..4 {
+            cur.step(&mut mem);
+        }
+        assert!(matches!(cur.position().unwrap(), EvKind::Term { block, .. } if block == BlockId(0)));
+    }
+
+    #[test]
+    fn fork_and_kill_are_reported() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("m", 0);
+        let b1 = f.new_block();
+        f.spt_fork(b1);
+        f.spt_kill();
+        f.jmp(b1);
+        f.switch_to(b1);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let mut mem = Memory::new(1);
+        let mut cur = Cursor::at_entry(&prog);
+        let e1 = cur.step(&mut mem).unwrap();
+        assert_eq!(e1.fork, Some(BlockId(1)));
+        let e2 = cur.step(&mut mem).unwrap();
+        assert!(e2.kill);
+    }
+
+    #[test]
+    fn load_store_events_carry_addresses() {
+        let mut pb = ProgramBuilder::new();
+        pb.datum(2, 77);
+        let mut f = pb.func("m", 0);
+        let base = f.const_reg(2);
+        let v = f.reg();
+        f.load(v, base, 0);
+        f.store(v, base, 1);
+        f.ret(Some(v));
+        let id = f.finish();
+        let prog = pb.finish(id, 8);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        let mut seen = vec![];
+        while let Some(ev) = cur.step(&mut mem) {
+            if let Some(m) = ev.mem {
+                seen.push((m.addr, m.is_store, m.value));
+            }
+        }
+        assert_eq!(seen, vec![(2, false, 77), (3, true, 77)]);
+        assert_eq!(mem.peek(3), 77);
+    }
+
+    #[test]
+    fn negative_addresses_wrap() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("m", 0);
+        let base = f.const_reg(-1);
+        let v = f.const_reg(5);
+        f.store(v, base, 0);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 8);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        while cur.step(&mut mem).is_some() {}
+        assert_eq!(mem.peek(7), 5);
+    }
+}

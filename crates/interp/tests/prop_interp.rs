@@ -1,0 +1,159 @@
+//! Property tests for the interpreter: determinism, totality (no panics on
+//! arbitrary address arithmetic), and the fork/adopt context contract used
+//! by the SPT simulator.
+
+use proptest::prelude::*;
+use spt_interp::{run, run_with, Cursor, Memory};
+use spt_sir::{BinOp, Program, ProgramBuilder, Reg, UnOp};
+
+const FUEL: u64 = 200_000;
+
+#[derive(Clone, Debug)]
+enum S {
+    Const(u8, i64),
+    Bin(u8, u8, u8, u8),
+    Un(u8, u8, u8),
+    Load(u8, u8, i8),
+    Store(u8, u8, i8),
+}
+
+fn stmt() -> impl Strategy<Value = S> {
+    prop_oneof![
+        (0..5u8, any::<i64>()).prop_map(|(d, v)| S::Const(d, v)),
+        (0..18u8, 0..5u8, 0..5u8, 0..5u8).prop_map(|(o, d, a, b)| S::Bin(o, d, a, b)),
+        (0..3u8, 0..5u8, 0..5u8).prop_map(|(o, d, s)| S::Un(o, d, s)),
+        (0..5u8, 0..5u8, any::<i8>()).prop_map(|(d, b, o)| S::Load(d, b, o)),
+        (0..5u8, 0..5u8, any::<i8>()).prop_map(|(s, b, o)| S::Store(s, b, o)),
+    ]
+}
+
+fn binop(c: u8) -> BinOp {
+    use BinOp::*;
+    [
+        Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt,
+        CmpGe, Min, Max,
+    ][c as usize % 18]
+}
+
+fn unop(c: u8) -> UnOp {
+    [UnOp::Neg, UnOp::Not, UnOp::Mov][c as usize % 3]
+}
+
+fn straightline(body: &[S], mem_words: usize) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let regs: Vec<Reg> = (0..5).map(|_| f.reg()).collect();
+    for (k, r) in regs.iter().enumerate() {
+        f.const_(*r, k as i64);
+    }
+    for s in body {
+        match *s {
+            S::Const(d, v) => f.const_(regs[d as usize % 5], v),
+            S::Bin(o, d, a, b) => f.bin(
+                binop(o),
+                regs[d as usize % 5],
+                regs[a as usize % 5],
+                regs[b as usize % 5],
+            ),
+            S::Un(o, d, s2) => f.un(unop(o), regs[d as usize % 5], regs[s2 as usize % 5]),
+            S::Load(d, b, o) => f.load(regs[d as usize % 5], regs[b as usize % 5], o as i64),
+            S::Store(s2, b, o) => f.store(regs[s2 as usize % 5], regs[b as usize % 5], o as i64),
+        }
+    }
+    f.ret(Some(regs[0]));
+    let id = f.finish();
+    pb.finish(id, mem_words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary straight-line programs run to completion without panicking
+    /// (wrapping arithmetic, total division, modular addressing), and two
+    /// runs agree exactly.
+    #[test]
+    fn total_and_deterministic(
+        body in prop::collection::vec(stmt(), 0..40),
+        mem_words in 1..64usize,
+    ) {
+        let prog = straightline(&body, mem_words);
+        prog.verify().unwrap();
+        let (r1, m1) = run(&prog, FUEL);
+        let (r2, m2) = run(&prog, FUEL);
+        prop_assert!(!r1.out_of_fuel);
+        prop_assert_eq!(r1.ret, r2.ret);
+        prop_assert_eq!(r1.steps, r2.steps);
+        for a in 0..mem_words as u64 {
+            prop_assert_eq!(m1.peek(a), m2.peek(a));
+        }
+    }
+
+    /// The observer sees exactly `steps` events, and every store lands at
+    /// an in-range address.
+    #[test]
+    fn observer_and_addresses(
+        body in prop::collection::vec(stmt(), 0..30),
+        mem_words in 1..32usize,
+    ) {
+        let prog = straightline(&body, mem_words);
+        let mut events = 0u64;
+        let mut bad_addr = false;
+        let (res, _) = run_with(&prog, FUEL, |ev| {
+            events += 1;
+            if let Some(m) = ev.mem {
+                if m.addr as usize >= mem_words {
+                    bad_addr = true;
+                }
+            }
+        });
+        prop_assert_eq!(events, res.steps);
+        prop_assert!(!bad_addr, "memory access outside the wrapped range");
+    }
+
+    /// Forked cursors are faithful copies: stepping the fork with the same
+    /// memory as a fresh clone of the original yields identical state, and
+    /// adopt() transfers everything.
+    #[test]
+    fn fork_and_adopt_contract(
+        body in prop::collection::vec(stmt(), 1..30),
+        split in 0..30usize,
+    ) {
+        let prog = straightline(&body, 16);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        for _ in 0..split.min(body.len()) {
+            cur.step(&mut mem);
+        }
+        // Fork at the current block start: positions equal, registers equal.
+        let spec = cur.fork_speculative(cur.top().block);
+        prop_assert_eq!(spec.top().regs.clone(), cur.top().regs.clone());
+        prop_assert_eq!(spec.top().idx, 0);
+        let mut adopted = Cursor::at_entry(&prog);
+        adopted.adopt(&cur);
+        prop_assert_eq!(adopted.position(), cur.position());
+        prop_assert_eq!(adopted.depth(), cur.depth());
+        prop_assert_eq!(adopted.top().regs.clone(), cur.top().regs.clone());
+    }
+
+    /// Guard-suppressed statements have no architectural effect.
+    #[test]
+    fn suppressed_statements_inert(v in any::<i64>()) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let p = f.reg();
+        let x = f.reg();
+        let addr = f.const_reg(1);
+        f.const_(p, 0); // guard always false
+        f.const_(x, v);
+        f.guard_when(p);
+        f.const_(x, v.wrapping_add(1));
+        f.store(x, addr, 0);
+        f.unguard();
+        f.ret(Some(x));
+        let id = f.finish();
+        let prog = pb.finish(id, 4);
+        let (res, mem) = run(&prog, FUEL);
+        prop_assert_eq!(res.ret, Some(v));
+        prop_assert_eq!(mem.peek(1), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Register scoreboard for in-order issue timing.
+//!
+//! Tracks, per (call-stack depth, register), the cycle at which the value
+//! becomes available and what kind of instruction produced it — the latter
+//! is what lets the simulators attribute operand-wait stalls to D-cache
+//! misses vs. pipeline latency (the Figure 9 breakdown).
+
+use std::collections::HashMap;
+
+/// What produced a register value (for stall attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProducerKind {
+    /// Produced by a load — waiting on it is a D-cache stall.
+    Load,
+    /// Produced by any other instruction — waiting is a pipeline stall.
+    Other,
+}
+
+/// Per-frame-depth register readiness.
+///
+/// Registers with no entry are ready at the *floor*: the time of the most
+/// recent whole-context copy (fork-time RF copy, commit-time copy-back), or
+/// 0 initially.
+#[derive(Default)]
+pub struct Scoreboard {
+    /// frames[depth][reg] = (ready_cycle, producer)
+    frames: Vec<HashMap<u32, (u64, ProducerKind)>>,
+    floor: u64,
+}
+
+impl Scoreboard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn frame_mut(&mut self, depth: u32) -> &mut HashMap<u32, (u64, ProducerKind)> {
+        let d = depth as usize;
+        if self.frames.len() <= d {
+            self.frames.resize_with(d + 1, HashMap::new);
+        }
+        &mut self.frames[d]
+    }
+
+    /// When is `reg` at `depth` ready, and who produced it? Accounts for the
+    /// context-copy floor.
+    pub fn ready_at(&self, depth: u32, reg: u32) -> (u64, ProducerKind) {
+        let (t, k) = self
+            .frames
+            .get(depth as usize)
+            .and_then(|m| m.get(&reg).copied())
+            .unwrap_or((0, ProducerKind::Other));
+        if t >= self.floor {
+            (t, k)
+        } else {
+            (self.floor, ProducerKind::Other)
+        }
+    }
+
+    /// Record that `reg` at `depth` becomes ready at `cycle`.
+    pub fn set_ready(&mut self, depth: u32, reg: u32, cycle: u64, kind: ProducerKind) {
+        self.frame_mut(depth).insert(reg, (cycle, kind));
+    }
+
+    /// A new frame is entered at `depth`: its registers are fresh, written
+    /// together by the call's argument copy at `cycle`.
+    pub fn enter_frame(&mut self, depth: u32, cycle: u64) {
+        let floor = self.floor;
+        let f = self.frame_mut(depth);
+        f.clear();
+        // The frame's registers are available once the call issues; encode
+        // that by leaving the map empty (fall back to floor) unless the call
+        // time is later than the floor — then record a per-frame baseline.
+        if cycle > floor {
+            f.insert(u32::MAX, (cycle, ProducerKind::Other));
+        }
+    }
+
+    /// Everything becomes ready at `cycle` (whole-context copy).
+    pub fn reset_all(&mut self, cycle: u64) {
+        for f in &mut self.frames {
+            f.clear();
+        }
+        self.floor = cycle;
+    }
+
+    /// Earliest cycle at which *any* register of `depth` can be read
+    /// (frame-entry baseline).
+    pub fn frame_baseline(&self, depth: u32) -> u64 {
+        self.frames
+            .get(depth as usize)
+            .and_then(|m| m.get(&u32::MAX).copied())
+            .map(|(t, _)| t)
+            .unwrap_or(self.floor)
+    }
+
+    /// Drop state for frames deeper than `depth` (after returns).
+    pub fn truncate_below(&mut self, depth: u32) {
+        let keep = depth as usize + 1;
+        if self.frames.len() > keep {
+            self.frames.truncate(keep);
+        }
+    }
+
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ready_at_zero() {
+        let sb = Scoreboard::new();
+        assert_eq!(sb.ready_at(0, 5), (0, ProducerKind::Other));
+    }
+
+    #[test]
+    fn set_and_query() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(0, 3, 17, ProducerKind::Load);
+        assert_eq!(sb.ready_at(0, 3), (17, ProducerKind::Load));
+        assert_eq!(sb.ready_at(1, 3), (0, ProducerKind::Other));
+    }
+
+    #[test]
+    fn enter_frame_clears_depth_and_sets_baseline() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(1, 0, 9, ProducerKind::Load);
+        sb.enter_frame(1, 12);
+        // Old per-register info gone; baseline is the call time.
+        assert_eq!(sb.ready_at(1, 0), (0, ProducerKind::Other));
+        assert_eq!(sb.frame_baseline(1), 12);
+    }
+
+    #[test]
+    fn reset_all_floors_everything() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(0, 1, 5, ProducerKind::Load);
+        sb.reset_all(100);
+        assert_eq!(sb.ready_at(0, 1), (100, ProducerKind::Other));
+        assert_eq!(sb.ready_at(0, 2), (100, ProducerKind::Other));
+        assert_eq!(sb.floor(), 100);
+    }
+
+    #[test]
+    fn ready_after_floor_respects_later_writes() {
+        let mut sb = Scoreboard::new();
+        sb.reset_all(50);
+        sb.set_ready(0, 1, 80, ProducerKind::Load);
+        assert_eq!(sb.ready_at(0, 1), (80, ProducerKind::Load));
+    }
+
+    #[test]
+    fn truncate_below_drops_deep_frames() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(3, 0, 9, ProducerKind::Other);
+        sb.truncate_below(1);
+        assert_eq!(sb.ready_at(3, 0), (0, ProducerKind::Other));
+    }
+}

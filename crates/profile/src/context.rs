@@ -1,0 +1,303 @@
+//! Tracking which loops are active during interpretation.
+
+use spt_interp::{EvKind, Event};
+use spt_sir::{analyze_loops, BlockId, FuncId, LoopForest, LoopId, Program};
+use std::collections::HashMap;
+
+/// Identifies a static loop across the whole program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopKey {
+    pub func: FuncId,
+    pub loop_id: LoopId,
+}
+
+/// One active loop execution.
+#[derive(Clone, Debug)]
+pub struct ActiveLoop {
+    pub key: LoopKey,
+    /// Frame depth at which the loop executes.
+    pub depth: u32,
+    /// Iterations observed in this invocation so far.
+    pub iters: u64,
+}
+
+/// Maintains the stack of active loops (across nesting and calls) from the
+/// event stream, and reports loop entry / iteration / exit transitions.
+pub struct LoopContextTracker {
+    forests: HashMap<FuncId, LoopForest>,
+    /// First-position marker: (func, block) -> loop whose header this is.
+    headers: HashMap<(FuncId, BlockId), LoopId>,
+    /// Header blocks with no instructions: their Term event is the head.
+    empty_headers: std::collections::HashSet<(FuncId, BlockId)>,
+    stack: Vec<ActiveLoop>,
+}
+
+/// What a single event did to the loop context.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopTransition {
+    /// Loops exited by this event (innermost first).
+    pub exited: Vec<(LoopKey, u64)>,
+    /// Loop entered by this event.
+    pub entered: Option<LoopKey>,
+    /// Loop that began a new iteration (incl. the first on entry).
+    pub iterated: Option<LoopKey>,
+}
+
+impl LoopContextTracker {
+    pub fn new(prog: &Program) -> Self {
+        let mut forests = HashMap::new();
+        let mut headers = HashMap::new();
+        let mut empty_headers = std::collections::HashSet::new();
+        for fid in prog.func_ids() {
+            let (_, _, forest) = analyze_loops(prog.func(fid));
+            for l in &forest.loops {
+                headers.insert((fid, l.header), l.id);
+                if prog.func(fid).block(l.header).insts.is_empty() {
+                    empty_headers.insert((fid, l.header));
+                }
+            }
+            forests.insert(fid, forest);
+        }
+        LoopContextTracker {
+            forests,
+            headers,
+            empty_headers,
+            stack: Vec::new(),
+        }
+    }
+
+    /// The innermost active loop, if any.
+    pub fn current(&self) -> Option<&ActiveLoop> {
+        self.stack.last()
+    }
+
+    /// All active loops, outermost first.
+    pub fn active(&self) -> &[ActiveLoop] {
+        &self.stack
+    }
+
+    /// Is this event at the first position of a block (where iteration
+    /// boundaries are observed)? Term events are heads only for empty
+    /// blocks.
+    fn block_head(&self, ev: &Event) -> Option<(FuncId, BlockId)> {
+        match ev.kind {
+            EvKind::Inst { func, sref } if sref.index == 0 => Some((func, sref.block)),
+            EvKind::Term { func, block } if self.empty_headers.contains(&(func, block)) => {
+                Some((func, block))
+            }
+            _ => None,
+        }
+    }
+
+    /// Feed one event; returns the loop transitions it caused.
+    pub fn observe(&mut self, ev: &Event) -> LoopTransition {
+        let mut tr = LoopTransition::default();
+        let (func, block) = match ev.kind {
+            EvKind::Inst { func, sref } => (func, sref.block),
+            EvKind::Term { func, block } => (func, block),
+        };
+
+        // Exits: shallower frame, or same frame outside the loop's blocks.
+        while let Some(top) = self.stack.last() {
+            let forest = &self.forests[&top.key.func];
+            let l = forest.get(top.key.loop_id);
+            let exited = ev.depth < top.depth
+                || (ev.depth == top.depth
+                    && (func != top.key.func || !l.contains(block)));
+            if exited {
+                let t = self.stack.pop().expect("non-empty");
+                tr.exited.push((t.key, t.iters));
+            } else {
+                break;
+            }
+        }
+
+        // Entry / iteration at a header's first position.
+        if let Some((hf, hb)) = self.block_head(ev) {
+            if let Some(&lid) = self.headers.get(&(hf, hb)) {
+                let key = LoopKey {
+                    func: hf,
+                    loop_id: lid,
+                };
+                match self.stack.last_mut() {
+                    Some(top) if top.key == key && top.depth == ev.depth => {
+                        top.iters += 1;
+                        tr.iterated = Some(key);
+                    }
+                    _ => {
+                        self.stack.push(ActiveLoop {
+                            key,
+                            depth: ev.depth,
+                            iters: 1,
+                        });
+                        tr.entered = Some(key);
+                        tr.iterated = Some(key);
+                    }
+                }
+            }
+        }
+        tr
+    }
+
+    /// Pop everything (end of program), reporting final exits.
+    pub fn finish(&mut self) -> Vec<(LoopKey, u64)> {
+        let mut out = Vec::new();
+        while let Some(t) = self.stack.pop() {
+            out.push((t.key, t.iters));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_interp::{Cursor, Memory};
+    use spt_sir::{BinOp, ProgramBuilder};
+
+    fn counted_loop(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, n);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        pb.finish(id, 0)
+    }
+
+    fn drive(prog: &Program) -> (u64, Vec<(LoopKey, u64)>) {
+        let mut tracker = LoopContextTracker::new(prog);
+        let mut mem = Memory::for_program(prog);
+        let mut cur = Cursor::at_entry(prog);
+        let mut iters = 0;
+        let mut exits = Vec::new();
+        while let Some(ev) = cur.step(&mut mem) {
+            let tr = tracker.observe(&ev);
+            if tr.iterated.is_some() {
+                iters += 1;
+            }
+            exits.extend(tr.exited);
+        }
+        exits.extend(tracker.finish());
+        (iters, exits)
+    }
+
+    #[test]
+    fn counts_iterations_of_counted_loop() {
+        let prog = counted_loop(7);
+        let (iters, exits) = drive(&prog);
+        assert_eq!(iters, 7);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].1, 7);
+    }
+
+    #[test]
+    fn single_iteration_loop() {
+        let prog = counted_loop(1);
+        let (iters, exits) = drive(&prog);
+        assert_eq!(iters, 1);
+        assert_eq!(exits[0].1, 1);
+    }
+
+    #[test]
+    fn nested_loops_tracked_independently() {
+        // outer 3 iterations x inner 4 iterations.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let j = f.reg();
+        let ni = f.const_reg(3);
+        let nj = f.const_reg(4);
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let tail = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(outer);
+        f.switch_to(outer);
+        f.const_(j, 0);
+        f.jmp(inner);
+        f.switch_to(inner);
+        f.addi(j, j, 1);
+        let cj = f.reg();
+        f.bin(BinOp::CmpLt, cj, j, nj);
+        f.br(cj, inner, tail);
+        f.switch_to(tail);
+        f.addi(i, i, 1);
+        let ci = f.reg();
+        f.bin(BinOp::CmpLt, ci, i, ni);
+        f.br(ci, outer, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let (iters, exits) = drive(&prog);
+        // outer: 3 iterations; inner: 3 invocations x 4 iterations = 12.
+        assert_eq!(iters, 3 + 12);
+        // inner exits 3 times with 4 iters each, outer once with 3.
+        let mut inner_exits = 0;
+        let mut outer_exit = 0;
+        for (_, n) in exits {
+            if n == 4 {
+                inner_exits += 1;
+            } else if n == 3 {
+                outer_exit += 1;
+            }
+        }
+        assert_eq!(inner_exits, 3);
+        assert_eq!(outer_exit, 1);
+    }
+
+    #[test]
+    fn loop_with_call_keeps_context() {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf", 1);
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(5);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let r = f.reg();
+        f.call(leaf, &[i], Some(r));
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        let mut g = pb.build(leaf);
+        let p = g.param(0);
+        let out = g.reg();
+        g.bin(BinOp::Mul, out, p, p);
+        g.ret(Some(out));
+        g.finish();
+        let prog = pb.finish(main, 0);
+        let mut tracker = LoopContextTracker::new(&prog);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&prog);
+        let mut deepest_in_loop = 0u32;
+        while let Some(ev) = cur.step(&mut mem) {
+            tracker.observe(&ev);
+            if tracker.current().is_some() {
+                deepest_in_loop = deepest_in_loop.max(ev.depth);
+            }
+        }
+        // Callee instructions (depth 1) executed under the loop context.
+        assert_eq!(deepest_in_loop, 1);
+    }
+}

@@ -1,0 +1,562 @@
+//! Cross-iteration dependence and value profiling for selected loops.
+//!
+//! For each profiled loop, every adjacent-iteration (distance-1) register or
+//! memory dependence between static statements is counted, giving the
+//! *dependence probability* annotations of the SPT cost model (§4.1). For
+//! register dependences the profiler also counts how often the written
+//! value actually *changed*, which is what the value-based register
+//! dependence checker of §3.2 cares about.
+//!
+//! Statements executed inside functions called from the loop are attributed
+//! to their loop-level call site — a dependence into a callee is a
+//! dependence on the call statement as far as loop partitioning is
+//! concerned (calls move as a unit).
+//!
+//! The same pass samples every loop-frame register at each iteration
+//! boundary and fits a stride predictor (`x' = x + d`, `d = 0` being
+//! last-value), producing the predictability data used by software value
+//! prediction (§4.4).
+
+use crate::context::{LoopContextTracker, LoopKey};
+use spt_interp::{Cursor, EvKind, Event, Memory};
+use spt_sir::{Program, Reg, StmtRef, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// Occurrence counts of one cross-iteration dependence edge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepCount {
+    /// Iterations in which the dependence manifested.
+    pub occurrences: u64,
+    /// Of those, iterations where the source write changed the value
+    /// (always equal to `occurrences` for memory dependences, which the SPT
+    /// hardware checks by address).
+    pub value_changed: u64,
+}
+
+/// Stride-predictability of one loop-frame register.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValuePattern {
+    /// Iteration-boundary samples observed (≥ 1 apart).
+    pub samples: u64,
+    /// Most frequent successive difference.
+    pub best_stride: i64,
+    /// Samples matching `best_stride`.
+    pub hits: u64,
+}
+
+impl ValuePattern {
+    pub fn hit_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Dependence profile of one loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopDeps {
+    /// Iterations observed across all invocations.
+    pub iterations: u64,
+    /// (writer stmt, reader stmt) -> counts, register dependences.
+    pub reg_deps: HashMap<(StmtRef, StmtRef), DepCount>,
+    /// (writer stmt, reader stmt) -> counts, memory dependences.
+    pub mem_deps: HashMap<(StmtRef, StmtRef), DepCount>,
+    /// Per loop-frame register: stride predictability.
+    pub values: HashMap<u32, ValuePattern>,
+}
+
+impl LoopDeps {
+    /// Probability that the given register dependence fires in an
+    /// iteration.
+    pub fn reg_prob(&self, edge: (StmtRef, StmtRef)) -> f64 {
+        self.prob(self.reg_deps.get(&edge))
+    }
+
+    /// Probability weighted by value-changed (the value-based checker only
+    /// trips when the value changed).
+    pub fn reg_prob_value(&self, edge: (StmtRef, StmtRef)) -> f64 {
+        match self.reg_deps.get(&edge) {
+            Some(c) if self.iterations > 1 => {
+                c.value_changed as f64 / (self.iterations - 1) as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    pub fn mem_prob(&self, edge: (StmtRef, StmtRef)) -> f64 {
+        self.prob(self.mem_deps.get(&edge))
+    }
+
+    fn prob(&self, c: Option<&DepCount>) -> f64 {
+        match c {
+            Some(c) if self.iterations > 1 => {
+                c.occurrences as f64 / (self.iterations - 1) as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Dependence profiles of all selected loops.
+#[derive(Clone, Debug, Default)]
+pub struct DepProfile {
+    pub loops: HashMap<LoopKey, LoopDeps>,
+}
+
+/// Live profiling state for one active loop invocation.
+struct DepState {
+    key: LoopKey,
+    depth: u32,
+    iter: u64,
+    /// Loop-level call site when executing inside a callee.
+    callsite: Option<StmtRef>,
+    /// reg -> (iteration of last write, writer stmt, value changed?)
+    reg_writer: HashMap<u32, (u64, StmtRef, bool)>,
+    /// Current register values (to detect silent re-writes).
+    reg_vals: HashMap<u32, i64>,
+    /// word addr -> (iteration of last store, writer stmt)
+    mem_writer: HashMap<u64, (u64, StmtRef)>,
+    /// Deps already counted this iteration (per-iteration dedup).
+    seen: HashSet<(bool, StmtRef, StmtRef)>,
+    /// Value sampling at iteration boundaries.
+    val_last: HashMap<u32, i64>,
+    val_diffs: HashMap<u32, HashMap<i64, u64>>,
+    val_samples: HashMap<u32, u64>,
+}
+
+impl DepState {
+    fn new(key: LoopKey, depth: u32) -> Self {
+        DepState {
+            key,
+            depth,
+            iter: 0,
+            callsite: None,
+            reg_writer: HashMap::new(),
+            reg_vals: HashMap::new(),
+            mem_writer: HashMap::new(),
+            seen: HashSet::new(),
+            val_last: HashMap::new(),
+            val_diffs: HashMap::new(),
+            val_samples: HashMap::new(),
+        }
+    }
+
+    fn sample_values(&mut self, regs: &[i64]) {
+        for (r, &v) in regs.iter().enumerate() {
+            let r = r as u32;
+            if let Some(&prev) = self.val_last.get(&r) {
+                let d = v.wrapping_sub(prev);
+                let h = self.val_diffs.entry(r).or_default();
+                if h.len() < 64 || h.contains_key(&d) {
+                    *h.entry(d).or_insert(0) += 1;
+                }
+                *self.val_samples.entry(r).or_insert(0) += 1;
+            }
+            self.val_last.insert(r, v);
+        }
+    }
+
+    fn flush_values(&self, deps: &mut LoopDeps) {
+        for (&r, samples) in &self.val_samples {
+            let (best, hits) = self
+                .val_diffs
+                .get(&r)
+                .and_then(|h| h.iter().max_by_key(|(_, &c)| c))
+                .map(|(&d, &c)| (d, c))
+                .unwrap_or((0, 0));
+            let e = deps.values.entry(r).or_default();
+            e.samples += samples;
+            // Merge: keep the globally dominant stride by hit count.
+            if hits > e.hits || e.samples == *samples {
+                e.best_stride = best;
+            }
+            e.hits += hits;
+        }
+    }
+}
+
+/// Profile cross-iteration dependences and value patterns for the selected
+/// loops.
+pub fn profile_loops(
+    prog: &Program,
+    selection: &[LoopKey],
+    max_steps: u64,
+) -> DepProfile {
+    let selected: HashSet<LoopKey> = selection.iter().copied().collect();
+    let mut tracker = LoopContextTracker::new(prog);
+    let mut mem = Memory::for_program(prog);
+    let mut cur = Cursor::at_entry(prog);
+    let mut out = DepProfile::default();
+    for k in &selected {
+        out.loops.entry(*k).or_default();
+    }
+    let mut states: Vec<DepState> = Vec::new();
+
+    let mut steps = 0u64;
+    while steps < max_steps {
+        // Values are sampled from the loop frame at iteration boundaries;
+        // capture the frame registers *before* stepping if the next event
+        // is a boundary. Cheaper: sample after observing `iterated`, using
+        // the cursor's current frame (the header's first statement has not
+        // yet modified the frame meaningfully for stride purposes).
+        let Some(ev) = cur.step(&mut mem) else { break };
+        steps += 1;
+        let tr = tracker.observe(&ev);
+
+        for (key, _) in &tr.exited {
+            if let Some(pos) = states.iter().position(|s| s.key == *key) {
+                let st = states.remove(pos);
+                st.flush_values(out.loops.get_mut(key).expect("selected"));
+            }
+        }
+        if let Some(key) = tr.entered {
+            if selected.contains(&key) {
+                states.push(DepState::new(key, ev.depth));
+            }
+        }
+        if let Some(key) = tr.iterated {
+            if let Some(st) = states.iter_mut().find(|s| s.key == key) {
+                st.iter += 1;
+                st.seen.clear();
+                out.loops.get_mut(&key).expect("selected").iterations += 1;
+                if (ev.depth as usize) < cur.depth() + 1 {
+                    // Sample loop-frame registers at the boundary.
+                    let frame_regs = cur.regs_at(ev.depth as usize).to_vec();
+                    st.sample_values(&frame_regs);
+                }
+            }
+        }
+
+        for st in &mut states {
+            observe_deps(prog, st, &ev, &mut out);
+        }
+    }
+    // Flush remaining states.
+    for st in states {
+        if let Some(d) = out.loops.get_mut(&st.key) {
+            st.flush_values(d);
+        }
+    }
+    out
+}
+
+/// Attribute one event to one loop's dependence state.
+fn observe_deps(prog: &Program, st: &mut DepState, ev: &Event, out: &mut DepProfile) {
+    // Maintain the loop-level call-site attribution.
+    if ev.depth == st.depth {
+        st.callsite = None;
+    }
+    // The statement this event is attributed to, at loop level.
+    let attributed: Option<StmtRef> = if ev.depth == st.depth {
+        ev.sref()
+    } else {
+        st.callsite
+    };
+
+    // Register reads at the loop frame: cross-iteration check.
+    if ev.depth == st.depth && ev.executed {
+        let srcs: Vec<Reg> = match ev.kind {
+            EvKind::Inst { func, sref } => prog.func(func).inst(sref).srcs_with_guard(),
+            EvKind::Term { func, block } => match &prog.func(func).block(block).term {
+                Terminator::Br { cond, .. } => vec![*cond],
+                Terminator::Ret(Some(r)) => vec![*r],
+                _ => vec![],
+            },
+        };
+        for r in srcs {
+            if let Some(&(w_iter, w_sref, changed)) = st.reg_writer.get(&r.0) {
+                if w_iter + 1 == st.iter {
+                    if let Some(r_sref) = attributed {
+                        if st.seen.insert((false, w_sref, r_sref)) {
+                            let d = out
+                                .loops
+                                .get_mut(&st.key)
+                                .expect("selected")
+                                .reg_deps
+                                .entry((w_sref, r_sref))
+                                .or_default();
+                            d.occurrences += 1;
+                            if changed {
+                                d.value_changed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Register writes into the loop frame.
+    if let Some(dst) = ev.dst {
+        if ev.dst_depth() == st.depth {
+            let w_sref = if ev.depth == st.depth {
+                ev.sref().or(st.callsite)
+            } else {
+                st.callsite
+            };
+            if let Some(w) = w_sref {
+                let changed = st.reg_vals.get(&dst.0) != Some(&ev.dst_val);
+                st.reg_writer.insert(dst.0, (st.iter, w, changed));
+            }
+            st.reg_vals.insert(dst.0, ev.dst_val);
+        }
+    }
+
+    // Memory accesses anywhere under the loop.
+    if ev.executed {
+        if let Some(m) = ev.mem {
+            if m.is_store {
+                if let Some(w) = attributed {
+                    st.mem_writer.insert(m.addr, (st.iter, w));
+                }
+            } else if let Some(&(w_iter, w_sref)) = st.mem_writer.get(&m.addr) {
+                if w_iter + 1 == st.iter {
+                    if let Some(r_sref) = attributed {
+                        if st.seen.insert((true, w_sref, r_sref)) {
+                            let d = out
+                                .loops
+                                .get_mut(&st.key)
+                                .expect("selected")
+                                .mem_deps
+                                .entry((w_sref, r_sref))
+                                .or_default();
+                            d.occurrences += 1;
+                            d.value_changed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Entering a callee from loop level: remember the call site.
+    if ev.depth == st.depth && ev.is_call() {
+        st.callsite = ev.sref();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_sir::{analyze_loops, BinOp, BlockId, LoopId, ProgramBuilder};
+
+    /// acc = acc + i each iteration: a cross-iteration reg dep on acc, plus
+    /// i is a stride-1 induction variable.
+    fn reduction_loop(n: i64) -> (Program, LoopKey, Reg, Reg) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let acc = f.reg();
+        let nn = f.const_reg(n);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(acc, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        f.bin(BinOp::Add, acc, acc, i);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let (_, _, forest) = analyze_loops(prog.func(id));
+        let key = LoopKey {
+            func: id,
+            loop_id: forest.loops[0].id,
+        };
+        (prog, key, acc, i)
+    }
+
+    #[test]
+    fn detects_cross_iteration_reg_dep() {
+        let (prog, key, _acc, _i) = reduction_loop(50);
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let deps = &dp.loops[&key];
+        assert_eq!(deps.iterations, 50);
+        // acc written by stmt 0 of body (bb1), read by stmt 0 next iter.
+        let acc_stmt = StmtRef::new(BlockId(1), 0);
+        let c = deps
+            .reg_deps
+            .get(&(acc_stmt, acc_stmt))
+            .expect("acc self-dependence found");
+        assert_eq!(c.occurrences, 49);
+        assert!((deps.reg_prob((acc_stmt, acc_stmt)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn induction_variable_is_stride_predictable() {
+        let (prog, key, _acc, i) = reduction_loop(50);
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let vp = dp.loops[&key]
+            .values
+            .get(&i.0)
+            .expect("induction var sampled");
+        assert_eq!(vp.best_stride, 1);
+        assert!(vp.hit_rate() > 0.95, "rate {}", vp.hit_rate());
+    }
+
+    #[test]
+    fn memory_dependence_detected() {
+        // Iteration i stores mem[0]; iteration i+1 loads mem[0].
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(20);
+        let zero = f.const_reg(0);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let v = f.reg();
+        f.load(v, zero, 0);
+        let t = f.reg();
+        f.bin(BinOp::Add, t, v, i);
+        f.store(t, zero, 0);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 4);
+        let (_, _, forest) = analyze_loops(prog.func(id));
+        let key = LoopKey {
+            func: id,
+            loop_id: forest.loops[0].id,
+        };
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let deps = &dp.loops[&key];
+        assert!(
+            !deps.mem_deps.is_empty(),
+            "store->load cross-iteration dep expected"
+        );
+        let ((w, r), c) = deps.mem_deps.iter().next().unwrap();
+        assert_eq!(c.occurrences, 19);
+        assert!(w.block == BlockId(1) && r.block == BlockId(1));
+        assert!((deps.mem_prob((*w, *r)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn callee_dep_attributed_to_call_site() {
+        // Loop calls bump() which stores to mem[0] and next iteration calls
+        // read() which loads mem[0]: dependence between the two call sites.
+        let mut pb = ProgramBuilder::new();
+        let bump = pb.declare("bump", 1);
+        let read = pb.declare("read", 0);
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(12);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let r0 = f.reg();
+        f.call(read, &[], Some(r0)); // reads mem[0]
+        f.call(bump, &[i], None); // writes mem[0]
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let main = f.finish();
+        let mut g = pb.build(bump);
+        let p = g.param(0);
+        let z = g.const_reg(0);
+        g.store(p, z, 0);
+        g.ret(None);
+        g.finish();
+        let mut h = pb.build(read);
+        let z2 = h.const_reg(0);
+        let v = h.reg();
+        h.load(v, z2, 0);
+        h.ret(Some(v));
+        h.finish();
+        let prog = pb.finish(main, 4);
+        prog.verify().unwrap();
+        let (_, _, forest) = analyze_loops(prog.func(main));
+        let key = LoopKey {
+            func: main,
+            loop_id: forest.loops[0].id,
+        };
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let deps = &dp.loops[&key];
+        // The dep's endpoints must be loop-body statements (the call sites).
+        let ((w, r), c) = deps
+            .mem_deps
+            .iter()
+            .next()
+            .expect("cross-iteration dep through calls");
+        assert_eq!(w.block, BlockId(1));
+        assert_eq!(r.block, BlockId(1));
+        assert!(c.occurrences >= 10);
+    }
+
+    #[test]
+    fn unselected_loop_not_profiled() {
+        let (prog, key, ..) = reduction_loop(10);
+        let other = LoopKey {
+            func: key.func,
+            loop_id: LoopId(99),
+        };
+        let dp = profile_loops(&prog, &[other], 1_000_000);
+        assert!(dp.loops[&other].reg_deps.is_empty());
+        assert_eq!(dp.loops[&other].iterations, 0);
+    }
+
+    #[test]
+    fn silent_rewrites_counted_as_unchanged() {
+        // x is rewritten with the same constant each iteration; y = x + 0
+        // creates a dependence, but value_changed stays ~0.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let x = f.reg();
+        let nn = f.const_reg(30);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(x, 7);
+        f.jmp(body);
+        f.switch_to(body);
+        let y = f.reg();
+        f.bin(BinOp::Add, y, x, i); // reads x
+        f.const_(x, 7); // silently rewrites x
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(x));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let (_, _, forest) = analyze_loops(prog.func(id));
+        let key = LoopKey {
+            func: id,
+            loop_id: forest.loops[0].id,
+        };
+        let dp = profile_loops(&prog, &[key], 1_000_000);
+        let deps = &dp.loops[&key];
+        let edge = deps
+            .reg_deps
+            .iter()
+            .find(|((w, _), _)| w.index == 1) // the `x = 7` rewrite
+            .map(|(e, _)| *e)
+            .expect("x dep present");
+        assert!(deps.reg_prob(edge) > 0.9);
+        assert!(
+            deps.reg_prob_value(edge) < 0.1,
+            "value-based probability must be ~0, got {}",
+            deps.reg_prob_value(edge)
+        );
+    }
+}

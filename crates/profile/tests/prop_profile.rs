@@ -1,0 +1,159 @@
+//! Property tests for the profilers: probabilities stay in range, loop
+//! counts agree with ground truth, and dependence profiles are consistent
+//! with what the generating program actually does.
+
+use proptest::prelude::*;
+use spt_profile::{profile_loops, profile_program, LoopKey};
+use spt_sir::{analyze_loops, BinOp, Program, ProgramBuilder};
+
+const FUEL: u64 = 500_000;
+
+/// A counted loop with a guarded statement whose guard fires when
+/// (i * mult) & 1 == 1, plus an optional reduction.
+fn guarded_loop(trip: u8, mult: u8, reduce: bool) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let nn = f.const_reg(trip as i64);
+    let m = f.const_reg(mult as i64);
+    let one = f.const_reg(1);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.const_(acc, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    let h = f.reg();
+    f.bin(BinOp::Mul, h, i, m);
+    let g = f.reg();
+    f.bin(BinOp::And, g, h, one);
+    let x = f.reg();
+    f.guard_when(g);
+    f.const_(x, 9);
+    f.unguard();
+    if reduce {
+        f.bin(BinOp::Add, acc, acc, i);
+    }
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.ret(Some(acc));
+    let id = f.finish();
+    pb.finish(id, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loop statistics match ground truth exactly for counted loops.
+    #[test]
+    fn loop_counts_exact(trip in 1..40u8, mult in 0..8u8) {
+        let prog = guarded_loop(trip, mult, true);
+        let p = profile_program(&prog, FUEL);
+        prop_assert!(!p.out_of_fuel);
+        prop_assert_eq!(p.loops.len(), 1);
+        let l = p.loops.values().next().unwrap();
+        prop_assert_eq!(l.invocations, 1);
+        prop_assert_eq!(l.iterations, trip as u64);
+        // Coverage and probabilities stay in range.
+        for (&k, _) in p.loops.iter() {
+            let c = p.coverage(k);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+        for g in p.guards.values() {
+            prop_assert!((0.0..=1.0).contains(&g.prob()));
+            prop_assert_eq!(g.pass + g.fail, trip as u64);
+        }
+    }
+
+    /// The guard probability equals the exact fraction of iterations whose
+    /// guard fires.
+    #[test]
+    fn guard_probability_exact(trip in 1..50u8, mult in 0..8u8) {
+        let prog = guarded_loop(trip, mult, false);
+        let p = profile_program(&prog, FUEL);
+        let expect = (0..trip as i64)
+            .filter(|i| (i * mult as i64) & 1 == 1)
+            .count() as u64;
+        let g = p.guards.values().next().expect("one guarded stmt");
+        prop_assert_eq!(g.pass, expect);
+    }
+
+    /// Branch taken counts: the loop branch is taken trip-1 times.
+    #[test]
+    fn branch_counts_exact(trip in 1..50u8) {
+        let prog = guarded_loop(trip, 1, true);
+        let p = profile_program(&prog, FUEL);
+        let (&_, &(taken, not)) = p.branches.iter().next().expect("loop branch");
+        prop_assert_eq!(taken, trip as u64 - 1);
+        prop_assert_eq!(not, 1);
+    }
+
+    /// Dependence profiling: the reduction's self-dependence fires in every
+    /// adjacent iteration pair and never more.
+    #[test]
+    fn reduction_dep_probability(trip in 3..40u8) {
+        let prog = guarded_loop(trip, 1, true);
+        let f = prog.func(prog.entry);
+        let (_, _, forest) = analyze_loops(f);
+        let key = LoopKey { func: prog.entry, loop_id: forest.loops[0].id };
+        let dp = profile_loops(&prog, &[key], FUEL);
+        let deps = &dp.loops[&key];
+        prop_assert_eq!(deps.iterations, trip as u64);
+        for (_, c) in deps.reg_deps.iter() {
+            prop_assert!(c.occurrences <= trip as u64 - 1);
+            prop_assert!(c.value_changed <= c.occurrences);
+        }
+        // acc += i: some dependence must be seen.
+        prop_assert!(!deps.reg_deps.is_empty());
+        // Value patterns: hit rates in range; the induction variable has
+        // stride 1.
+        for v in deps.values.values() {
+            prop_assert!((0.0..=1.0).contains(&v.hit_rate()));
+        }
+        if trip >= 4 {
+            let iv = deps.values.get(&0).expect("induction var sampled");
+            prop_assert_eq!(iv.best_stride, 1);
+        }
+    }
+
+    /// Function-cost attribution: entry-inclusive instructions equal the
+    /// total, and callee costs are positive when called.
+    #[test]
+    fn func_costs_consistent(trip in 1..30u8) {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("leaf", 1);
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.const_reg(trip as i64);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.jmp(body);
+        f.switch_to(body);
+        let r = f.reg();
+        f.call(callee, &[i], Some(r));
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let main = f.finish();
+        let mut g = pb.build(callee);
+        let p0 = g.param(0);
+        let out = g.reg();
+        g.bin(BinOp::Mul, out, p0, p0);
+        g.ret(Some(out));
+        g.finish();
+        let prog = pb.finish(main, 4);
+        let p = profile_program(&prog, FUEL);
+        prop_assert_eq!(p.func_instrs.get(&main).copied(), Some(p.total_instrs));
+        prop_assert_eq!(p.func_calls.get(&callee).copied(), Some(trip as u64));
+        let cost = p.avg_call_cost(callee).expect("callee called");
+        prop_assert!(cost >= 2.0 && cost <= 10.0, "cost {}", cost);
+    }
+}

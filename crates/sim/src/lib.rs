@@ -1,0 +1,28 @@
+//! # SPT simulators
+//!
+//! Two execution-driven timing simulators over SIR programs:
+//!
+//! * [`baseline::simulate_baseline`] — one Itanium2-like in-order core
+//!   running the sequential program; the paper's baseline reference.
+//! * [`spt::SptSim`] — the SPT architecture of §3: a main pipeline and a
+//!   speculative pipeline sharing the cache hierarchy, with `spt_fork` /
+//!   `spt_kill`, a speculation result buffer, a speculative store buffer, a
+//!   load address buffer, register and memory dependence checkers, and the
+//!   selective re-execution / fast-commit recovery mechanism.
+//!
+//! Both simulators report the cycle breakdown used by Figure 9 (execution,
+//! pipeline stall, D-cache stall) plus the speculation statistics of
+//! Figure 8 (fast-commit ratio, misspeculation ratio) and per-loop cycle
+//! attributions.
+
+pub mod baseline;
+pub mod engine;
+pub mod metrics;
+pub mod spt;
+pub mod ssb;
+
+pub use baseline::{simulate_baseline, BaselineReport};
+pub use engine::{CycleBreakdown, Engine, StallKind};
+pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerLoopStats};
+pub use spt::{SptReport, SptSim};
+pub use ssb::{SpecMem, Ssb};

@@ -1,0 +1,252 @@
+//! Loop annotations, per-loop cycle attribution, and report types.
+
+use serde::{Deserialize, Serialize};
+use spt_interp::{EvKind, Event};
+use spt_sir::{BlockId, FuncId};
+
+/// A loop region of interest (one SPT loop, or any loop being profiled).
+#[derive(Clone, Debug)]
+pub struct LoopAnnot {
+    /// Caller-chosen identifier (stable across baseline and SPT runs).
+    pub id: usize,
+    pub func: FuncId,
+    /// Blocks belonging to the loop, sorted.
+    pub blocks: Vec<BlockId>,
+    /// The speculative start-point block, if this is a transformed SPT loop.
+    pub fork_start: Option<BlockId>,
+}
+
+impl LoopAnnot {
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// The set of annotated loops for a program (must be non-overlapping —
+/// SPT loops never nest, enforced by compiler selection).
+#[derive(Clone, Debug, Default)]
+pub struct LoopAnnotations {
+    pub loops: Vec<LoopAnnot>,
+}
+
+impl LoopAnnotations {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    fn find(&self, func: FuncId, block: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .position(|l| l.func == func && l.contains(block))
+    }
+
+    /// The loop whose start-point is `block` in `func`, if any.
+    pub fn by_fork_start(&self, func: FuncId, block: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .position(|l| l.func == func && l.fork_start == Some(block))
+    }
+}
+
+/// Attributes main-pipeline cycle deltas to the annotated loop currently
+/// executing. Calls made from inside a loop are attributed to the loop;
+/// leaving the loop's blocks at the loop's frame depth ends the region.
+pub struct LoopCycleTracker {
+    annots: LoopAnnotations,
+    /// (annot index, frame depth at entry)
+    active: Option<(usize, u32)>,
+    /// Cycles attributed per annot index.
+    cycles: Vec<u64>,
+    /// Dynamic instructions attributed per annot index.
+    instrs: Vec<u64>,
+}
+
+impl LoopCycleTracker {
+    pub fn new(annots: LoopAnnotations) -> Self {
+        let n = annots.loops.len();
+        LoopCycleTracker {
+            annots,
+            active: None,
+            cycles: vec![0; n],
+            instrs: vec![0; n],
+        }
+    }
+
+    /// Current loop annot index, if inside one.
+    pub fn current(&self) -> Option<usize> {
+        self.active.map(|(i, _)| i)
+    }
+
+    /// Observe one main-pipeline event and the cycle delta it caused.
+    pub fn observe(&mut self, ev: &Event, cycle_delta: u64) {
+        let (func, block) = match ev.kind {
+            EvKind::Inst { func, sref } => (func, sref.block),
+            EvKind::Term { func, block } => (func, block),
+        };
+        // Exit checks.
+        if let Some((idx, depth)) = self.active {
+            let l = &self.annots.loops[idx];
+            if ev.depth < depth
+                || (ev.depth == depth && (func != l.func || !l.contains(block)))
+            {
+                self.active = None;
+            }
+        }
+        // Entry check (only at the event's own depth).
+        if self.active.is_none() {
+            if let Some(idx) = self.annots.find(func, block) {
+                self.active = Some((idx, ev.depth));
+            }
+        }
+        if let Some((idx, _)) = self.active {
+            self.cycles[idx] += cycle_delta;
+            self.instrs[idx] += 1;
+        }
+    }
+
+    /// Attribute extra cycles (e.g. commit overhead) to the current loop.
+    pub fn attribute_extra(&mut self, cycle_delta: u64) {
+        if let Some((idx, _)) = self.active {
+            self.cycles[idx] += cycle_delta;
+        }
+    }
+
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    pub fn instrs(&self) -> &[u64] {
+        &self.instrs
+    }
+
+    pub fn annotations(&self) -> &LoopAnnotations {
+        &self.annots
+    }
+}
+
+/// Per-SPT-loop speculation statistics (Figure 8 inputs).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PerLoopStats {
+    pub id: usize,
+    /// Main-pipeline cycles attributed to the loop region.
+    pub cycles: u64,
+    /// Dynamic main-pipeline instructions in the region.
+    pub instrs: u64,
+    pub forks: u64,
+    pub fast_commits: u64,
+    pub replays: u64,
+    /// Squash-kills: loop-exit `spt_kill` plus replay divergences.
+    pub kills: u64,
+    /// Speculatively executed instructions (SRB entries that reached a
+    /// dependence check).
+    pub spec_instrs: u64,
+    /// Of those, instructions that were misspeculated and re-executed.
+    pub spec_misspec: u64,
+}
+
+impl PerLoopStats {
+    pub fn fast_commit_ratio(&self) -> f64 {
+        if self.forks == 0 {
+            0.0
+        } else {
+            self.fast_commits as f64 / self.forks as f64
+        }
+    }
+
+    pub fn misspeculation_ratio(&self) -> f64 {
+        if self.spec_instrs == 0 {
+            0.0
+        } else {
+            self.spec_misspec as f64 / self.spec_instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_sir::{LatClass, StmtRef};
+
+    fn ev(func: u32, block: u32, depth: u32) -> Event {
+        let mut e = Event::blank(
+            EvKind::Inst {
+                func: FuncId(func),
+                sref: StmtRef::new(BlockId(block), 0),
+            },
+            LatClass::Alu,
+            depth,
+        );
+        e.executed = true;
+        e
+    }
+
+    fn annots() -> LoopAnnotations {
+        LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 7,
+                func: FuncId(0),
+                blocks: vec![BlockId(2), BlockId(3)],
+                fork_start: Some(BlockId(2)),
+            }],
+        }
+    }
+
+    #[test]
+    fn attributes_cycles_inside_loop_blocks() {
+        let mut t = LoopCycleTracker::new(annots());
+        t.observe(&ev(0, 1, 0), 5); // outside
+        assert_eq!(t.current(), None);
+        t.observe(&ev(0, 2, 0), 3); // enter loop
+        assert_eq!(t.current(), Some(0));
+        t.observe(&ev(0, 3, 0), 2); // still inside
+        t.observe(&ev(0, 1, 0), 4); // exit
+        assert_eq!(t.current(), None);
+        assert_eq!(t.cycles()[0], 5);
+        assert_eq!(t.instrs()[0], 2);
+    }
+
+    #[test]
+    fn callee_events_attributed_to_loop() {
+        let mut t = LoopCycleTracker::new(annots());
+        t.observe(&ev(0, 2, 0), 1); // enter loop at depth 0
+        t.observe(&ev(1, 0, 1), 9); // inside a callee (deeper)
+        assert_eq!(t.current(), Some(0));
+        t.observe(&ev(0, 2, 0), 1); // back in loop
+        t.observe(&ev(0, 9, 0), 1); // exit at same depth, other block
+        assert_eq!(t.current(), None);
+        assert_eq!(t.cycles()[0], 11);
+    }
+
+    #[test]
+    fn returning_below_entry_depth_exits_loop() {
+        let mut t = LoopCycleTracker::new(annots());
+        t.observe(&ev(0, 2, 3), 1); // loop entered at depth 3
+        t.observe(&ev(0, 0, 2), 1); // shallower: left the frame
+        assert_eq!(t.current(), None);
+        assert_eq!(t.cycles()[0], 1);
+    }
+
+    #[test]
+    fn fork_start_lookup() {
+        let a = annots();
+        assert_eq!(a.by_fork_start(FuncId(0), BlockId(2)), Some(0));
+        assert_eq!(a.by_fork_start(FuncId(0), BlockId(3)), None);
+        assert_eq!(a.by_fork_start(FuncId(1), BlockId(2)), None);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = PerLoopStats {
+            forks: 10,
+            fast_commits: 6,
+            spec_instrs: 1000,
+            spec_misspec: 12,
+            ..Default::default()
+        };
+        assert!((s.fast_commit_ratio() - 0.6).abs() < 1e-9);
+        assert!((s.misspeculation_ratio() - 0.012).abs() < 1e-9);
+        let z = PerLoopStats::default();
+        assert_eq!(z.fast_commit_ratio(), 0.0);
+        assert_eq!(z.misspeculation_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,1042 @@
+//! The SPT dual-pipeline simulator (§3 of the paper).
+//!
+//! Execution model: the main pipeline always executes the main program
+//! thread over architectural memory. When it executes `spt_fork`, the
+//! register context is copied (1 cycle minimum) and the speculative
+//! pipeline begins executing real code at the start-point over a
+//! speculative store buffer. There is no register communication or
+//! synchronization between the threads; all speculative results go to the
+//! speculation result buffer (SRB) in program order, and the speculative
+//! pipeline stalls when the SRB is full.
+//!
+//! When the main thread arrives at the start-point, the dependence checkers
+//! run:
+//!
+//! * register check — live-in registers read by the speculative thread vs.
+//!   registers the main thread modified after the fork point (mark-based),
+//!   or whose *values* changed between fork-point and start-point
+//!   (value-based, the Table 1 default);
+//! * memory check — the load address buffer (LAB) vs. main-thread store
+//!   addresses issued before the start-point.
+//!
+//! No violation → *fast commit*: the speculative register context is copied
+//! back (5 cycles minimum), outstanding SSB stores are written back, and
+//! the main thread resumes where the speculative thread stopped. Any
+//! violation → *replay*: the main pipeline walks the SRB in program order
+//! at replay width (12), committing correct results directly and
+//! re-executing only misspeculated instructions; replay stops when the SRB
+//! empties or a re-executed branch diverges from the recorded path, in
+//! which case the speculative thread is killed and the main thread resumes
+//! normal execution at that point.
+
+use crate::engine::{CycleBreakdown, Engine};
+use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerLoopStats};
+use crate::ssb::{SpecMem, Ssb};
+use serde::{Deserialize, Serialize};
+use spt_interp::{Cursor, EvKind, Event, Memory};
+use spt_mach::{CacheSim, CacheStats, MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_sir::{BlockId, FuncId, Op, Program, Reg, StmtRef, Terminator};
+use std::collections::HashSet;
+
+/// Result of an SPT run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SptReport {
+    /// Program execution time: main-pipeline cycles.
+    pub cycles: u64,
+    /// Instructions retired by the main pipeline (incl. replay commits).
+    pub instrs: u64,
+    pub breakdown: CycleBreakdown,
+    pub cache: CacheStats,
+    pub forks: u64,
+    /// Forks ignored because a speculative thread was already running.
+    pub forks_ignored: u64,
+    pub fast_commits: u64,
+    pub replays: u64,
+    /// `spt_kill` + safety kills (loop exits).
+    pub kills: u64,
+    /// Replay terminations due to control divergence.
+    pub divergence_kills: u64,
+    /// Speculatively executed instructions that reached a dependence check.
+    pub spec_instrs_checked: u64,
+    /// Speculatively executed instructions discarded by kills.
+    pub spec_instrs_discarded: u64,
+    /// Misspeculated instructions re-executed during replay.
+    pub spec_misspec: u64,
+    pub per_loop: Vec<PerLoopStats>,
+    /// Main-pipeline branch predictor statistics.
+    pub bp_mispredicts: u64,
+    pub bp_lookups: u64,
+    /// Debug: pipe-stall attribution (fetch-gate, operand wait, SPT
+    /// overhead advance).
+    pub stall_debug: (u64, u64, u64),
+    pub ret: Option<i64>,
+    pub steps: u64,
+    pub out_of_fuel: bool,
+}
+
+impl SptReport {
+    /// Fraction of spawned speculative threads that fast-committed.
+    pub fn fast_commit_ratio(&self) -> f64 {
+        if self.forks == 0 {
+            0.0
+        } else {
+            self.fast_commits as f64 / self.forks as f64
+        }
+    }
+
+    /// Misspeculated fraction of all speculatively executed instructions.
+    pub fn misspeculation_ratio(&self) -> f64 {
+        let total = self.spec_instrs_checked + self.spec_instrs_discarded;
+        if total == 0 {
+            0.0
+        } else {
+            self.spec_misspec as f64 / total as f64
+        }
+    }
+
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// State of the speculative pipeline while a thread is live.
+struct SpecState<'p> {
+    cursor: Cursor<'p>,
+    ssb: Ssb,
+    /// Load address buffer: speculative loads that went to cache/memory.
+    lab: HashSet<u64>,
+    srb: Vec<Event>,
+    /// Fork-level registers read by the speculative thread before writing.
+    live_in_reads: HashSet<u32>,
+    /// Fork-level registers written by the speculative thread.
+    spec_written: HashSet<u32>,
+    /// Fork-level registers written by the main thread post-fork.
+    post_fork_writes: HashSet<u32>,
+    /// Memory words where a main post-fork store hit the LAB.
+    violated_addrs: HashSet<u64>,
+    /// Index of the frame that was live at the fork.
+    fork_level: usize,
+    /// `frames.len()` at fork (start-point depth).
+    start_depth: usize,
+    /// Fork-time snapshot of fork-level registers (value-based checking).
+    fork_regs: Vec<i64>,
+    /// Static position of the start-point.
+    start_pos: EvKind,
+    stalled: bool,
+    /// Annotated loop this fork belongs to, if known.
+    loop_idx: Option<usize>,
+}
+
+/// The SPT machine.
+pub struct SptSim<'p> {
+    prog: &'p Program,
+    cfg: MachineConfig,
+    annots: LoopAnnotations,
+}
+
+impl<'p> SptSim<'p> {
+    pub fn new(prog: &'p Program, cfg: MachineConfig, annots: LoopAnnotations) -> Self {
+        SptSim { prog, cfg, annots }
+    }
+
+    /// Static position of the first thing executed in `block` of `func`.
+    fn position_of(&self, func: FuncId, block: BlockId) -> EvKind {
+        if self.prog.func(func).block(block).insts.is_empty() {
+            EvKind::Term { func, block }
+        } else {
+            EvKind::Inst {
+                func,
+                sref: StmtRef::new(block, 0),
+            }
+        }
+    }
+
+    /// Precise operand registers of the statement behind an event
+    /// (the event's own `srcs` are capacity-limited for timing).
+    fn static_srcs(&self, ev: &Event) -> Vec<Reg> {
+        match ev.kind {
+            EvKind::Inst { func, sref } => {
+                self.prog.func(func).inst(sref).srcs_with_guard()
+            }
+            EvKind::Term { func, block } => {
+                match &self.prog.func(func).block(block).term {
+                    Terminator::Br { cond, .. } => vec![*cond],
+                    Terminator::Ret(Some(r)) => vec![*r],
+                    _ => vec![],
+                }
+            }
+        }
+    }
+
+    /// Earliest cycle the speculative thread's next instruction can issue.
+    fn spec_next_ready(&self, sp: &SpecState<'_>, spec_eng: &Engine) -> u64 {
+        let Some(pos) = sp.cursor.position() else {
+            return u64::MAX;
+        };
+        let depth = (sp.cursor.depth() - 1) as u32;
+        let srcs: Vec<u32> = match pos {
+            EvKind::Inst { func, sref } => self
+                .prog
+                .func(func)
+                .inst(sref)
+                .srcs_with_guard()
+                .iter()
+                .map(|r| r.0)
+                .collect(),
+            EvKind::Term { func, block } => match &self.prog.func(func).block(block).term {
+                Terminator::Br { cond, .. } => vec![cond.0],
+                Terminator::Ret(Some(r)) => vec![r.0],
+                _ => vec![],
+            },
+        };
+        spec_eng.ready_time(depth, srcs)
+    }
+
+    /// Run the program to completion (or until `max_steps` interpreter steps
+    /// across both pipelines).
+    pub fn run(&self, max_steps: u64) -> SptReport {
+        let cfg = &self.cfg;
+        let mut mem = Memory::for_program(self.prog);
+        let mut cache = CacheSim::new(cfg);
+        let mut main = Cursor::at_entry(self.prog);
+        let mut main_eng = Engine::new(cfg);
+        let mut spec_eng = Engine::new(cfg);
+        let mut tracker = LoopCycleTracker::new(self.annots.clone());
+        let mut spec: Option<SpecState<'p>> = None;
+
+        let mut per_loop: Vec<PerLoopStats> = self
+            .annots
+            .loops
+            .iter()
+            .map(|l| PerLoopStats {
+                id: l.id,
+                ..Default::default()
+            })
+            .collect();
+
+        let mut steps = 0u64;
+        let mut forks = 0u64;
+        let mut forks_ignored = 0u64;
+        let mut fast_commits = 0u64;
+        let mut replays = 0u64;
+        let mut kills = 0u64;
+        let mut divergence_kills = 0u64;
+        let mut spec_checked = 0u64;
+        let mut spec_discarded = 0u64;
+        let mut spec_misspec = 0u64;
+
+        'outer: while !main.is_halted() && steps < max_steps {
+            // Let the speculative pipeline catch up in time. It only steps
+            // when its next instruction could actually issue by now — an
+            // operand still in flight leaves the pipeline stalled, not
+            // running ahead of wall-clock.
+            if let Some(sp) = spec.as_mut() {
+                if !sp.stalled
+                    && spec_eng.cycle() <= main_eng.cycle()
+                    && self.spec_next_ready(sp, &spec_eng) <= main_eng.cycle()
+                {
+                    steps += 1;
+                    Self::step_spec(self.prog, sp, &mut spec_eng, &mut cache, &mut mem, cfg);
+                    continue 'outer;
+                }
+            }
+
+            // Arrival at the start-point?
+            if let Some(sp) = spec.as_ref() {
+                if main.position() == Some(sp.start_pos) && main.depth() == sp.start_depth {
+                    let sp = spec.take().expect("checked above");
+                    self.check_and_recover(
+                        sp,
+                        &mut main,
+                        &mut main_eng,
+                        &spec_eng,
+                        &mut cache,
+                        &mut mem,
+                        &mut tracker,
+                        &mut per_loop,
+                        &mut steps,
+                        max_steps,
+                        &mut fast_commits,
+                        &mut replays,
+                        &mut divergence_kills,
+                        &mut spec_checked,
+                        &mut spec_misspec,
+                    );
+                    continue 'outer;
+                }
+            }
+
+            // Main pipeline executes one step.
+            let Some(ev) = main.step(&mut mem) else { break };
+            steps += 1;
+            let before = main_eng.cycle();
+            main_eng.issue(&ev, &mut cache, cfg);
+            tracker.observe(&ev, main_eng.cycle() - before);
+
+            // Fork?
+            if let Some(start) = ev.fork {
+                if std::env::var_os("SPT_DEBUG").is_some() {
+                    eprintln!("FORK at cycle {} main_depth {} regs[0..4]={:?}", main_eng.cycle(), main.depth(), &main.top().regs[..4.min(main.top().regs.len())]);
+                }
+                if spec.is_none() {
+                    forks += 1;
+                    let func = ev.kind.func();
+                    let loop_idx = self.annots.by_fork_start(func, start).or_else(|| {
+                        tracker.current() // fall back to enclosing annotated loop
+                    });
+                    if let Some(li) = loop_idx {
+                        per_loop[li].forks += 1;
+                    }
+                    let fork_level = main.depth() - 1;
+                    let cursor = main.fork_speculative(start);
+                    let fork_regs = main.regs_at(fork_level).to_vec();
+                    // RF copy overhead: speculative pipeline starts after it.
+                    spec_eng.advance_to(main_eng.cycle() + cfg.rf_copy_overhead);
+                    spec_eng.reset_context(main_eng.cycle() + cfg.rf_copy_overhead);
+                    spec = Some(SpecState {
+                        cursor,
+                        ssb: Ssb::new(),
+                        lab: HashSet::new(),
+                        srb: Vec::new(),
+                        live_in_reads: HashSet::new(),
+                        spec_written: HashSet::new(),
+                        post_fork_writes: HashSet::new(),
+                        violated_addrs: HashSet::new(),
+                        fork_level,
+                        start_depth: main.depth(),
+                        fork_regs,
+                        start_pos: self.position_of(func, start),
+                        stalled: false,
+                        loop_idx,
+                    });
+                } else {
+                    forks_ignored += 1;
+                }
+                continue 'outer;
+            }
+
+            // Kill?
+            if ev.kill {
+                if std::env::var_os("SPT_DEBUG").is_some() {
+                    eprintln!("KILL at cycle {} (spec active: {})", main_eng.cycle(), spec.is_some());
+                }
+                if let Some(sp) = spec.take() {
+                    kills += 1;
+                    spec_discarded += sp.srb.len() as u64;
+                    if let Some(li) = sp.loop_idx {
+                        per_loop[li].kills += 1;
+                    }
+                }
+                continue 'outer;
+            }
+
+            // Track main post-fork register writes and store-address checks.
+            if let Some(sp) = spec.as_mut() {
+                if let Some(dst) = ev.dst {
+                    if ev.dst_depth() as usize == sp.fork_level {
+                        sp.post_fork_writes.insert(dst.0);
+                    }
+                }
+                if let Some(m) = ev.mem {
+                    if m.is_store && ev.executed && sp.lab.contains(&m.addr) {
+                        sp.violated_addrs.insert(m.addr);
+                    }
+                }
+                // Safety: main left the fork frame without a kill.
+                if main.depth() < sp.start_depth {
+                    let sp = spec.take().expect("present");
+                    kills += 1;
+                    spec_discarded += sp.srb.len() as u64;
+                    if let Some(li) = sp.loop_idx {
+                        per_loop[li].kills += 1;
+                    }
+                }
+            }
+        }
+
+        // Fold tracker cycles into per-loop stats.
+        for (i, pl) in per_loop.iter_mut().enumerate() {
+            pl.cycles = tracker.cycles()[i];
+            pl.instrs = tracker.instrs()[i];
+        }
+
+        SptReport {
+            cycles: main_eng.cycle() + 1,
+            instrs: main_eng.instrs(),
+            breakdown: main_eng.breakdown(),
+            cache: cache.stats(),
+            forks,
+            forks_ignored,
+            fast_commits,
+            replays,
+            kills,
+            divergence_kills,
+            spec_instrs_checked: spec_checked,
+            spec_instrs_discarded: spec_discarded
+                + spec.map_or(0, |s| s.srb.len() as u64),
+            spec_misspec,
+            per_loop,
+            bp_mispredicts: main_eng.bp_mispredicts(),
+            bp_lookups: main_eng.bp_lookups(),
+            stall_debug: main_eng.stall_debug(),
+            ret: main.return_value(),
+            steps,
+            out_of_fuel: !main.is_halted() && steps >= max_steps,
+        }
+    }
+
+    /// One speculative-pipeline step.
+    fn step_spec(
+        prog: &Program,
+        sp: &mut SpecState<'_>,
+        spec_eng: &mut Engine,
+        cache: &mut CacheSim,
+        mem: &mut Memory,
+        cfg: &MachineConfig,
+    ) {
+        let mut view = SpecMem {
+            ssb: &mut sp.ssb,
+            base: mem,
+        };
+        let Some(ev) = sp.cursor.step(&mut view) else {
+            sp.stalled = true;
+            return;
+        };
+
+        // Precise live-in tracking at the fork level.
+        if ev.depth as usize == sp.fork_level {
+            let srcs: Vec<Reg> = match ev.kind {
+                EvKind::Inst { func, sref } => {
+                    prog.func(func).inst(sref).srcs_with_guard()
+                }
+                EvKind::Term { func, block } => match &prog.func(func).block(block).term {
+                    Terminator::Br { cond, .. } => vec![*cond],
+                    Terminator::Ret(Some(r)) => vec![*r],
+                    _ => vec![],
+                },
+            };
+            for r in srcs {
+                if !sp.spec_written.contains(&r.0) {
+                    sp.live_in_reads.insert(r.0);
+                }
+            }
+        }
+        if let Some(dst) = ev.dst {
+            if ev.dst_depth() as usize == sp.fork_level {
+                sp.spec_written.insert(dst.0);
+            }
+        }
+
+        // LAB: record loads that went to cache/memory (not SSB-forwarded).
+        let mut timing_ev = ev;
+        if let Some(m) = ev.mem {
+            if !m.is_store && ev.executed {
+                if sp.ssb.contains(m.addr) {
+                    // Forwarded from the store buffer: 1-cycle, no cache.
+                    timing_ev.mem = None;
+                } else {
+                    sp.lab.insert(m.addr);
+                }
+            }
+            if m.is_store {
+                // Speculative stores do not touch the cache until commit.
+                timing_ev.mem = None;
+            }
+        }
+        spec_eng.issue(&timing_ev, cache, cfg);
+
+        sp.srb.push(ev);
+        if sp.srb.len() >= cfg.srb_entries {
+            sp.stalled = true;
+        }
+        // Wrong-path safety: speculative thread returned out of the fork
+        // frame.
+        if sp.cursor.depth() <= sp.fork_level {
+            sp.stalled = true;
+        }
+        if sp.cursor.is_halted() {
+            sp.stalled = true;
+        }
+    }
+
+    /// Dependence check at the start-point, then fast commit / replay /
+    /// squash.
+    #[allow(clippy::too_many_arguments)]
+    fn check_and_recover(
+        &self,
+        mut sp: SpecState<'p>,
+        main: &mut Cursor<'p>,
+        main_eng: &mut Engine,
+        spec_eng: &Engine,
+        cache: &mut CacheSim,
+        mem: &mut Memory,
+        tracker: &mut LoopCycleTracker,
+        per_loop: &mut [PerLoopStats],
+        steps: &mut u64,
+        max_steps: u64,
+        fast_commits: &mut u64,
+        replays: &mut u64,
+        divergence_kills: &mut u64,
+        spec_checked: &mut u64,
+        spec_misspec: &mut u64,
+    ) {
+        let cfg = &self.cfg;
+        *spec_checked += sp.srb.len() as u64;
+        if let Some(li) = sp.loop_idx {
+            per_loop[li].spec_instrs += sp.srb.len() as u64;
+        }
+
+        // Register dependence check.
+        let violated_regs: HashSet<u32> = match cfg.reg_check {
+            RegCheckPolicy::MarkBased => sp
+                .live_in_reads
+                .intersection(&sp.post_fork_writes)
+                .copied()
+                .collect(),
+            RegCheckPolicy::ValueBased => {
+                let now = main.regs_at(sp.fork_level);
+                sp.live_in_reads
+                    .iter()
+                    .copied()
+                    .filter(|&r| sp.fork_regs[r as usize] != now[r as usize])
+                    .collect()
+            }
+        };
+        let violated = !violated_regs.is_empty() || !sp.violated_addrs.is_empty();
+
+        if std::env::var_os("SPT_DEBUG").is_some() {
+            eprintln!(
+                "check: srb={} live_in={:?} post_fork_w={:?} viol_regs={:?} viol_addrs={} lab={} -> {}",
+                sp.srb.len(),
+                {
+                    let mut v: Vec<u32> = sp.live_in_reads.iter().copied().collect();
+                    v.sort();
+                    v
+                },
+                {
+                    let mut v: Vec<u32> = sp.post_fork_writes.iter().copied().collect();
+                    v.sort();
+                    v
+                },
+                {
+                    let mut v: Vec<u32> = violated_regs.iter().copied().collect();
+                    v.sort();
+                    v
+                },
+                sp.violated_addrs.len(),
+                sp.lab.len(),
+                if violated { "REPLAY" } else { "FAST-COMMIT" }
+            );
+        }
+        if !violated && cfg.recovery != RecoveryPolicy::SrxOnly {
+            // Fast commit: adopt the speculative context wholesale.
+            let t = main_eng.cycle().max(spec_eng.cycle()) + cfg.fast_commit_overhead;
+            let before = main_eng.cycle();
+            main_eng.advance_to(t);
+            main_eng.reset_context(t);
+            tracker.attribute_extra(main_eng.cycle() - before);
+            sp.ssb.drain_to(mem);
+            // Commit the speculative context. The register copy-back is a
+            // *merge* at the fork-level frame: registers the speculative
+            // thread wrote take its values; registers it never wrote keep
+            // the main thread's — the main thread's post-fork writes are
+            // program-order earlier than the speculative code and are only
+            // superseded by speculative writes (the hardware tracks
+            // spec-written registers in its scoreboard for exactly this).
+            let main_regs = main.regs_at(sp.fork_level).to_vec();
+            main.adopt(&sp.cursor);
+            if let Some(frame) = main.frames.get_mut(sp.fork_level) {
+                for (r, v) in main_regs.iter().enumerate() {
+                    if !sp.spec_written.contains(&(r as u32)) {
+                        frame.regs[r] = *v;
+                    }
+                }
+            }
+            if std::env::var_os("SPT_DEBUG").is_some() {
+                eprintln!("  COMMIT: adopted pos {:?} depth {} regs[0..4]={:?} halted {}", main.position(), main.depth(), main.frames.last().map(|f| f.regs[..4.min(f.regs.len())].to_vec()), main.is_halted());
+            }
+            *fast_commits += 1;
+            if let Some(li) = sp.loop_idx {
+                per_loop[li].fast_commits += 1;
+            }
+            return;
+        }
+
+        if violated && cfg.recovery == RecoveryPolicy::Squash {
+            // Trash all speculative results; main re-executes normally.
+            // Tearing down the speculative thread costs the same minimum
+            // thread-management overhead as any other end-of-speculation
+            // action.
+            main_eng.advance_to(main_eng.cycle() + cfg.fast_commit_overhead);
+            if let Some(li) = sp.loop_idx {
+                per_loop[li].kills += 1;
+            }
+            // Everything in the SRB was wasted.
+            *spec_misspec += sp.srb.len() as u64;
+            if let Some(li) = sp.loop_idx {
+                per_loop[li].spec_misspec += sp.srb.len() as u64;
+            }
+            return;
+        }
+
+        // Replay with selective re-execution. Switching the main pipeline
+        // into replay mode costs at least as much as a commit (drain +
+        // speculation-buffer synchronization) — this is what makes the
+        // fast-commit shortcut a shortcut.
+        *replays += 1;
+        if let Some(li) = sp.loop_idx {
+            per_loop[li].replays += 1;
+        }
+        main_eng.advance_to(main_eng.cycle() + cfg.fast_commit_overhead);
+        main_eng.set_width(cfg.replay_width);
+
+        let mut updated: HashSet<(u32, u32)> = violated_regs
+            .into_iter()
+            .map(|r| (sp.fork_level as u32, r))
+            .collect();
+        let mut updated_addrs: HashSet<u64> = sp.violated_addrs.clone();
+
+        for entry in &sp.srb {
+            if *steps >= max_steps {
+                break;
+            }
+            // Control divergence: the correct path no longer matches the
+            // speculated one — kill and resume normal execution here.
+            if main.position() != Some(entry.kind) || main.is_halted() {
+                *divergence_kills += 1;
+                if let Some(li) = sp.loop_idx {
+                    per_loop[li].kills += 1;
+                }
+                break;
+            }
+            let cev = main.step(mem).expect("not halted");
+            *steps += 1;
+
+            // Misspeculation determination (the dependence checkers of §3.2
+            // plus scoreboard propagation during replay).
+            let mut missp = entry.executed != cev.executed;
+            if !missp && cev.executed {
+                for r in self.static_srcs(&cev) {
+                    if updated.contains(&(cev.depth, r.0)) {
+                        missp = true;
+                        break;
+                    }
+                }
+                if let Some(m) = entry.mem {
+                    if !m.is_store && updated_addrs.contains(&m.addr) {
+                        missp = true;
+                    }
+                }
+            }
+
+            // Timing: commit correct results directly; re-execute the rest.
+            let before = main_eng.cycle();
+            if missp {
+                main_eng.issue(&cev, cache, cfg);
+                *spec_misspec += 1;
+                if let Some(li) = sp.loop_idx {
+                    per_loop[li].spec_misspec += 1;
+                }
+            } else {
+                main_eng.commit_slot(&cev);
+            }
+            tracker.observe(&cev, main_eng.cycle() - before);
+
+            // Propagate "updated" marks.
+            if let Some(dst) = cev.dst {
+                let key = (cev.dst_depth(), dst.0);
+                let converged = cfg.reg_check == RegCheckPolicy::ValueBased
+                    && cev.dst_val == entry.dst_val
+                    && cev.executed == entry.executed;
+                if missp && !converged {
+                    updated.insert(key);
+                } else {
+                    updated.remove(&key);
+                }
+            }
+            if let Some(m) = cev.mem {
+                if m.is_store && cev.executed {
+                    let spec_val = entry.mem.filter(|em| em.is_store).map(|em| em.value);
+                    if missp && spec_val != Some(m.value) {
+                        updated_addrs.insert(m.addr);
+                    } else {
+                        updated_addrs.remove(&m.addr);
+                    }
+                }
+            }
+            // Calls: a poisoned argument poisons the callee parameter.
+            if cev.is_call() {
+                if let EvKind::Inst { func, sref } = cev.kind {
+                    if let Op::Call { args, .. } = &self.prog.func(func).inst(sref).op {
+                        for (i, a) in args.iter().enumerate() {
+                            if updated.contains(&(cev.depth, a.0)) {
+                                updated.insert((cev.depth + 1, i as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        main_eng.set_width(cfg.issue_width);
+        if std::env::var_os("SPT_DEBUG").is_some() {
+            eprintln!("  REPLAY-END: pos {:?} depth {} regs[0..4]={:?}", main.position(), main.depth(), main.frames.last().map(|f| f.regs[..4.min(f.regs.len())].to_vec()));
+        }
+        // SSB is discarded: replay wrote corrected values to memory
+        // directly.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::simulate_baseline;
+    use crate::metrics::LoopAnnot;
+    use spt_interp::run;
+    use spt_sir::{BinOp, ProgramBuilder};
+
+    const FUEL: u64 = 5_000_000;
+
+    /// A hand-transformed SPT loop mirroring Figure 1's shape:
+    /// independent per-iteration work (on disjoint memory), induction
+    /// variable advanced pre-fork -> perfectly parallel iterations.
+    ///
+    /// for i in 0..n { heavy(i); } with body = `work` dependent ALU ops and
+    /// a store to mem[i].
+    fn parallel_loop(n: i64, work: usize) -> (Program, LoopAnnotations) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, n);
+        f.jmp(body);
+        f.switch_to(body);
+        // pre-fork: advance the induction variable for the next iteration.
+        let cur = f.reg();
+        f.mov(cur, i);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        // post-fork: serial ALU chain on `cur` then a store (all private).
+        let mut acc = f.reg();
+        f.mov(acc, cur);
+        for _ in 0..work {
+            let nx = f.reg();
+            f.bin(BinOp::Add, nx, acc, acc);
+            acc = nx;
+        }
+        f.store(acc, cur, 0);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, n as usize + 4);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        (prog, annots)
+    }
+
+    /// A fully serial loop: acc = f(acc) each iteration (cross-iteration
+    /// dependence read in the post-fork region -> every thread violated).
+    fn serial_loop(n: i64, work: usize) -> (Program, LoopAnnotations) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let acc = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, n);
+        f.const_(acc, 1);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        // post-fork: serial chain through acc (cross-iteration).
+        for _ in 0..work {
+            let one = f.const_reg(1);
+            let t = f.reg();
+            f.bin(BinOp::Add, t, acc, one);
+            f.mov(acc, t);
+        }
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        f.ret(Some(acc));
+        let id = f.finish();
+        let prog = pb.finish(id, 4);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        (prog, annots)
+    }
+
+    #[test]
+    fn spt_preserves_sequential_semantics_parallel_loop() {
+        let (prog, annots) = parallel_loop(50, 8);
+        prog.verify().unwrap();
+        let (seq, seq_mem) = run(&prog, FUEL);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        assert!(!rep.out_of_fuel);
+        assert_eq!(rep.ret, seq.ret);
+        // Architectural memory must match the sequential run: re-run
+        // sequentially and compare a few cells.
+        for a in 0..50 {
+            let expect = seq_mem.peek(a);
+            // The SPT sim consumed its own memory internally; validate via
+            // return value + spot behaviour (stores were i*2^work).
+            assert_eq!(expect, (a as i64) << 8);
+        }
+        assert!(rep.forks > 0);
+        assert!(
+            rep.fast_commit_ratio() > 0.8,
+            "parallel loop should fast-commit; ratio = {}",
+            rep.fast_commit_ratio()
+        );
+    }
+
+    #[test]
+    fn spt_speeds_up_parallel_loop() {
+        let (prog, annots) = parallel_loop(200, 16);
+        let base = simulate_baseline(&prog, &MachineConfig::default(), &annots, FUEL);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        assert_eq!(rep.ret, base.ret);
+        assert!(
+            (rep.cycles as f64) < 0.8 * base.cycles as f64,
+            "SPT {} vs baseline {}",
+            rep.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn spt_preserves_semantics_serial_loop() {
+        let (prog, annots) = serial_loop(60, 6);
+        prog.verify().unwrap();
+        let (seq, _) = run(&prog, FUEL);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        assert_eq!(rep.ret, seq.ret);
+        assert_eq!(rep.ret, Some(1 + 60 * 6));
+        // Serial dependence: replays dominate, not fast commits.
+        assert!(rep.replays > 0);
+        assert!(
+            rep.fast_commit_ratio() < 0.5,
+            "ratio = {}",
+            rep.fast_commit_ratio()
+        );
+        assert!(rep.spec_misspec > 0);
+    }
+
+    #[test]
+    fn serial_loop_not_much_slower_than_baseline() {
+        // Selective re-execution should keep the damage bounded.
+        let (prog, annots) = serial_loop(100, 6);
+        let base = simulate_baseline(&prog, &MachineConfig::default(), &annots, FUEL);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        assert_eq!(rep.ret, base.ret);
+        assert!(
+            (rep.cycles as f64) < 1.6 * base.cycles as f64,
+            "SPT {} vs baseline {}",
+            rep.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn kill_on_loop_exit_discards_speculation() {
+        let (prog, annots) = parallel_loop(10, 4);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        // The final iteration's speculative thread runs off the loop end and
+        // is killed by spt_kill (or superseded by a commit at the exit).
+        assert!(rep.kills + rep.divergence_kills >= 1 || rep.forks == rep.fast_commits);
+        assert!(!rep.out_of_fuel);
+    }
+
+    #[test]
+    fn memory_violation_detected_and_repaired() {
+        // Loop where iteration i stores to mem[i+1] and iteration i+1 loads
+        // mem[i+1] early: a true cross-iteration memory dependence.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, 40);
+        f.jmp(body);
+        f.switch_to(body);
+        let cur = f.reg();
+        f.mov(cur, i);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        // post-fork: load mem[cur], add 1, store to mem[cur+1].
+        let v = f.reg();
+        f.load(v, cur, 0);
+        let t = f.reg();
+        let one = f.const_reg(1);
+        f.bin(BinOp::Add, t, v, one);
+        f.store(t, cur, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        let out = f.reg();
+        let base40 = f.const_reg(40);
+        f.load(out, base40, 0);
+        f.ret(Some(out));
+        let id = f.finish();
+        let prog = pb.finish(id, 64);
+        prog.verify().unwrap();
+        let (seq, _) = run(&prog, FUEL);
+        assert_eq!(seq.ret, Some(40)); // mem[40] = 40 after the chain
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let rep = sim.run(FUEL);
+        assert_eq!(rep.ret, Some(40), "memory dependence must be honored");
+        assert!(rep.replays > 0, "violations must trigger replay");
+    }
+
+    #[test]
+    fn squash_policy_still_correct_but_slower_than_srx() {
+        let (prog, annots) = serial_loop(80, 6);
+        let mut cfg_squash = MachineConfig::default();
+        cfg_squash.recovery = RecoveryPolicy::Squash;
+        let rep_sq = SptSim::new(&prog, cfg_squash, annots.clone()).run(FUEL);
+        let rep_srx = SptSim::new(&prog, MachineConfig::default(), annots).run(FUEL);
+        assert_eq!(rep_sq.ret, rep_srx.ret);
+        assert!(
+            rep_sq.cycles >= rep_srx.cycles,
+            "squash {} should not beat SRX {}",
+            rep_sq.cycles,
+            rep_srx.cycles
+        );
+    }
+
+    #[test]
+    fn srx_only_policy_replays_everything() {
+        let (prog, annots) = parallel_loop(30, 4);
+        let mut cfg = MachineConfig::default();
+        cfg.recovery = RecoveryPolicy::SrxOnly;
+        let rep = SptSim::new(&prog, cfg, annots).run(FUEL);
+        assert_eq!(rep.fast_commits, 0);
+        assert!(rep.replays > 0);
+        assert_eq!(rep.ret, Some(30));
+    }
+
+    #[test]
+    fn mark_based_checking_is_more_conservative() {
+        // Value-based checking forgives silent re-writes of the same value;
+        // mark-based does not. Loop writes `x = 7` every iteration and the
+        // spec thread reads x post-fork.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let x = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, 30);
+        f.const_(x, 7);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        let y = f.reg();
+        f.bin(BinOp::Add, y, x, i); // reads x (live-in)
+        f.store(y, i, 0);
+        f.const_(x, 7); // main post-fork write, same value
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        f.ret(Some(x));
+        let id = f.finish();
+        let prog = pb.finish(id, 64);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        let rep_val = SptSim::new(&prog, MachineConfig::default(), annots.clone()).run(FUEL);
+        let mut cfg_mark = MachineConfig::default();
+        cfg_mark.reg_check = RegCheckPolicy::MarkBased;
+        let rep_mark = SptSim::new(&prog, cfg_mark, annots).run(FUEL);
+        assert_eq!(rep_val.ret, rep_mark.ret);
+        assert!(
+            rep_val.fast_commits > rep_mark.fast_commits,
+            "value-based {} vs mark-based {}",
+            rep_val.fast_commits,
+            rep_mark.fast_commits
+        );
+    }
+
+    #[test]
+    fn tiny_srb_throttles_speculation() {
+        let (prog, annots) = parallel_loop(50, 16);
+        let mut cfg_small = MachineConfig::default();
+        cfg_small.srb_entries = 8;
+        let rep_small = SptSim::new(&prog, cfg_small, annots.clone()).run(FUEL);
+        let rep_big = SptSim::new(&prog, MachineConfig::default(), annots).run(FUEL);
+        assert_eq!(rep_small.ret, rep_big.ret);
+        assert!(
+            rep_small.cycles >= rep_big.cycles,
+            "small SRB {} vs default {}",
+            rep_small.cycles,
+            rep_big.cycles
+        );
+    }
+
+    #[test]
+    fn report_ratios_well_formed() {
+        let (prog, annots) = parallel_loop(40, 8);
+        let rep = SptSim::new(&prog, MachineConfig::default(), annots).run(FUEL);
+        assert!(rep.fast_commit_ratio() >= 0.0 && rep.fast_commit_ratio() <= 1.0);
+        assert!(rep.misspeculation_ratio() >= 0.0 && rep.misspeculation_ratio() <= 1.0);
+        assert!(rep.ipc() > 0.0);
+        assert_eq!(rep.per_loop.len(), 1);
+        assert!(rep.per_loop[0].forks > 0);
+        assert!(rep.per_loop[0].cycles > 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Speculative store buffer (SSB) and the speculative memory view.
+//!
+//! All stores by the speculative thread land in the SSB; speculative loads
+//! first look up the SSB and only go to the shared cache/memory when no
+//! matching store exists (§3, "Speculative Store Buffer"). On fast commit
+//! the buffered stores are written back in program order; on kill or replay
+//! they are discarded (replay re-executes stores against architectural
+//! memory directly).
+
+use spt_interp::{MemView, Memory};
+use std::collections::HashMap;
+
+/// The speculative store buffer.
+#[derive(Default, Debug)]
+pub struct Ssb {
+    map: HashMap<u64, i64>,
+    /// Program-order log for write-back.
+    log: Vec<(u64, i64)>,
+}
+
+impl Ssb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn store(&mut self, addr: u64, val: i64) {
+        self.map.insert(addr, val);
+        self.log.push((addr, val));
+    }
+
+    /// Latest speculative value for `addr`, if any (store-to-load
+    /// forwarding).
+    pub fn lookup(&self, addr: u64) -> Option<i64> {
+        self.map.get(&addr).copied()
+    }
+
+    pub fn contains(&self, addr: u64) -> bool {
+        self.map.contains_key(&addr)
+    }
+
+    /// Number of buffered stores (dynamic, incl. overwrites).
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Write all outstanding stores back to memory in program order.
+    pub fn drain_to(&mut self, mem: &mut Memory) {
+        for &(addr, val) in &self.log {
+            MemView::store(mem, addr, val);
+        }
+        self.clear();
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.log.clear();
+    }
+}
+
+/// The speculative pipeline's view of memory: SSB overlay on architectural
+/// memory. Loads forward from the SSB when possible; stores never reach
+/// architectural state.
+pub struct SpecMem<'a> {
+    pub ssb: &'a mut Ssb,
+    pub base: &'a mut Memory,
+}
+
+impl MemView for SpecMem<'_> {
+    fn load(&mut self, addr: u64) -> i64 {
+        match self.ssb.lookup(addr) {
+            Some(v) => v,
+            None => self.base.load(addr),
+        }
+    }
+
+    fn store(&mut self, addr: u64, val: i64) {
+        self.ssb.store(addr, val);
+    }
+
+    fn words(&self) -> usize {
+        self.base.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mut ssb = Ssb::new();
+        let mut mem = Memory::new(8);
+        mem.poke(3, 10);
+        let mut view = SpecMem {
+            ssb: &mut ssb,
+            base: &mut mem,
+        };
+        assert_eq!(view.load(3), 10); // falls through to base
+        view.store(3, 99);
+        assert_eq!(view.load(3), 99); // forwarded
+        drop(view);
+        assert_eq!(mem.peek(3), 10); // architectural state untouched
+    }
+
+    #[test]
+    fn latest_store_wins() {
+        let mut ssb = Ssb::new();
+        ssb.store(1, 5);
+        ssb.store(1, 7);
+        assert_eq!(ssb.lookup(1), Some(7));
+        assert_eq!(ssb.len(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_program_order() {
+        let mut ssb = Ssb::new();
+        let mut mem = Memory::new(8);
+        ssb.store(2, 1);
+        ssb.store(4, 2);
+        ssb.store(2, 3); // overwrites the first
+        ssb.drain_to(&mut mem);
+        assert_eq!(mem.peek(2), 3);
+        assert_eq!(mem.peek(4), 2);
+        assert!(ssb.is_empty());
+        assert!(!ssb.contains(2));
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut ssb = Ssb::new();
+        ssb.store(1, 1);
+        ssb.clear();
+        assert!(ssb.is_empty());
+        assert_eq!(ssb.lookup(1), None);
+    }
+
+    #[test]
+    fn words_passes_through() {
+        let mut ssb = Ssb::new();
+        let mut mem = Memory::new(16);
+        let view = SpecMem {
+            ssb: &mut ssb,
+            base: &mut mem,
+        };
+        assert_eq!(view.words(), 16);
+    }
+}

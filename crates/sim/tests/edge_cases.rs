@@ -1,0 +1,354 @@
+//! Edge-case integration tests for the SPT machine: paths that the
+//! mainline suite rarely exercises — double forks, divergence kills,
+//! speculation running off the program end, kills without speculation,
+//! fork at the very last statement, and empty post-fork regions.
+
+use spt_interp::run;
+use spt_mach::MachineConfig;
+use spt_sim::{LoopAnnot, LoopAnnotations, SptSim};
+use spt_sir::{BinOp, BlockId, Program, ProgramBuilder};
+
+const FUEL: u64 = 2_000_000;
+
+fn sim(prog: &Program) -> spt_sim::SptReport {
+    let annots = LoopAnnotations {
+        loops: vec![LoopAnnot {
+            id: 0,
+            func: prog.entry,
+            blocks: vec![BlockId(1)],
+            fork_start: Some(BlockId(1)),
+        }],
+    };
+    SptSim::new(prog, MachineConfig::default(), annots).run(FUEL)
+}
+
+fn check(prog: &Program) -> spt_sim::SptReport {
+    prog.verify().unwrap();
+    let (seq, _) = run(prog, FUEL);
+    assert!(!seq.out_of_fuel);
+    let rep = sim(prog);
+    assert!(!rep.out_of_fuel, "SPT out of fuel");
+    assert_eq!(rep.ret, seq.ret, "SPT diverged from sequential");
+    rep
+}
+
+/// Loop body with TWO forks: the second must be ignored (one speculative
+/// pipeline).
+#[test]
+fn double_fork_ignored() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let nn = f.const_reg(20);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    let cur = f.reg();
+    f.mov(cur, i);
+    f.addi(i, i, 1);
+    f.spt_fork(body);
+    f.spt_fork(body); // second fork while speculation is live
+    f.store(cur, cur, 0);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(i));
+    let id = f.finish();
+    let prog = pb.finish(id, 32);
+    let rep = check(&prog);
+    assert!(rep.forks_ignored > 0, "second fork must be counted as ignored");
+}
+
+/// `spt_kill` with no speculative thread active is a harmless no-op.
+#[test]
+fn kill_without_speculation() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    f.spt_kill();
+    let r = f.const_reg(7);
+    f.spt_kill();
+    f.ret(Some(r));
+    let id = f.finish();
+    let prog = pb.finish(id, 0);
+    let rep = check(&prog);
+    assert_eq!(rep.kills, 0, "no speculative thread existed to kill");
+}
+
+/// Fork as the very last body statement (empty post-fork region): the main
+/// thread arrives at the start-point almost immediately.
+#[test]
+fn fork_at_body_end() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let nn = f.const_reg(30);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.const_(acc, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    f.bin(BinOp::Add, acc, acc, i);
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.spt_fork(body);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(acc));
+    let id = f.finish();
+    let prog = pb.finish(id, 0);
+    let rep = check(&prog);
+    assert_eq!(rep.ret, Some((0..30).sum::<i64>()));
+    assert!(rep.forks > 0);
+}
+
+/// Fork directly at the loop's first statement (empty pre-fork region):
+/// maximum speculation depth, every cross-iteration value is a violation
+/// candidate.
+#[test]
+fn fork_at_body_start() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let nn = f.const_reg(25);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.const_(acc, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    f.spt_fork(body);
+    f.bin(BinOp::Add, acc, acc, i);
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(acc));
+    let id = f.finish();
+    let prog = pb.finish(id, 0);
+    let rep = check(&prog);
+    // i and acc both violated every iteration: replays dominate.
+    assert!(rep.replays > 0);
+}
+
+/// The speculative thread runs off the end of the program (executes the
+/// final `ret` speculatively); commit must adopt the halted context.
+#[test]
+fn speculation_past_program_end() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let nn = f.const_reg(3);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    let cur = f.reg();
+    f.mov(cur, i);
+    f.addi(i, i, 1);
+    f.spt_fork(body);
+    // Long independent tail so the spec thread (next iteration) can reach
+    // the loop exit and the final ret while main is still here.
+    let mut t = cur;
+    for _ in 0..40 {
+        let x = f.reg();
+        f.bin(BinOp::Add, x, t, cur);
+        t = x;
+    }
+    f.store(t, cur, 0);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    // Deliberately NO spt_kill: the spec thread for the phantom 4th
+    // iteration is superseded by commits/arrival logic instead.
+    f.ret(Some(i));
+    let id = f.finish();
+    let prog = pb.finish(id, 16);
+    let rep = check(&prog);
+    assert_eq!(rep.ret, Some(3));
+    let _ = rep;
+}
+
+/// A data-dependent branch inside the loop (not if-converted): when the
+/// speculative thread takes the wrong arm, replay must stop at the
+/// divergence and kill.
+#[test]
+fn control_divergence_kills_replay() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let sel = f.reg();
+    let nn = f.const_reg(40);
+    let head = f.new_block();
+    let left = f.new_block();
+    let right = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.const_(acc, 0);
+    f.const_(sel, 0);
+    f.jmp(head);
+    f.switch_to(head);
+    f.spt_fork(head);
+    // sel flips depending on acc, which the spec thread reads stale: its
+    // branch goes the wrong way regularly.
+    let one = f.const_reg(1);
+    f.bin(BinOp::And, sel, acc, one);
+    f.br(sel, left, right);
+    f.switch_to(left);
+    f.addi(acc, acc, 3);
+    f.jmp(latch);
+    f.switch_to(right);
+    f.addi(acc, acc, 1);
+    f.jmp(latch);
+    f.switch_to(latch);
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, head, exit);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(acc));
+    let id = f.finish();
+    let prog = pb.finish(id, 0);
+    prog.verify().unwrap();
+    let (seq, _) = run(&prog, FUEL);
+    let annots = LoopAnnotations {
+        loops: vec![LoopAnnot {
+            id: 0,
+            func: id,
+            blocks: vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)],
+            fork_start: Some(BlockId(1)),
+        }],
+    };
+    let rep = SptSim::new(&prog, MachineConfig::default(), annots).run(FUEL);
+    assert_eq!(rep.ret, seq.ret);
+    assert!(
+        rep.divergence_kills > 0,
+        "wrong-path speculation must be killed during replay"
+    );
+}
+
+/// SRB of size 1: the speculative thread stalls after a single entry;
+/// everything still works.
+#[test]
+fn srb_of_one() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let nn = f.const_reg(15);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    let cur = f.reg();
+    f.mov(cur, i);
+    f.addi(i, i, 1);
+    f.spt_fork(body);
+    f.store(cur, cur, 0);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(i));
+    let id = f.finish();
+    let prog = pb.finish(id, 32);
+    let (seq, _) = run(&prog, FUEL);
+    let mut m = MachineConfig::default();
+    m.srb_entries = 1;
+    let annots = LoopAnnotations::empty();
+    let rep = SptSim::new(&prog, m, annots).run(FUEL);
+    assert_eq!(rep.ret, seq.ret);
+}
+
+/// Speculation inside a callee (the loop lives one call level down).
+#[test]
+fn speculation_in_callee() {
+    let mut pb = ProgramBuilder::new();
+    let worker = pb.declare("worker", 1);
+    let mut f = pb.func("main", 0);
+    let n = f.const_reg(12);
+    let r1 = f.reg();
+    f.call(worker, &[n], Some(r1));
+    let r2 = f.reg();
+    f.call(worker, &[n], Some(r2));
+    let out = f.reg();
+    f.bin(BinOp::Add, out, r1, r2);
+    f.ret(Some(out));
+    let main = f.finish();
+    let mut g = pb.build(worker);
+    let trip = g.param(0);
+    let i = g.reg();
+    let acc = g.reg();
+    let body = g.new_block();
+    let exit = g.new_block();
+    g.const_(i, 0);
+    g.const_(acc, 0);
+    g.jmp(body);
+    g.switch_to(body);
+    let cur = g.reg();
+    g.mov(cur, i);
+    g.addi(i, i, 1);
+    g.spt_fork(body);
+    let t = g.reg();
+    g.bin(BinOp::Mul, t, cur, cur);
+    g.bin(BinOp::Add, acc, acc, t);
+    let c = g.reg();
+    g.bin(BinOp::CmpLt, c, i, trip);
+    g.br(c, body, exit);
+    g.switch_to(exit);
+    g.spt_kill();
+    g.ret(Some(acc));
+    g.finish();
+    let prog = pb.finish(main, 8);
+    prog.verify().unwrap();
+    let (seq, _) = run(&prog, FUEL);
+    let rep = SptSim::new(&prog, MachineConfig::default(), LoopAnnotations::empty()).run(FUEL);
+    assert_eq!(rep.ret, seq.ret);
+    assert!(rep.forks > 10, "both invocations speculate");
+}
+
+/// Zero-trip loop: the body never executes, no fork ever fires.
+#[test]
+fn zero_trip_loop() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let nn = f.const_reg(0);
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.jmp(head);
+    f.switch_to(head);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(body);
+    f.spt_fork(body);
+    f.addi(i, i, 1);
+    f.jmp(head);
+    f.switch_to(exit);
+    f.spt_kill();
+    f.ret(Some(i));
+    let id = f.finish();
+    let prog = pb.finish(id, 0);
+    let rep = check(&prog);
+    assert_eq!(rep.forks, 0);
+    assert_eq!(rep.ret, Some(0));
+}

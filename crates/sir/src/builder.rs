@@ -1,0 +1,314 @@
+//! Ergonomic construction of SIR programs.
+
+use crate::func::{Block, Func, Program, Terminator};
+use crate::inst::{BinOp, Guard, Inst, Op, UnOp};
+use crate::types::{BlockId, FuncId, Reg};
+
+/// Builds a [`Program`] out of one or more functions.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Func>,
+    data: Vec<(u64, i64)>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve a function slot and start building it. Functions may be built
+    /// in any order; the returned builder knows its final [`FuncId`], so
+    /// mutually recursive calls can be expressed by reserving ids first via
+    /// [`ProgramBuilder::declare`].
+    pub fn func(&mut self, name: &str, n_params: u32) -> FuncBuilder<'_> {
+        let id = self.declare(name, n_params);
+        FuncBuilder::resume(self, id)
+    }
+
+    /// Reserve a function id without building its body yet.
+    pub fn declare(&mut self, name: &str, n_params: u32) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Func {
+            name: name.to_string(),
+            blocks: vec![Block::new(Terminator::Ret(None))],
+            entry: BlockId(0),
+            n_regs: n_params,
+            n_params,
+        });
+        id
+    }
+
+    /// Resume building a previously declared function.
+    pub fn build(&mut self, id: FuncId) -> FuncBuilder<'_> {
+        FuncBuilder::resume(self, id)
+    }
+
+    /// Add an initial-memory word.
+    pub fn datum(&mut self, addr: u64, value: i64) {
+        self.data.push((addr, value));
+    }
+
+    /// Finish the program with the given entry function and memory size.
+    pub fn finish(self, entry: FuncId, mem_words: usize) -> Program {
+        Program {
+            funcs: self.funcs,
+            entry,
+            mem_words,
+            data: self.data,
+        }
+    }
+}
+
+/// Builds one function. Keeps a current block; instruction-emitting methods
+/// append to it. Terminator-emitting methods seal the current block.
+pub struct FuncBuilder<'p> {
+    pb: &'p mut ProgramBuilder,
+    pub id: FuncId,
+    cur: BlockId,
+    /// Pending guard applied to the next emitted instruction(s).
+    guard: Option<Guard>,
+}
+
+impl<'p> FuncBuilder<'p> {
+    fn resume(pb: &'p mut ProgramBuilder, id: FuncId) -> Self {
+        FuncBuilder {
+            pb,
+            id,
+            cur: BlockId(0),
+            guard: None,
+        }
+    }
+
+    fn f(&mut self) -> &mut Func {
+        &mut self.pb.funcs[self.id.index()]
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        self.f().fresh_reg()
+    }
+
+    /// Parameter register `i` (valid for `i < n_params`).
+    pub fn param(&mut self, i: u32) -> Reg {
+        debug_assert!(i < self.f().n_params);
+        Reg(i)
+    }
+
+    /// Create a new (empty, Ret-terminated) block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let f = self.f();
+        let id = BlockId(f.blocks.len() as u32);
+        f.blocks.push(Block::new(Terminator::Ret(None)));
+        id
+    }
+
+    /// Make `b` the current block for subsequent instruction emission.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Current block id.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Set a guard applied to every instruction emitted until [`Self::unguard`].
+    pub fn guard_when(&mut self, reg: Reg) {
+        self.guard = Some(Guard::when(reg));
+    }
+
+    /// Guard on the *false* value of `reg`.
+    pub fn guard_unless(&mut self, reg: Reg) {
+        self.guard = Some(Guard::unless(reg));
+    }
+
+    pub fn unguard(&mut self) {
+        self.guard = None;
+    }
+
+    /// Emit a raw instruction into the current block.
+    pub fn emit(&mut self, op: Op) {
+        let guard = self.guard;
+        let cur = self.cur;
+        self.f().blocks[cur.index()].insts.push(Inst { op, guard });
+    }
+
+    // --- instruction helpers -------------------------------------------------
+
+    pub fn const_(&mut self, dst: Reg, imm: i64) {
+        self.emit(Op::Const { dst, imm });
+    }
+
+    /// Materialize a constant in a fresh register.
+    pub fn const_reg(&mut self, imm: i64) -> Reg {
+        let r = self.reg();
+        self.const_(r, imm);
+        r
+    }
+
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::Un {
+            op: UnOp::Mov,
+            dst,
+            src,
+        });
+    }
+
+    pub fn un(&mut self, op: UnOp, dst: Reg, src: Reg) {
+        self.emit(Op::Un { op, dst, src });
+    }
+
+    pub fn bin(&mut self, op: BinOp, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Op::Bin { op, dst, a, b });
+    }
+
+    /// dst = a + imm (via a fresh constant register).
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        let c = self.const_reg(imm);
+        self.bin(BinOp::Add, dst, a, c);
+    }
+
+    pub fn load(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.emit(Op::Load { dst, base, off });
+    }
+
+    pub fn store(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Op::Store { src, base, off });
+    }
+
+    pub fn call(&mut self, callee: FuncId, args: &[Reg], ret: Option<Reg>) {
+        self.emit(Op::Call {
+            callee,
+            args: args.to_vec(),
+            ret,
+        });
+    }
+
+    pub fn spt_fork(&mut self, start: BlockId) {
+        self.emit(Op::SptFork { start });
+    }
+
+    pub fn spt_kill(&mut self) {
+        self.emit(Op::SptKill);
+    }
+
+    pub fn nop(&mut self, units: u32) {
+        self.emit(Op::Nop { units });
+    }
+
+    // --- terminators ---------------------------------------------------------
+
+    pub fn jmp(&mut self, target: BlockId) {
+        let cur = self.cur;
+        self.f().blocks[cur.index()].term = Terminator::Jmp(target);
+    }
+
+    pub fn br(&mut self, cond: Reg, taken: BlockId, not_taken: BlockId) {
+        let cur = self.cur;
+        self.f().blocks[cur.index()].term = Terminator::Br {
+            cond,
+            taken,
+            not_taken,
+        };
+    }
+
+    pub fn ret(&mut self, val: Option<Reg>) {
+        let cur = self.cur;
+        self.f().blocks[cur.index()].term = Terminator::Ret(val);
+    }
+
+    /// Finish and return the function's id.
+    pub fn finish(self) -> FuncId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counted_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let n = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(n, 5);
+        f.jmp(body);
+        f.switch_to(body);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, n);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        assert_eq!(prog.funcs.len(), 1);
+        let func = prog.func(id);
+        assert_eq!(func.blocks.len(), 3);
+        assert_eq!(
+            func.block(BlockId(1)).term.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        prog.verify().unwrap();
+    }
+
+    #[test]
+    fn guards_apply_until_unguard() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("g", 0);
+        let p = f.reg();
+        let x = f.reg();
+        f.const_(p, 1);
+        f.guard_when(p);
+        f.const_(x, 7);
+        f.const_(x, 8);
+        f.unguard();
+        f.const_(x, 9);
+        f.ret(Some(x));
+        let id = f.finish();
+        let prog = pb.finish(id, 0);
+        let blk = prog.func(id).block(BlockId(0));
+        assert_eq!(blk.insts[0].guard, None);
+        assert_eq!(blk.insts[1].guard, Some(Guard::when(p)));
+        assert_eq!(blk.insts[2].guard, Some(Guard::when(p)));
+        assert_eq!(blk.insts[3].guard, None);
+    }
+
+    #[test]
+    fn declare_then_build_supports_forward_calls() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee", 1);
+        let mut f = pb.func("main", 0);
+        let a = f.const_reg(4);
+        let r = f.reg();
+        f.call(callee, &[a], Some(r));
+        f.ret(Some(r));
+        let main = f.finish();
+        let mut g = pb.build(callee);
+        let p0 = g.param(0);
+        let out = g.reg();
+        g.bin(BinOp::Mul, out, p0, p0);
+        g.ret(Some(out));
+        g.finish();
+        let prog = pb.finish(main, 0);
+        prog.verify().unwrap();
+        assert_eq!(prog.funcs.len(), 2);
+    }
+
+    #[test]
+    fn datum_records_initial_memory() {
+        let mut pb = ProgramBuilder::new();
+        pb.datum(3, 42);
+        let mut f = pb.func("m", 0);
+        f.ret(None);
+        let id = f.finish();
+        let p = pb.finish(id, 8);
+        assert_eq!(p.data, vec![(3, 42)]);
+        assert_eq!(p.mem_words, 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::Cfg;
+use crate::types::BlockId;
+
+/// Immediate-dominator tree over the reachable blocks of a function.
+pub struct DomTree {
+    /// idom[b] = immediate dominator of b; entry's idom is itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    pub fn new(cfg: &Cfg, entry: BlockId) -> Self {
+        let n = cfg.n_blocks();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree { idom, entry }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed block must have idom");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed block must have idom");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (entry's is itself); `None` if unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive; false if either is unreachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::func::Program;
+    use crate::types::FuncId;
+
+    /// 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> {1 (back), 4}
+    fn looped_diamond() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("ld", 0);
+        let c = f.reg();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        let b4 = f.new_block();
+        f.const_(c, 1);
+        f.br(c, b1, b2);
+        f.switch_to(b1);
+        f.jmp(b3);
+        f.switch_to(b2);
+        f.jmp(b3);
+        f.switch_to(b3);
+        f.br(c, b1, b4);
+        f.switch_to(b4);
+        f.ret(None);
+        let id = f.finish();
+        (pb.finish(id, 0), id)
+    }
+
+    #[test]
+    fn idoms_of_looped_diamond() {
+        let (p, id) = looped_diamond();
+        let cfg = Cfg::new(p.func(id));
+        let dom = DomTree::new(&cfg, p.func(id).entry);
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        // b3 is reached from both b1 and b2 -> idom is the branch block b0.
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (p, id) = looped_diamond();
+        let cfg = Cfg::new(p.func(id));
+        let dom = DomTree::new(&cfg, p.func(id).entry);
+        assert!(dom.dominates(BlockId(0), BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(4)));
+        assert!(dom.dominates(BlockId(3), BlockId(4)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(4), BlockId(0)));
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("c", 0);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.jmp(b1);
+        f.switch_to(b1);
+        f.jmp(b2);
+        f.switch_to(b2);
+        f.ret(None);
+        let id = f.finish();
+        let p = pb.finish(id, 0);
+        let cfg = Cfg::new(p.func(id));
+        let dom = DomTree::new(&cfg, BlockId(0));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("u", 0);
+        let dead = f.new_block();
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        let id = f.finish();
+        let p = pb.finish(id, 0);
+        let cfg = Cfg::new(p.func(id));
+        let dom = DomTree::new(&cfg, BlockId(0));
+        assert_eq!(dom.idom(BlockId(1)), None);
+        assert!(!dom.dominates(BlockId(0), BlockId(1)));
+    }
+}

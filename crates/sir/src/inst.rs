@@ -1,0 +1,452 @@
+//! Instructions (guarded statements) and opcodes.
+
+use crate::types::{BlockId, FuncId, Reg};
+
+/// Binary ALU operations. Comparison ops produce 0/1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero yields 0 (SIR is total).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Shift left by (rhs & 63).
+    Shl,
+    /// Arithmetic shift right by (rhs & 63).
+    Shr,
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Evaluate the operation on two i64 values (wrapping arithmetic).
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::CmpEq => (a == b) as i64,
+            BinOp::CmpNe => (a != b) as i64,
+            BinOp::CmpLt => (a < b) as i64,
+            BinOp::CmpLe => (a <= b) as i64,
+            BinOp::CmpGt => (a > b) as i64,
+            BinOp::CmpGe => (a >= b) as i64,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::CmpEq => "cmpeq",
+            BinOp::CmpNe => "cmpne",
+            BinOp::CmpLt => "cmplt",
+            BinOp::CmpLe => "cmple",
+            BinOp::CmpGt => "cmpgt",
+            BinOp::CmpGe => "cmpge",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    /// Register-to-register move.
+    Mov,
+}
+
+impl UnOp {
+    #[inline]
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+            UnOp::Mov => a,
+        }
+    }
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Mov => "mov",
+        }
+    }
+}
+
+/// A statement guard (predicate). When present, the statement executes only
+/// if the guard register's truth value (`!= 0`) equals `expect`.
+///
+/// Guards are how SIR expresses Itanium-style predication; the SPT
+/// compiler's if-conversion pass produces them and the partition search
+/// treats the guard register as an additional source operand (a control
+/// dependence turned data dependence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Guard {
+    pub reg: Reg,
+    pub expect: bool,
+}
+
+impl Guard {
+    pub fn when(reg: Reg) -> Self {
+        Guard { reg, expect: true }
+    }
+    pub fn unless(reg: Reg) -> Self {
+        Guard { reg, expect: false }
+    }
+    /// Does a guard-register value satisfy this guard?
+    #[inline]
+    pub fn passes(self, value: i64) -> bool {
+        (value != 0) == self.expect
+    }
+}
+
+/// Operation payload of a statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// dst = imm
+    Const { dst: Reg, imm: i64 },
+    /// dst = un op src
+    Un { op: UnOp, dst: Reg, src: Reg },
+    /// dst = a op b
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// dst = mem[base + off] (word addressed; off in words)
+    Load { dst: Reg, base: Reg, off: i64 },
+    /// mem[base + off] = src
+    Store { src: Reg, base: Reg, off: i64 },
+    /// Call a function: callee's r0..r{n-1} are bound to `args`; the callee's
+    /// return value (if any) lands in `ret`.
+    Call {
+        callee: FuncId,
+        args: Vec<Reg>,
+        ret: Option<Reg>,
+    },
+    /// Fork a speculative thread starting at `start` (the start-point).
+    /// No-op under sequential execution and on the speculative pipeline.
+    SptFork { start: BlockId },
+    /// Kill any running speculative thread. No-op otherwise.
+    SptKill,
+    /// An instruction that does work but has no architectural effect; used
+    /// by workload generators for body-size calibration. Costs one issue
+    /// slot per `units`.
+    Nop { units: u32 },
+}
+
+/// Latency class of an instruction, mapped to cycles by the machine config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LatClass {
+    /// Simple ALU: add/sub/logic/compare/move/const. 1 cycle.
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide/remainder.
+    Div,
+    /// Memory load: latency from the cache hierarchy.
+    Load,
+    /// Memory store: 1 cycle into the store buffer/cache pipeline.
+    Store,
+    /// Call/return overhead.
+    Call,
+    /// SPT fork/kill: handled specially by the SPT simulator.
+    Spt,
+    /// Nop padding.
+    Nop,
+}
+
+/// A guarded statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    pub op: Op,
+    pub guard: Option<Guard>,
+}
+
+impl Inst {
+    pub fn new(op: Op) -> Self {
+        Inst { op, guard: None }
+    }
+
+    pub fn guarded(op: Op, guard: Guard) -> Self {
+        Inst {
+            op,
+            guard: Some(guard),
+        }
+    }
+
+    /// Latency class of this statement.
+    pub fn lat_class(&self) -> LatClass {
+        match &self.op {
+            Op::Const { .. } | Op::Un { .. } => LatClass::Alu,
+            Op::Bin { op, .. } => match op {
+                BinOp::Mul => LatClass::Mul,
+                BinOp::Div | BinOp::Rem => LatClass::Div,
+                _ => LatClass::Alu,
+            },
+            Op::Load { .. } => LatClass::Load,
+            Op::Store { .. } => LatClass::Store,
+            Op::Call { .. } => LatClass::Call,
+            Op::SptFork { .. } | Op::SptKill => LatClass::Spt,
+            Op::Nop { .. } => LatClass::Nop,
+        }
+    }
+
+    /// Destination register, if the statement writes one.
+    pub fn dst(&self) -> Option<Reg> {
+        match &self.op {
+            Op::Const { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Load { dst, .. } => Some(*dst),
+            Op::Call { ret, .. } => *ret,
+            Op::Store { .. } | Op::SptFork { .. } | Op::SptKill | Op::Nop { .. } => None,
+        }
+    }
+
+    /// Source registers, *excluding* the guard. Order is not significant.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match &self.op {
+            Op::Const { .. } | Op::SptFork { .. } | Op::SptKill | Op::Nop { .. } => vec![],
+            Op::Un { src, .. } => vec![*src],
+            Op::Bin { a, b, .. } => vec![*a, *b],
+            Op::Load { base, .. } => vec![*base],
+            Op::Store { src, base, .. } => vec![*src, *base],
+            Op::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Source registers *including* the guard register; this is the operand
+    /// set used for dependence analysis and violation checking.
+    pub fn srcs_with_guard(&self) -> Vec<Reg> {
+        let mut v = self.srcs();
+        if let Some(g) = self.guard {
+            v.push(g.reg);
+        }
+        v
+    }
+
+    /// Does this statement read memory?
+    pub fn is_load(&self) -> bool {
+        matches!(self.op, Op::Load { .. })
+    }
+
+    /// Does this statement write memory?
+    pub fn is_store(&self) -> bool {
+        matches!(self.op, Op::Store { .. })
+    }
+
+    /// Is this a call (which may touch arbitrary memory)?
+    pub fn is_call(&self) -> bool {
+        matches!(self.op, Op::Call { .. })
+    }
+
+    /// Rewrite every register mentioned by this instruction (sources,
+    /// destination and guard) through `f`. Used by unrolling/privatization.
+    pub fn rewrite_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match &mut self.op {
+            Op::Const { dst, .. } => *dst = f(*dst),
+            Op::Un { dst, src, .. } => {
+                *src = f(*src);
+                *dst = f(*dst);
+            }
+            Op::Bin { dst, a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+                *dst = f(*dst);
+            }
+            Op::Load { dst, base, .. } => {
+                *base = f(*base);
+                *dst = f(*dst);
+            }
+            Op::Store { src, base, .. } => {
+                *src = f(*src);
+                *base = f(*base);
+            }
+            Op::Call { args, ret, .. } => {
+                for a in args.iter_mut() {
+                    *a = f(*a);
+                }
+                if let Some(r) = ret {
+                    *r = f(*r);
+                }
+            }
+            Op::SptFork { .. } | Op::SptKill | Op::Nop { .. } => {}
+        }
+        if let Some(g) = &mut self.guard {
+            g.reg = f(g.reg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basic() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(-4, 3), -12);
+        assert_eq!(BinOp::CmpLt.eval(1, 2), 1);
+        assert_eq!(BinOp::CmpLt.eval(2, 2), 0);
+        assert_eq!(BinOp::Min.eval(5, -1), -1);
+        assert_eq!(BinOp::Max.eval(5, -1), 5);
+    }
+
+    #[test]
+    fn binop_division_is_total() {
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), 0);
+        assert_eq!(BinOp::Rem.eval(i64::MIN, -1), 0);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 2), 1);
+    }
+
+    #[test]
+    fn binop_wrapping() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Shl.eval(1, 64), 1); // shift count masked to 0
+        assert_eq!(BinOp::Shr.eval(-8, 1), -4); // arithmetic shift
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(3), -3);
+        assert_eq!(UnOp::Not.eval(0), -1);
+        assert_eq!(UnOp::Mov.eval(42), 42);
+        assert_eq!(UnOp::Neg.eval(i64::MIN), i64::MIN); // wrapping
+    }
+
+    #[test]
+    fn guard_passes() {
+        let g = Guard::when(Reg(0));
+        assert!(g.passes(1));
+        assert!(g.passes(-7));
+        assert!(!g.passes(0));
+        let n = Guard::unless(Reg(0));
+        assert!(n.passes(0));
+        assert!(!n.passes(5));
+    }
+
+    #[test]
+    fn inst_operands() {
+        let i = Inst::new(Op::Bin {
+            op: BinOp::Add,
+            dst: Reg(2),
+            a: Reg(0),
+            b: Reg(1),
+        });
+        assert_eq!(i.dst(), Some(Reg(2)));
+        assert_eq!(i.srcs(), vec![Reg(0), Reg(1)]);
+        assert_eq!(i.lat_class(), LatClass::Alu);
+
+        let s = Inst::new(Op::Store {
+            src: Reg(3),
+            base: Reg(4),
+            off: 2,
+        });
+        assert_eq!(s.dst(), None);
+        assert!(s.is_store());
+        assert!(!s.is_load());
+        assert_eq!(s.lat_class(), LatClass::Store);
+    }
+
+    #[test]
+    fn guard_included_in_analysis_operands() {
+        let i = Inst::guarded(
+            Op::Const {
+                dst: Reg(1),
+                imm: 9,
+            },
+            Guard::when(Reg(7)),
+        );
+        assert_eq!(i.srcs(), vec![]);
+        assert_eq!(i.srcs_with_guard(), vec![Reg(7)]);
+    }
+
+    #[test]
+    fn rewrite_regs_touches_everything() {
+        let mut i = Inst::guarded(
+            Op::Bin {
+                op: BinOp::Mul,
+                dst: Reg(0),
+                a: Reg(1),
+                b: Reg(2),
+            },
+            Guard::when(Reg(3)),
+        );
+        i.rewrite_regs(|r| Reg(r.0 + 10));
+        assert_eq!(i.dst(), Some(Reg(10)));
+        assert_eq!(i.srcs(), vec![Reg(11), Reg(12)]);
+        assert_eq!(i.guard.unwrap().reg, Reg(13));
+    }
+
+    #[test]
+    fn lat_class_by_op() {
+        let mul = Inst::new(Op::Bin {
+            op: BinOp::Mul,
+            dst: Reg(0),
+            a: Reg(0),
+            b: Reg(0),
+        });
+        assert_eq!(mul.lat_class(), LatClass::Mul);
+        let div = Inst::new(Op::Bin {
+            op: BinOp::Div,
+            dst: Reg(0),
+            a: Reg(0),
+            b: Reg(0),
+        });
+        assert_eq!(div.lat_class(), LatClass::Div);
+        let ld = Inst::new(Op::Load {
+            dst: Reg(0),
+            base: Reg(1),
+            off: 0,
+        });
+        assert_eq!(ld.lat_class(), LatClass::Load);
+        assert_eq!(Inst::new(Op::SptKill).lat_class(), LatClass::Spt);
+    }
+}

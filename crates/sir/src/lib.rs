@@ -1,0 +1,66 @@
+//! # SPT IR ("SIR")
+//!
+//! The intermediate representation targeted by the SPT (Speculative Parallel
+//! Threading) compiler and executed by the SPT simulators.
+//!
+//! SIR is a register-based, statement-level IR with *predication*: every
+//! statement may carry a guard register, mirroring the Itanium predication
+//! the original paper compiled for. Control dependence inside loop bodies is
+//! expressed as a data dependence on the guard, which is what makes the
+//! cost-driven partition search and code reordering of the SPT compiler
+//! well-defined statement-list operations.
+//!
+//! A [`Program`] is a set of [`Func`]tions; each function is a control-flow
+//! graph of [`Block`]s holding guarded [`Inst`]ructions and ending in a
+//! [`Terminator`]. Two special instructions, [`Op::SptFork`] and
+//! [`Op::SptKill`], expose the paper's explicit hardware threading support:
+//! they are inserted by the SPT compiler and interpreted by the SPT
+//! simulator (and are no-ops to sequential execution and to the speculative
+//! pipeline, exactly as in §3.1 of the paper).
+//!
+//! ```
+//! use spt_sir::{ProgramBuilder, BinOp};
+//!
+//! // sum = Σ i for i in 0..10
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.func("main", 0);
+//! let i = f.reg();
+//! let sum = f.reg();
+//! let body = f.new_block();
+//! let exit = f.new_block();
+//! f.const_(i, 0);
+//! f.const_(sum, 0);
+//! f.jmp(body);
+//! f.switch_to(body);
+//! f.bin(BinOp::Add, sum, sum, i);
+//! let one = f.const_reg(1);
+//! f.bin(BinOp::Add, i, i, one);
+//! let ten = f.const_reg(10);
+//! let c = f.reg();
+//! f.bin(BinOp::CmpLt, c, i, ten);
+//! f.br(c, body, exit);
+//! f.switch_to(exit);
+//! f.ret(Some(sum));
+//! let main = f.finish();
+//! let prog = pb.finish(main, 0);
+//! prog.verify().unwrap();
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod func;
+pub mod inst;
+pub mod loops;
+pub mod pretty;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FuncBuilder, ProgramBuilder};
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use func::{Block, Func, Program, Terminator};
+pub use inst::{BinOp, Guard, Inst, LatClass, Op, UnOp};
+pub use loops::{analyze_loops, Loop, LoopForest, LoopId};
+pub use types::{BlockId, FuncId, Reg, StmtRef};
+pub use verify::VerifyError;

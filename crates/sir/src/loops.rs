@@ -1,0 +1,354 @@
+//! Natural-loop detection and the loop nesting forest.
+//!
+//! The SPT compiler parallelizes loops; every analysis starts from the
+//! natural loops of a function (back edges `latch -> header` where the
+//! header dominates the latch).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Func;
+use crate::types::BlockId;
+
+/// Identifies a loop within a [`LoopForest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    pub id: LoopId,
+    pub header: BlockId,
+    /// Blocks belonging to the loop (including the header), sorted.
+    pub blocks: Vec<BlockId>,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+    /// Blocks outside the loop that loop blocks branch to.
+    pub exits: Vec<BlockId>,
+    /// Parent loop in the nesting forest, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+}
+
+impl Loop {
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+
+    /// Is this loop's body a single block (header == latch)?
+    ///
+    /// Single-block loops are the canonical SPT loop shape after
+    /// if-conversion; the partition search operates on their statement list.
+    pub fn is_single_block(&self) -> bool {
+        self.blocks.len() == 1 && self.latches == [self.header]
+    }
+}
+
+/// All natural loops of a function, with nesting structure.
+pub struct LoopForest {
+    pub loops: Vec<Loop>,
+    /// innermost[b] = innermost loop containing block b, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    pub fn new(f: &Func, cfg: &Cfg, dom: &DomTree) -> Self {
+        // Find back edges and collect loop bodies, merging loops that share
+        // a header.
+        let n = f.blocks.len();
+        let mut header_loops: Vec<(BlockId, Vec<BlockId>, Vec<bool>)> = Vec::new();
+
+        for &b in &cfg.rpo {
+            for &s in &cfg.succs[b.index()] {
+                if dom.dominates(s, b) {
+                    // back edge b -> s; natural loop = s plus all blocks that
+                    // reach b without passing through s.
+                    let header = s;
+                    let mut in_loop = vec![false; n];
+                    in_loop[header.index()] = true;
+                    let mut stack = Vec::new();
+                    if b != header {
+                        in_loop[b.index()] = true;
+                        stack.push(b);
+                    }
+                    while let Some(x) = stack.pop() {
+                        for &p in &cfg.preds[x.index()] {
+                            if cfg.is_reachable(p) && !in_loop[p.index()] {
+                                in_loop[p.index()] = true;
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    // Merge with an existing loop that has the same header.
+                    if let Some(entry) = header_loops.iter_mut().find(|(h, _, _)| *h == header) {
+                        entry.1.push(b);
+                        for (i, &inl) in in_loop.iter().enumerate() {
+                            if inl {
+                                entry.2[i] = true;
+                            }
+                        }
+                    } else {
+                        header_loops.push((header, vec![b], in_loop));
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = header_loops
+            .into_iter()
+            .enumerate()
+            .map(|(i, (header, latches, in_loop))| {
+                let blocks: Vec<BlockId> = (0..n as u32)
+                    .map(BlockId)
+                    .filter(|b| in_loop[b.index()])
+                    .collect();
+                let mut exits: Vec<BlockId> = Vec::new();
+                for &b in &blocks {
+                    for &s in &cfg.succs[b.index()] {
+                        if !in_loop[s.index()] && !exits.contains(&s) {
+                            exits.push(s);
+                        }
+                    }
+                }
+                exits.sort();
+                Loop {
+                    id: LoopId(i as u32),
+                    header,
+                    blocks,
+                    latches,
+                    exits,
+                    parent: None,
+                    depth: 1,
+                }
+            })
+            .collect();
+
+        // Nesting: loop A is nested in B iff B contains A's header and A != B
+        // and B is the smallest such loop.
+        let ids: Vec<LoopId> = loops.iter().map(|l| l.id).collect();
+        for &a in &ids {
+            let mut best: Option<(usize, LoopId)> = None;
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (&loops[a.index()], &loops[b.index()]);
+                if lb.contains(la.header) && lb.blocks.len() > la.blocks.len() {
+                    let sz = lb.blocks.len();
+                    if best.is_none_or(|(bs, _)| sz < bs) {
+                        best = Some((sz, b));
+                    }
+                }
+            }
+            loops[a.index()].parent = best.map(|(_, b)| b);
+        }
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // innermost block -> loop map (deepest loop containing the block).
+        let mut innermost: Vec<Option<LoopId>> = vec![None; n];
+        for l in &loops {
+            for &b in &l.blocks {
+                match innermost[b.index()] {
+                    None => innermost[b.index()] = Some(l.id),
+                    Some(cur) if loops[cur.index()].depth < l.depth => {
+                        innermost[b.index()] = Some(l.id)
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_at(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Loops with no nested loops inside them.
+    pub fn innermost_loops(&self) -> Vec<LoopId> {
+        let has_child: Vec<bool> = {
+            let mut v = vec![false; self.loops.len()];
+            for l in &self.loops {
+                if let Some(p) = l.parent {
+                    v[p.index()] = true;
+                }
+            }
+            v
+        };
+        self.loops
+            .iter()
+            .filter(|l| !has_child[l.id.index()])
+            .map(|l| l.id)
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+/// Convenience: full loop analysis of a function.
+pub fn analyze_loops(f: &Func) -> (Cfg, DomTree, LoopForest) {
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(&cfg, f.entry);
+    let forest = LoopForest::new(f, &cfg, &dom);
+    (cfg, dom, forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::func::Program;
+    use crate::types::{FuncId, Reg};
+
+    fn single_block_loop() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("l", 0);
+        let c = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(c, 1);
+        f.jmp(body);
+        f.switch_to(body);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        (pb.finish(id, 0), id)
+    }
+
+    #[test]
+    fn detects_single_block_loop() {
+        let (p, id) = single_block_loop();
+        let (_, _, forest) = analyze_loops(p.func(id));
+        assert_eq!(forest.len(), 1);
+        let l = forest.get(LoopId(0));
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.is_single_block());
+        assert_eq!(l.latches, vec![BlockId(1)]);
+        assert_eq!(l.exits, vec![BlockId(2)]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(forest.innermost_at(BlockId(1)), Some(LoopId(0)));
+        assert_eq!(forest.innermost_at(BlockId(0)), None);
+    }
+
+    /// outer: header 1, blocks {1,2,3}; inner: header 2, blocks {2}
+    fn nested_loops() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("n", 0);
+        let c = f.reg();
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let tail = f.new_block();
+        let exit = f.new_block();
+        f.const_(c, 1);
+        f.jmp(outer);
+        f.switch_to(outer);
+        f.jmp(inner);
+        f.switch_to(inner);
+        f.br(c, inner, tail);
+        f.switch_to(tail);
+        f.br(c, outer, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        (pb.finish(id, 0), id)
+    }
+
+    #[test]
+    fn nested_loop_forest() {
+        let (p, id) = nested_loops();
+        let (_, _, forest) = analyze_loops(p.func(id));
+        assert_eq!(forest.len(), 2);
+        let inner = forest
+            .loops
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .unwrap();
+        let outer = forest
+            .loops
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(
+            outer.blocks,
+            vec![BlockId(1), BlockId(2), BlockId(3)]
+        );
+        assert_eq!(forest.innermost_loops(), vec![inner.id]);
+        assert_eq!(forest.innermost_at(BlockId(2)), Some(inner.id));
+        assert_eq!(forest.innermost_at(BlockId(3)), Some(outer.id));
+    }
+
+    #[test]
+    fn two_latches_merge_into_one_loop() {
+        // header 1; two latch blocks 2 and 3 both branch back to 1.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("m", 0);
+        let c = f.reg();
+        let h = f.new_block();
+        let l1 = f.new_block();
+        let l2 = f.new_block();
+        let exit = f.new_block();
+        f.const_(c, 1);
+        f.jmp(h);
+        f.switch_to(h);
+        f.br(c, l1, l2);
+        f.switch_to(l1);
+        f.br(c, h, exit);
+        f.switch_to(l2);
+        f.jmp(h);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish();
+        let p = pb.finish(id, 0);
+        let (_, _, forest) = analyze_loops(p.func(id));
+        assert_eq!(forest.len(), 1);
+        let l = forest.get(LoopId(0));
+        assert_eq!(l.header, h);
+        assert_eq!(l.blocks.len(), 3);
+        assert_eq!(l.latches.len(), 2);
+        assert!(!l.is_single_block());
+    }
+
+    #[test]
+    fn loop_free_function_has_empty_forest() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("nf", 0);
+        f.ret(None);
+        let id = f.finish();
+        let p = pb.finish(id, 0);
+        let (_, _, forest) = analyze_loops(p.func(id));
+        assert!(forest.is_empty());
+        let _ = Reg(0);
+    }
+}

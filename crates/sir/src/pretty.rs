@@ -1,0 +1,139 @@
+//! Human-readable printing of SIR programs.
+
+use crate::func::{Func, Program, Terminator};
+use crate::inst::{Inst, Op};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "({}{}) ", if g.expect { "" } else { "!" }, g.reg)?;
+        }
+        match &self.op {
+            Op::Const { dst, imm } => write!(f, "{dst} = {imm}"),
+            Op::Un { op, dst, src } => write!(f, "{dst} = {} {src}", op.mnemonic()),
+            Op::Bin { op, dst, a, b } => write!(f, "{dst} = {} {a}, {b}", op.mnemonic()),
+            Op::Load { dst, base, off } => write!(f, "{dst} = load [{base}{off:+}]"),
+            Op::Store { src, base, off } => write!(f, "store [{base}{off:+}] = {src}"),
+            Op::Call { callee, args, ret } => {
+                if let Some(r) = ret {
+                    write!(f, "{r} = call {:?}(", callee)?;
+                } else {
+                    write!(f, "call {:?}(", callee)?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Op::SptFork { start } => write!(f, "spt_fork {start}"),
+            Op::SptKill => write!(f, "spt_kill"),
+            Op::Nop { units } => write!(f, "nop x{units}"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jmp(b) => write!(f, "jmp {b}"),
+            Terminator::Br {
+                cond,
+                taken,
+                not_taken,
+            } => write!(f, "br {cond} ? {taken} : {not_taken}"),
+            Terminator::Ret(Some(r)) => write!(f, "ret {r}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "func {}({} params, {} regs) entry {}:",
+            self.name, self.n_params, self.n_regs, self.entry
+        )?;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "  bb{bi}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program (entry fn{}, {} words of memory, {} initial data)",
+            self.entry.0,
+            self.mem_words,
+            self.data.len()
+        )?;
+        for func in &self.funcs {
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BinOp, Guard, Inst, Op};
+    use crate::types::{BlockId, Reg};
+
+    #[test]
+    fn inst_display_forms() {
+        let i = Inst::new(Op::Bin {
+            op: BinOp::Add,
+            dst: Reg(2),
+            a: Reg(0),
+            b: Reg(1),
+        });
+        assert_eq!(i.to_string(), "r2 = add r0, r1");
+
+        let g = Inst::guarded(
+            Op::Store {
+                src: Reg(1),
+                base: Reg(0),
+                off: -2,
+            },
+            Guard::unless(Reg(3)),
+        );
+        assert_eq!(g.to_string(), "(!r3) store [r0-2] = r1");
+
+        assert_eq!(
+            Inst::new(Op::SptFork {
+                start: BlockId(4)
+            })
+            .to_string(),
+            "spt_fork bb4"
+        );
+        assert_eq!(Inst::new(Op::SptKill).to_string(), "spt_kill");
+        assert_eq!(Inst::new(Op::Nop { units: 3 }).to_string(), "nop x3");
+    }
+
+    #[test]
+    fn program_display_contains_structure() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let r = f.const_reg(7);
+        f.ret(Some(r));
+        let id = f.finish();
+        let p = pb.finish(id, 16);
+        let s = p.to_string();
+        assert!(s.contains("func main(1 params"));
+        assert!(s.contains("r1 = 7"));
+        assert!(s.contains("ret r1"));
+        assert!(s.contains("16 words"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Small index newtypes used throughout the IR.
+
+use std::fmt;
+
+/// A virtual register within a function. Registers hold 64-bit signed
+/// integers; pointers are integers addressing the program's word-addressed
+/// linear memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic block within a function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function within a program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// A static statement identity: (block, index within block).
+///
+/// Statement identities are stable under the SPT loop transformation's code
+/// *reordering* only in the sense that the transformation produces a new
+/// function; `StmtRef`s always refer to a specific snapshot of a function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtRef {
+    pub block: BlockId,
+    pub index: u32,
+}
+
+impl StmtRef {
+    pub fn new(block: BlockId, index: usize) -> Self {
+        StmtRef {
+            block,
+            index: index as u32,
+        }
+    }
+}
+
+impl fmt::Debug for StmtRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}[{}]", self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(format!("{:?}", Reg(3)), "r3");
+        assert_eq!(Reg(7).index(), 7);
+    }
+
+    #[test]
+    fn block_display() {
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(BlockId(12).index(), 12);
+    }
+
+    #[test]
+    fn stmt_ref_ordering_is_program_order_within_block() {
+        let a = StmtRef::new(BlockId(1), 0);
+        let b = StmtRef::new(BlockId(1), 4);
+        assert!(a < b);
+    }
+}

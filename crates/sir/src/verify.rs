@@ -1,0 +1,267 @@
+//! IR well-formedness checks.
+
+use crate::func::{Program, Terminator};
+use crate::inst::Op;
+use crate::types::{BlockId, FuncId, Reg};
+use std::fmt;
+
+/// A verification failure, with enough context to locate it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    BadEntryFunc(FuncId),
+    BadEntryBlock { func: String, entry: BlockId },
+    BadBlockTarget { func: String, from: BlockId, to: BlockId },
+    BadReg { func: String, block: BlockId, reg: Reg },
+    BadCallee { func: String, callee: FuncId },
+    CallArity { func: String, callee: String, expect: u32, got: usize },
+    BadForkTarget { func: String, block: BlockId, start: BlockId },
+    DataOutOfRange { addr: u64, mem_words: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadEntryFunc(id) => write!(f, "entry function {:?} does not exist", id),
+            VerifyError::BadEntryBlock { func, entry } => {
+                write!(f, "{func}: entry block {entry} does not exist")
+            }
+            VerifyError::BadBlockTarget { func, from, to } => {
+                write!(f, "{func}: {from} targets nonexistent block {to}")
+            }
+            VerifyError::BadReg { func, block, reg } => {
+                write!(f, "{func}: {block} references out-of-range register {reg}")
+            }
+            VerifyError::BadCallee { func, callee } => {
+                write!(f, "{func}: call to nonexistent function {:?}", callee)
+            }
+            VerifyError::CallArity {
+                func,
+                callee,
+                expect,
+                got,
+            } => write!(
+                f,
+                "{func}: call to {callee} with {got} args, expected {expect}"
+            ),
+            VerifyError::BadForkTarget { func, block, start } => {
+                write!(f, "{func}: spt_fork in {block} targets nonexistent block {start}")
+            }
+            VerifyError::DataOutOfRange { addr, mem_words } => {
+                write!(f, "initial datum at word {addr} outside memory of {mem_words} words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Program {
+    /// Check structural well-formedness: all block targets, registers,
+    /// callees, call arities, fork targets and initial data in range.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        if self.entry.index() >= self.funcs.len() {
+            return Err(VerifyError::BadEntryFunc(self.entry));
+        }
+        for (addr, _) in &self.data {
+            if *addr as usize >= self.mem_words {
+                return Err(VerifyError::DataOutOfRange {
+                    addr: *addr,
+                    mem_words: self.mem_words,
+                });
+            }
+        }
+        for func in &self.funcs {
+            let nb = func.blocks.len();
+            let check_block = |from: BlockId, to: BlockId| -> Result<(), VerifyError> {
+                if to.index() >= nb {
+                    Err(VerifyError::BadBlockTarget {
+                        func: func.name.clone(),
+                        from,
+                        to,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            if func.entry.index() >= nb {
+                return Err(VerifyError::BadEntryBlock {
+                    func: func.name.clone(),
+                    entry: func.entry,
+                });
+            }
+            for (bi, block) in func.blocks.iter().enumerate() {
+                let bid = BlockId(bi as u32);
+                let check_reg = |r: Reg| -> Result<(), VerifyError> {
+                    if r.0 >= func.n_regs {
+                        Err(VerifyError::BadReg {
+                            func: func.name.clone(),
+                            block: bid,
+                            reg: r,
+                        })
+                    } else {
+                        Ok(())
+                    }
+                };
+                for inst in &block.insts {
+                    for r in inst.srcs_with_guard() {
+                        check_reg(r)?;
+                    }
+                    if let Some(d) = inst.dst() {
+                        check_reg(d)?;
+                    }
+                    match &inst.op {
+                        Op::Call { callee, args, .. } => {
+                            let Some(cf) = self.funcs.get(callee.index()) else {
+                                return Err(VerifyError::BadCallee {
+                                    func: func.name.clone(),
+                                    callee: *callee,
+                                });
+                            };
+                            if args.len() != cf.n_params as usize {
+                                return Err(VerifyError::CallArity {
+                                    func: func.name.clone(),
+                                    callee: cf.name.clone(),
+                                    expect: cf.n_params,
+                                    got: args.len(),
+                                });
+                            }
+                        }
+                        Op::SptFork { start }
+                            if start.index() >= nb => {
+                                return Err(VerifyError::BadForkTarget {
+                                    func: func.name.clone(),
+                                    block: bid,
+                                    start: *start,
+                                });
+                            }
+                        _ => {}
+                    }
+                }
+                match &block.term {
+                    Terminator::Jmp(t) => check_block(bid, *t)?,
+                    Terminator::Br {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => {
+                        check_reg(*cond)?;
+                        check_block(bid, *taken)?;
+                        check_block(bid, *not_taken)?;
+                    }
+                    Terminator::Ret(Some(r)) => check_reg(*r)?,
+                    Terminator::Ret(None) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::func::{Block, Func};
+    use crate::inst::Inst;
+
+    fn ok_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let r = f.const_reg(1);
+        f.ret(Some(r));
+        let id = f.finish();
+        pb.finish(id, 4)
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        assert!(ok_program().verify().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_entry_func() {
+        let mut p = ok_program();
+        p.entry = FuncId(9);
+        assert!(matches!(p.verify(), Err(VerifyError::BadEntryFunc(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut p = ok_program();
+        p.funcs[0].blocks[0]
+            .insts
+            .push(Inst::new(Op::Un {
+                op: crate::inst::UnOp::Mov,
+                dst: Reg(0),
+                src: Reg(99),
+            }));
+        assert!(matches!(p.verify(), Err(VerifyError::BadReg { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_block_target() {
+        let mut p = ok_program();
+        p.funcs[0].blocks[0].term = Terminator::Jmp(BlockId(7));
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_callee_and_arity() {
+        let mut p = ok_program();
+        p.funcs[0].blocks[0].insts.push(Inst::new(Op::Call {
+            callee: FuncId(5),
+            args: vec![],
+            ret: None,
+        }));
+        assert!(matches!(p.verify(), Err(VerifyError::BadCallee { .. })));
+
+        // Now a real callee but wrong arity.
+        let mut p = ok_program();
+        p.funcs.push(Func {
+            name: "callee".into(),
+            blocks: vec![Block::new(Terminator::Ret(None))],
+            entry: BlockId(0),
+            n_regs: 2,
+            n_params: 2,
+        });
+        p.funcs[0].blocks[0].insts.push(Inst::new(Op::Call {
+            callee: FuncId(1),
+            args: vec![Reg(0)],
+            ret: None,
+        }));
+        assert!(matches!(p.verify(), Err(VerifyError::CallArity { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_fork_target_and_datum() {
+        let mut p = ok_program();
+        p.funcs[0].blocks[0].insts.push(Inst::new(Op::SptFork {
+            start: BlockId(3),
+        }));
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::BadForkTarget { .. })
+        ));
+
+        let mut p = ok_program();
+        p.data.push((100, 1));
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::DataOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = VerifyError::CallArity {
+            func: "a".into(),
+            callee: "b".into(),
+            expect: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

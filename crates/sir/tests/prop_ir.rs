@@ -1,0 +1,169 @@
+//! Property tests on IR analyses: CFG fact consistency, dominator-tree
+//! soundness, and natural-loop invariants over randomly generated CFGs.
+
+use proptest::prelude::*;
+use spt_sir::{analyze_loops, BinOp, BlockId, Cfg, DomTree, Program, ProgramBuilder};
+
+/// Build a random CFG of `n` blocks; block k's terminator targets are drawn
+/// from the full block range (so back edges, self loops and unreachable
+/// blocks all occur). The final block returns.
+fn random_cfg(n: usize, edges: &[(u8, u8)]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let c = f.reg();
+    let blocks: Vec<BlockId> = (1..n).map(|_| f.new_block()).collect();
+    let all: Vec<BlockId> = std::iter::once(BlockId(0)).chain(blocks).collect();
+    f.const_(c, 1);
+    for (k, &b) in all.iter().enumerate() {
+        f.switch_to(b);
+        if k + 1 == all.len() {
+            f.ret(None);
+        } else {
+            let (t, e) = edges[k % edges.len()];
+            let taken = all[t as usize % all.len()];
+            let not_taken = all[e as usize % all.len()];
+            // Bias forward so most programs terminate quickly, but allow
+            // arbitrary edges.
+            f.br(c, taken, not_taken);
+        }
+    }
+    let id = f.finish();
+    pb.finish(id, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// preds/succs are mutually consistent and RPO covers exactly the
+    /// reachable blocks, entry first.
+    #[test]
+    fn cfg_facts_consistent(
+        n in 2..10usize,
+        edges in prop::collection::vec((0..10u8, 0..10u8), 1..10),
+    ) {
+        let prog = random_cfg(n, &edges);
+        prog.verify().unwrap();
+        let f = prog.func(prog.entry);
+        let cfg = Cfg::new(f);
+        for b in 0..cfg.n_blocks() {
+            for &s in &cfg.succs[b] {
+                prop_assert!(cfg.preds[s.index()].contains(&BlockId(b as u32)));
+            }
+            for &p in &cfg.preds[b] {
+                prop_assert!(cfg.succs[p.index()].contains(&BlockId(b as u32)));
+            }
+        }
+        prop_assert_eq!(cfg.rpo[0], f.entry);
+        // RPO indexes are a bijection over reachable blocks.
+        let mut seen = std::collections::HashSet::new();
+        for &b in &cfg.rpo {
+            prop_assert!(cfg.is_reachable(b));
+            prop_assert!(seen.insert(b));
+        }
+    }
+
+    /// Dominator soundness: the entry dominates every reachable block, the
+    /// idom dominates its child, and domination is consistent with edge
+    /// structure (every path to b goes through idom(b): removing idom(b)
+    /// disconnects b — checked via a reachability probe).
+    #[test]
+    fn dominators_sound(
+        n in 2..10usize,
+        edges in prop::collection::vec((0..10u8, 0..10u8), 1..10),
+    ) {
+        let prog = random_cfg(n, &edges);
+        let f = prog.func(prog.entry);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg, f.entry);
+        for b in 0..cfg.n_blocks() {
+            let b = BlockId(b as u32);
+            if !cfg.is_reachable(b) {
+                prop_assert_eq!(dom.idom(b), None);
+                continue;
+            }
+            prop_assert!(dom.dominates(f.entry, b));
+            let id = dom.idom(b).unwrap();
+            prop_assert!(dom.dominates(id, b));
+            if b != f.entry {
+                // Reachability without passing through idom(b): must fail.
+                let mut stack = vec![f.entry];
+                let mut seen = std::collections::HashSet::new();
+                let mut reached = false;
+                while let Some(x) = stack.pop() {
+                    if x == b {
+                        reached = true;
+                        break;
+                    }
+                    if x == id || !seen.insert(x) {
+                        continue;
+                    }
+                    for &s in &cfg.succs[x.index()] {
+                        stack.push(s);
+                    }
+                }
+                prop_assert!(!reached, "{b:?} reachable bypassing its idom {id:?}");
+            }
+        }
+    }
+
+    /// Loop invariants: headers dominate every block of their loop; latches
+    /// are in the loop and branch to the header; exits are outside.
+    #[test]
+    fn loop_forest_invariants(
+        n in 2..10usize,
+        edges in prop::collection::vec((0..10u8, 0..10u8), 1..10),
+    ) {
+        let prog = random_cfg(n, &edges);
+        let f = prog.func(prog.entry);
+        let (cfg, dom, forest) = analyze_loops(f);
+        for l in &forest.loops {
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b), "header must dominate {b:?}");
+            }
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+                prop_assert!(cfg.succs[latch.index()].contains(&l.header));
+            }
+            for &e in &l.exits {
+                prop_assert!(!l.contains(e));
+            }
+            // Nesting: parent contains this loop's header.
+            if let Some(p) = l.parent {
+                prop_assert!(forest.get(p).contains(l.header));
+                prop_assert!(forest.get(p).depth < l.depth);
+            }
+        }
+    }
+
+    /// The pretty-printer mentions every block of every function.
+    #[test]
+    fn pretty_print_total(
+        n in 2..8usize,
+        edges in prop::collection::vec((0..10u8, 0..10u8), 1..8),
+    ) {
+        let prog = random_cfg(n, &edges);
+        let text = prog.to_string();
+        for b in 0..prog.func(prog.entry).blocks.len() {
+            let marker = format!("bb{b}:");
+            prop_assert!(text.contains(&marker));
+        }
+    }
+
+    /// BinOp::eval never panics and comparison ops return 0/1.
+    #[test]
+    fn binop_total_and_bool(
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        use spt_sir::BinOp::*;
+        for op in [Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+                   CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, Min, Max] {
+            let v = op.eval(a, b);
+            if matches!(op, CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe) {
+                prop_assert!(v == 0 || v == 1);
+            }
+            let _ = v;
+        }
+        let _ = BinOp::Add;
+    }
+}

@@ -1,0 +1,225 @@
+//! `spt` — command-line driver for the SPT evaluation pipeline.
+//!
+//! ```text
+//! spt run <benchmark|all> [--scale test|small|full] [--recovery srxfc|srx|squash]
+//!         [--check value|mark] [--srb N] [--no-svp] [--no-unroll] [--verbose]
+//! spt explain <benchmark>       # compiler decisions for one benchmark
+//! spt kernels                   # run the paper's example kernels
+//! spt config                    # print Table 1
+//! ```
+
+use spt::report::{gain, pct, render_table};
+use spt::{evaluate_program, evaluate_workload, MachineConfig, RunConfig};
+use spt_workloads::{benchmark, kernels, suite, Scale, BENCHMARK_NAMES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  spt run <benchmark|all> [--scale test|small|full] \
+         [--recovery srxfc|srx|squash] [--check value|mark] [--srb N] \
+         [--no-svp] [--no-unroll] [--verbose]\n  spt explain <benchmark>\n  \
+         spt kernels\n  spt config\nbenchmarks: {}",
+        BENCHMARK_NAMES.join(" ")
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    target: Option<String>,
+    scale: Scale,
+    cfg: RunConfig,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cmd = argv[0].clone();
+    let mut target = None;
+    let mut scale = Scale::Small;
+    let mut cfg = RunConfig::default();
+    let mut verbose = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(|s| s.as_str()) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--recovery" => {
+                i += 1;
+                cfg.machine.recovery = match argv.get(i).map(|s| s.as_str()) {
+                    Some("srxfc") => spt::RecoveryPolicy::SrxFc,
+                    Some("srx") => spt::RecoveryPolicy::SrxOnly,
+                    Some("squash") => spt::RecoveryPolicy::Squash,
+                    _ => usage(),
+                };
+            }
+            "--check" => {
+                i += 1;
+                cfg.machine.reg_check = match argv.get(i).map(|s| s.as_str()) {
+                    Some("value") => spt::RegCheckPolicy::ValueBased,
+                    Some("mark") => spt::RegCheckPolicy::MarkBased,
+                    _ => usage(),
+                };
+            }
+            "--srb" => {
+                i += 1;
+                cfg.machine.srb_entries = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-svp" => cfg.compile.enable_svp = false,
+            "--no-unroll" => cfg.compile.enable_unroll = false,
+            "--verbose" => verbose = true,
+            s if !s.starts_with("--") && target.is_none() => target = Some(s.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    Args {
+        cmd,
+        target,
+        scale,
+        cfg,
+        verbose,
+    }
+}
+
+fn run_one(name: &str, args: &Args) -> Vec<String> {
+    let w = benchmark(name, args.scale);
+    let out = evaluate_workload(&w, &args.cfg);
+    assert!(out.semantics_ok(), "{name}: semantics diverged");
+    if args.verbose {
+        for (i, info) in out.compiled.loops.iter().enumerate() {
+            let pl = &out.spt.per_loop[i];
+            println!(
+                "  {name}: loop {} est {:.2}x, forks {}, fast-commits {}, \
+                 replays {}, mv/cl/svp {}/{}/{}",
+                w.program.func(info.func).name,
+                info.est_speedup,
+                pl.forks,
+                pl.fast_commits,
+                pl.replays,
+                info.n_moved,
+                info.n_cloned,
+                info.n_svp
+            );
+        }
+    }
+    vec![
+        name.to_string(),
+        gain(out.speedup()),
+        pct(out.spt.fast_commit_ratio()),
+        format!("{:.2}%", out.spt.misspeculation_ratio() * 100.0),
+        out.compiled.loops.len().to_string(),
+        out.spt.forks.to_string(),
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "config" => {
+            let rows: Vec<Vec<String>> = MachineConfig::default()
+                .table1_rows()
+                .into_iter()
+                .map(|(k, v)| vec![k, v])
+                .collect();
+            println!(
+                "{}",
+                render_table("Machine configuration (Table 1)", &["parameter", "value"], &rows)
+            );
+        }
+        "run" => {
+            let target = args.target.clone().unwrap_or_else(|| "all".into());
+            let names: Vec<&str> = if target == "all" {
+                BENCHMARK_NAMES.to_vec()
+            } else if BENCHMARK_NAMES.contains(&target.as_str()) {
+                vec![BENCHMARK_NAMES
+                    .iter()
+                    .find(|n| **n == target)
+                    .copied()
+                    .unwrap()]
+            } else {
+                usage()
+            };
+            let rows: Vec<Vec<String>> = names.iter().map(|n| run_one(n, &args)).collect();
+            let avg: f64 = rows
+                .iter()
+                .map(|r| r[1].trim_end_matches('%').parse::<f64>().unwrap_or(0.0))
+                .sum::<f64>()
+                / rows.len() as f64;
+            println!(
+                "{}",
+                render_table(
+                    "SPT evaluation",
+                    &["bench", "speedup", "fast-commit", "misspec", "loops", "forks"],
+                    &rows
+                )
+            );
+            println!("average speedup: {avg:.1}%");
+        }
+        "explain" => {
+            let Some(target) = args.target.clone() else { usage() };
+            if !BENCHMARK_NAMES.contains(&target.as_str()) {
+                usage();
+            }
+            let w = benchmark(&target, args.scale);
+            let res = spt::compiler::compile(&w.program, &args.cfg.compile);
+            println!("{target}: {} loops selected", res.loops.len());
+            for l in &res.loops {
+                println!(
+                    "  {} — est {:.2}x, pre {}/{}, unroll {}, mv/cl/svp {}/{}/{}, cov {}",
+                    w.program.func(l.func).name,
+                    l.est_speedup,
+                    l.pre_size,
+                    l.body_size,
+                    l.unroll,
+                    l.n_moved,
+                    l.n_cloned,
+                    l.n_svp,
+                    pct(l.coverage),
+                );
+            }
+            for (k, r) in &res.rejected {
+                println!(
+                    "  rejected {} — {:?}",
+                    w.program.func(k.func).name,
+                    r
+                );
+            }
+        }
+        "kernels" => {
+            for (name, prog) in [
+                ("parser_free_loop(1000)", kernels::parser_free_loop(1000)),
+                ("svp_loop(1000)", kernels::svp_loop(1000)),
+                ("array_map(500, 16)", kernels::array_map(500, 16)),
+            ] {
+                let out = evaluate_program(name, &prog, &args.cfg);
+                println!(
+                    "{name:<24} speedup {:>7}  fast-commit {:>6}  ok={}",
+                    gain(out.speedup()),
+                    pct(out.spt.fast_commit_ratio()),
+                    out.semantics_ok()
+                );
+            }
+        }
+        "suite-size" => {
+            // Undocumented helper: dynamic sizes at the chosen scale.
+            for w in suite(args.scale) {
+                let (res, _) = spt::interp::run(&w.program, u64::MAX);
+                println!("{:<9} {} dynamic instructions", w.name, res.steps);
+            }
+        }
+        _ => usage(),
+    }
+}

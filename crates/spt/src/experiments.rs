@@ -1,0 +1,403 @@
+//! The paper's evaluation experiments (Figures 6–9, Table 1, the Figure 1
+//! case study, and the implied ablations), producing structured data that
+//! the `spt-bench` binaries render.
+
+use crate::report::arithmetic_mean;
+use crate::solution::{evaluate_workload, EvalOutcome, RunConfig};
+use spt_compiler::compile;
+use spt_mach::{MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_profile::profile_program;
+use spt_sim::{LoopAnnot, LoopAnnotations, SptSim};
+use spt_workloads::{benchmark, kernels, suite, Scale, Workload};
+
+/// Figure 6: one benchmark's accumulative loop coverage vs body size.
+#[derive(Clone, Debug)]
+pub struct Fig6Series {
+    pub name: String,
+    /// (body-size limit, accumulative coverage in [0,1]).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The x-axis buckets of Figure 6 (log scale 1..1e6).
+pub const FIG6_LIMITS: [f64; 9] = [
+    10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+];
+
+/// Compute Figure 6 for every suite benchmark.
+pub fn fig6(scale: Scale, fuel: u64) -> Vec<Fig6Series> {
+    suite(scale)
+        .iter()
+        .map(|w| fig6_one(w, fuel))
+        .collect()
+}
+
+fn fig6_one(w: &Workload, fuel: u64) -> Fig6Series {
+    let prof = profile_program(&w.program, fuel);
+    let mut loops: Vec<(f64, f64)> = prof
+        .loops
+        .iter()
+        .map(|(k, d)| (d.avg_body_size(), prof.coverage(*k)))
+        .collect();
+    loops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let points = FIG6_LIMITS
+        .iter()
+        .map(|&lim| {
+            let cov: f64 = loops
+                .iter()
+                .filter(|(sz, _)| *sz <= lim)
+                .map(|(_, c)| c)
+                .sum();
+            (lim, cov.min(1.0))
+        })
+        .collect();
+    Fig6Series {
+        name: w.name.to_string(),
+        points,
+    }
+}
+
+/// Figure 7: SPT loop count and coverage vs the maximum loop coverage under
+/// the same size limit.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    pub name: String,
+    pub max_coverage: f64,
+    pub spt_coverage: f64,
+    pub n_spt_loops: usize,
+}
+
+pub fn fig7(scale: Scale, cfg: &RunConfig) -> Vec<Fig7Row> {
+    suite(scale)
+        .iter()
+        .map(|w| {
+            let compiled = compile(&w.program, &cfg.compile);
+            let limit = if w.name == "gaps" { 2500.0 } else { 1000.0 };
+            let max_coverage: f64 = compiled
+                .profile
+                .loops
+                .iter()
+                .filter(|(_, d)| d.avg_body_size() <= limit)
+                .map(|(k, _)| compiled.profile.coverage(*k))
+                .sum::<f64>()
+                .min(1.0);
+            let spt_coverage: f64 = compiled
+                .loops
+                .iter()
+                .map(|l| l.coverage)
+                .sum::<f64>()
+                .min(1.0);
+            Fig7Row {
+                name: w.name.to_string(),
+                max_coverage,
+                spt_coverage,
+                n_spt_loops: compiled.loops.len(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: per-benchmark SPT loop-level performance.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    pub name: String,
+    /// Cycle-weighted average speedup of the benchmark's SPT loops.
+    pub avg_loop_speedup: f64,
+    pub fast_commit_ratio: f64,
+    pub misspeculation_ratio: f64,
+}
+
+/// Figure 9: per-benchmark program speedup with its breakdown.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    pub name: String,
+    pub speedup: f64,
+    /// Fractions of baseline time recovered per category.
+    pub exec_contrib: f64,
+    pub pipe_contrib: f64,
+    pub dcache_contrib: f64,
+}
+
+/// Evaluate the full suite once (shared by Figures 8 and 9).
+pub fn eval_suite(scale: Scale, cfg: &RunConfig) -> Vec<EvalOutcome> {
+    suite(scale)
+        .iter()
+        .map(|w| {
+            let out = evaluate_workload(w, cfg);
+            assert!(
+                out.semantics_ok(),
+                "{}: SPT run diverged from sequential semantics",
+                w.name
+            );
+            out
+        })
+        .collect()
+}
+
+pub fn fig8_rows(outcomes: &[EvalOutcome]) -> Vec<Fig8Row> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let speedups = o.loop_speedups();
+            let weights: Vec<f64> = o
+                .baseline_loop_cycles
+                .iter()
+                .map(|&c| c as f64)
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            let avg = if wsum > 0.0 {
+                speedups
+                    .iter()
+                    .zip(&weights)
+                    .map(|(s, w)| s * w)
+                    .sum::<f64>()
+                    / wsum
+            } else {
+                1.0
+            };
+            Fig8Row {
+                name: o.name.clone(),
+                avg_loop_speedup: avg,
+                fast_commit_ratio: o.spt.fast_commit_ratio(),
+                misspeculation_ratio: o.spt.misspeculation_ratio(),
+            }
+        })
+        .collect()
+}
+
+pub fn fig9_rows(outcomes: &[EvalOutcome]) -> Vec<Fig9Row> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let (e, p, d) = o.breakdown_contributions();
+            Fig9Row {
+                name: o.name.clone(),
+                speedup: o.speedup(),
+                exec_contrib: e,
+                pipe_contrib: p,
+                dcache_contrib: d,
+            }
+        })
+        .collect()
+}
+
+/// The Figure 1 case study: the parser list-free loop.
+#[derive(Debug)]
+pub struct CaseStudy {
+    pub loop_speedup: f64,
+    /// Fraction of speculatively executed instructions that were invalid
+    /// (misspeculated or discarded).
+    pub invalid_ratio: f64,
+    /// Fraction of speculative threads that ran perfectly parallel
+    /// (fast-committed without any violation).
+    pub perfect_ratio: f64,
+    pub outcome: EvalOutcome,
+}
+
+pub fn fig1_case_study(nodes: usize, cfg: &RunConfig) -> CaseStudy {
+    let prog = kernels::parser_free_loop(nodes);
+    let out = crate::solution::evaluate_program("parser_free_loop", &prog, cfg);
+    let speedups = out.loop_speedups();
+    let loop_speedup = speedups.first().copied().unwrap_or(out.speedup());
+    let spec_total = out.spt.spec_instrs_checked + out.spt.spec_instrs_discarded;
+    let invalid_ratio = if spec_total == 0 {
+        0.0
+    } else {
+        (out.spt.spec_misspec + out.spt.spec_instrs_discarded) as f64 / spec_total as f64
+    };
+    CaseStudy {
+        loop_speedup,
+        invalid_ratio,
+        perfect_ratio: out.spt.fast_commit_ratio(),
+        outcome: out,
+    }
+}
+
+/// Ablation A1: speculation result buffer size sweep.
+pub fn ablation_srb(
+    bench_names: &[&str],
+    sizes: &[usize],
+    scale: Scale,
+    cfg: &RunConfig,
+) -> Vec<(String, Vec<(usize, f64)>)> {
+    bench_names
+        .iter()
+        .map(|name| {
+            let w = benchmark(name, scale);
+            let compiled = compile(&w.program, &cfg.compile);
+            let annots = annots_of(&compiled);
+            let base = spt_sim::simulate_baseline(
+                &w.program,
+                &cfg.machine,
+                &spt_sim::LoopAnnotations::empty(),
+                cfg.fuel,
+            );
+            let series = sizes
+                .iter()
+                .map(|&s| {
+                    let mut m = cfg.machine.clone();
+                    m.srb_entries = s;
+                    let rep = SptSim::new(&compiled.program, m, annots.clone()).run(cfg.fuel);
+                    (s, base.cycles as f64 / rep.cycles as f64)
+                })
+                .collect();
+            (name.to_string(), series)
+        })
+        .collect()
+}
+
+/// Ablation A2/A3: recovery mechanism and register checking policy.
+pub fn ablation_policies(
+    bench_names: &[&str],
+    scale: Scale,
+    cfg: &RunConfig,
+) -> Vec<(String, Vec<(String, f64)>)> {
+    let variants: Vec<(String, MachineConfig)> = vec![
+        ("SRX+FC value".into(), cfg.machine.clone()),
+        (
+            "SRX+FC mark".into(),
+            MachineConfig {
+                reg_check: RegCheckPolicy::MarkBased,
+                ..cfg.machine.clone()
+            },
+        ),
+        (
+            "SRX only".into(),
+            MachineConfig {
+                recovery: RecoveryPolicy::SrxOnly,
+                ..cfg.machine.clone()
+            },
+        ),
+        (
+            "Squash".into(),
+            MachineConfig {
+                recovery: RecoveryPolicy::Squash,
+                ..cfg.machine.clone()
+            },
+        ),
+    ];
+    bench_names
+        .iter()
+        .map(|name| {
+            let w = benchmark(name, scale);
+            let compiled = compile(&w.program, &cfg.compile);
+            let annots = annots_of(&compiled);
+            let base = spt_sim::simulate_baseline(
+                &w.program,
+                &cfg.machine,
+                &spt_sim::LoopAnnotations::empty(),
+                cfg.fuel,
+            );
+            let rows = variants
+                .iter()
+                .map(|(label, m)| {
+                    let rep =
+                        SptSim::new(&compiled.program, m.clone(), annots.clone()).run(cfg.fuel);
+                    (label.clone(), base.cycles as f64 / rep.cycles as f64)
+                })
+                .collect();
+            (name.to_string(), rows)
+        })
+        .collect()
+}
+
+/// Ablation A4: compiler features (no SVP, no unroll, naive partition).
+pub fn ablation_compiler(
+    bench_names: &[&str],
+    scale: Scale,
+    cfg: &RunConfig,
+) -> Vec<(String, Vec<(String, f64)>)> {
+    let mut no_svp = cfg.clone();
+    no_svp.compile.enable_svp = false;
+    let mut no_unroll = cfg.clone();
+    no_unroll.compile.enable_unroll = false;
+    let mut naive = cfg.clone();
+    // "Naive partition": fork at the very top — emulated by forbidding any
+    // motion (size bound 0).
+    naive.compile.cost.size_bound_frac = 0.0;
+    let variants: Vec<(String, RunConfig)> = vec![
+        ("full".into(), cfg.clone()),
+        ("no-svp".into(), no_svp),
+        ("no-unroll".into(), no_unroll),
+        ("no-motion".into(), naive),
+    ];
+    bench_names
+        .iter()
+        .map(|name| {
+            let w = benchmark(name, scale);
+            let rows = variants
+                .iter()
+                .map(|(label, rc)| {
+                    let out = evaluate_workload(&w, rc);
+                    (label.clone(), out.speedup())
+                })
+                .collect();
+            (name.to_string(), rows)
+        })
+        .collect()
+}
+
+fn annots_of(compiled: &spt_compiler::CompileResult) -> LoopAnnotations {
+    LoopAnnotations {
+        loops: compiled
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LoopAnnot {
+                id: i,
+                func: l.func,
+                blocks: vec![l.body_block],
+                fork_start: Some(l.body_block),
+            })
+            .collect(),
+    }
+}
+
+/// Average program speedup across outcomes (the paper's headline 15.6%).
+pub fn average_speedup(outcomes: &[EvalOutcome]) -> f64 {
+    arithmetic_mean(&outcomes.iter().map(|o| o.speedup()).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> RunConfig {
+        let mut c = RunConfig::default();
+        c.fuel = 30_000_000;
+        c
+    }
+
+    #[test]
+    fn fig6_series_monotone_and_bounded() {
+        let w = benchmark("gzips", Scale::Test);
+        let s = fig6_one(&w, 30_000_000);
+        let mut prev = 0.0;
+        for (_, c) in &s.points {
+            assert!(*c >= prev - 1e-12, "coverage must be non-decreasing");
+            assert!(*c <= 1.0 + 1e-12);
+            prev = *c;
+        }
+        // The final bucket captures the dominant loops.
+        assert!(s.points.last().unwrap().1 > 0.3);
+    }
+
+    #[test]
+    fn fig1_case_study_shape() {
+        let cs = fig1_case_study(400, &quick_cfg());
+        assert!(cs.outcome.semantics_ok());
+        assert!(cs.loop_speedup > 1.1, "speedup {}", cs.loop_speedup);
+        assert!(cs.invalid_ratio < 0.5);
+        assert!(cs.perfect_ratio > 0.05);
+    }
+
+    #[test]
+    fn fig7_reports_selection() {
+        let rows = fig7(Scale::Test, &quick_cfg());
+        assert_eq!(rows.len(), 10);
+        let parsers = rows.iter().find(|r| r.name == "parsers").unwrap();
+        assert!(parsers.n_spt_loops >= 1);
+        assert!(parsers.spt_coverage <= parsers.max_coverage + 1e-9);
+        let vortexs = rows.iter().find(|r| r.name == "vortexs").unwrap();
+        assert!(vortexs.max_coverage < 0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Plain-text rendering of experiment tables.
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        let mut s = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            s.push_str(&format!(" {:<w$} |", c, w = w));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&line(&sep, &widths));
+    for row in rows {
+        out.push_str(&line(row, &widths));
+    }
+    out
+}
+
+/// Format a ratio as a percentage with one decimal ("15.6%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a speedup ratio as a percentage gain ("1.156 -> 15.6%").
+pub fn gain(speedup: f64) -> String {
+    pct(speedup - 1.0)
+}
+
+/// Geometric mean of speedups; arithmetic mean of the gains is what the
+/// paper reports ("average of 15.6%"), so provide both.
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "Demo",
+            &["bench", "speedup"],
+            &[
+                vec!["parsers".into(), "25.0%".into()],
+                vec!["vortexs".into(), "0.1%".into()],
+            ],
+        );
+        assert!(t.contains("## Demo"));
+        assert!(t.contains("| parsers | 25.0%"));
+        assert!(t.contains("| bench   | speedup |"));
+    }
+
+    #[test]
+    fn pct_and_gain() {
+        assert_eq!(pct(0.156), "15.6%");
+        assert_eq!(gain(1.156), "15.6%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn means() {
+        assert!((arithmetic_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+}

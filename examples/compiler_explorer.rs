@@ -1,0 +1,104 @@
+//! Inspect what the SPT compiler does to a benchmark: profile summary,
+//! selected loops with their partitions, and the rejection log.
+//!
+//! ```sh
+//! cargo run --release -p spt --example compiler_explorer [benchmark]
+//! ```
+//! Benchmarks: bzip2s craftys gaps gccs gzips mcfs parsers twolfs vortexs vprs
+
+use spt::report::{pct, render_table};
+use spt::CompileOptions;
+use spt_compiler::compile;
+use spt_workloads::{benchmark, Scale, BENCHMARK_NAMES};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "parsers".into());
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name}; choose one of {BENCHMARK_NAMES:?}"
+    );
+    let w = benchmark(&name, Scale::Small);
+    let res = compile(&w.program, &CompileOptions::default());
+
+    println!("SPT compiler explorer: {name}");
+    println!("==============================\n");
+    println!(
+        "program: {} functions, {} dynamic instructions profiled",
+        w.program.funcs.len(),
+        res.profile.total_instrs
+    );
+
+    // Profiled loops.
+    let mut rows: Vec<Vec<String>> = res
+        .profile
+        .loops
+        .iter()
+        .map(|(k, d)| {
+            vec![
+                format!("{}:{:?}", w.program.func(k.func).name, k.loop_id),
+                format!("{:.0}", d.avg_body_size()),
+                format!("{:.1}", d.avg_trip()),
+                d.invocations.to_string(),
+                pct(res.profile.coverage(*k)),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| b[4].len().cmp(&a[4].len()).then(b[4].cmp(&a[4])));
+    println!(
+        "{}",
+        render_table(
+            "Profiled loops",
+            &["loop", "body", "trip", "invocs", "coverage"],
+            &rows
+        )
+    );
+
+    // Selected SPT loops.
+    let rows: Vec<Vec<String>> = res
+        .loops
+        .iter()
+        .map(|l| {
+            vec![
+                w.program.func(l.func).name.clone(),
+                format!("{:.2}x", l.est_speedup),
+                format!("{}/{}", l.pre_size, l.body_size),
+                format!("{:.2}", l.misspec_cost),
+                format!("{}", l.unroll),
+                format!("{}/{}/{}", l.n_moved, l.n_cloned, l.n_svp),
+                pct(l.coverage),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Selected SPT loops",
+            &[
+                "loop",
+                "est speedup",
+                "pre/body",
+                "misspec cost",
+                "unroll",
+                "mv/cl/svp",
+                "coverage"
+            ],
+            &rows
+        )
+    );
+
+    // Rejections.
+    let rows: Vec<Vec<String>> = res
+        .rejected
+        .iter()
+        .map(|(k, r)| {
+            vec![
+                format!("{}:{:?}", w.program.func(k.func).name, k.loop_id),
+                format!("{r:?}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Rejected loops", &["loop", "reason"], &rows)
+    );
+}

@@ -1,0 +1,100 @@
+//! Quickstart: build a small program with the SIR builder, run the whole
+//! SPT pipeline on it, and print what happened.
+//!
+//! ```sh
+//! cargo run --release -p spt --example quickstart
+//! ```
+
+use spt::report::{gain, pct, render_table};
+use spt::{evaluate_program, RunConfig};
+use spt_sir::{BinOp, ProgramBuilder};
+
+fn main() {
+    // A simple hot loop: out[i] = expensive(in[i]) over 1000 elements.
+    let n = 1000i64;
+    let mut pb = ProgramBuilder::new();
+    for i in 0..n {
+        pb.datum(i as u64, i * 7 + 1);
+    }
+    let mut f = pb.func("main", 0);
+    let i = f.reg();
+    let nn = f.const_reg(n);
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.const_(i, 0);
+    f.jmp(body);
+    f.switch_to(body);
+    let cur = f.reg();
+    f.mov(cur, i);
+    let v = f.reg();
+    f.load(v, cur, 0);
+    // A serial chain standing in for real per-element work.
+    let mut t = v;
+    for _ in 0..20 {
+        let x = f.reg();
+        f.bin(BinOp::Xor, x, t, v);
+        t = x;
+    }
+    f.store(t, cur, n);
+    f.addi(i, i, 1);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.br(c, body, exit);
+    f.switch_to(exit);
+    f.ret(Some(i));
+    let main = f.finish();
+    let prog = pb.finish(main, 2 * n as usize + 16);
+    prog.verify().expect("valid program");
+
+    let out = evaluate_program("quickstart", &prog, &RunConfig::default());
+
+    println!("SPT quickstart");
+    println!("==============\n");
+    println!(
+        "sequential result = {:?}, SPT result = {:?} (must match: {})",
+        out.baseline.ret,
+        out.spt.ret,
+        out.semantics_ok()
+    );
+    println!(
+        "baseline: {} cycles ({} instrs, IPC {:.2})",
+        out.baseline.cycles,
+        out.baseline.instrs,
+        out.baseline.ipc()
+    );
+    println!(
+        "SPT:      {} cycles -> speedup {} ",
+        out.spt.cycles,
+        gain(out.speedup())
+    );
+    println!();
+    let rows = vec![
+        vec!["forks".to_string(), out.spt.forks.to_string()],
+        vec![
+            "fast commits".to_string(),
+            format!(
+                "{} ({})",
+                out.spt.fast_commits,
+                pct(out.spt.fast_commit_ratio())
+            ),
+        ],
+        vec!["replays".to_string(), out.spt.replays.to_string()],
+        vec![
+            "misspeculation ratio".to_string(),
+            pct(out.spt.misspeculation_ratio()),
+        ],
+        vec![
+            "selected SPT loops".to_string(),
+            out.compiled.loops.len().to_string(),
+        ],
+    ];
+    println!("{}", render_table("Speculation", &["metric", "value"], &rows));
+
+    for (k, l) in out.compiled.loops.iter().enumerate() {
+        println!(
+            "loop {k}: est. speedup {:.2}x, pre-fork {} of {} stmts, \
+             {} moved / {} cloned / {} value-predicted",
+            l.est_speedup, l.pre_size, l.body_size, l.n_moved, l.n_cloned, l.n_svp
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration: the full profile → compile → simulate pipeline
+//! on kernels and benchmarks, checking semantics preservation and
+//! paper-shaped results.
+
+use spt::{evaluate_program, evaluate_workload, RunConfig};
+use spt_workloads::kernels::{array_map, parser_free_loop, svp_loop};
+use spt_workloads::{benchmark, Scale};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::default();
+    c.fuel = 60_000_000;
+    c
+}
+
+#[test]
+fn parallel_kernel_speeds_up() {
+    let prog = array_map(500, 20);
+    let out = evaluate_program("array_map", &prog, &cfg());
+    assert!(out.semantics_ok());
+    assert!(!out.spt.out_of_fuel);
+    assert!(
+        out.speedup() > 1.25,
+        "array_map speedup {} too low",
+        out.speedup()
+    );
+    assert!(out.spt.fast_commit_ratio() > 0.5);
+}
+
+#[test]
+fn parser_figure1_loop_end_to_end() {
+    let prog = parser_free_loop(800);
+    let out = evaluate_program("parser_free", &prog, &cfg());
+    assert!(out.semantics_ok());
+    assert_eq!(out.baseline.ret, Some(800));
+    assert!(out.spt.forks > 200, "forks {}", out.spt.forks);
+    // Shape target: substantial loop-level gain.
+    let ls = out.loop_speedups();
+    assert!(!ls.is_empty());
+    assert!(ls[0] > 1.15, "loop speedup {}", ls[0]);
+}
+
+#[test]
+fn svp_figure5_loop_end_to_end() {
+    let prog = svp_loop(1500);
+    let out = evaluate_program("svp", &prog, &cfg());
+    assert!(out.semantics_ok());
+    // The SVP-transformed loop must actually speculate successfully.
+    assert!(out.spt.forks > 100);
+    assert!(
+        out.spt.fast_commit_ratio() > 0.5,
+        "prediction should make most threads violation-free, got {}",
+        out.spt.fast_commit_ratio()
+    );
+}
+
+#[test]
+fn svp_beats_no_svp_on_predictable_recurrence() {
+    let prog = svp_loop(1500);
+    let on = evaluate_program("svp-on", &prog, &cfg());
+    let mut c = cfg();
+    c.compile.enable_svp = false;
+    let off = evaluate_program("svp-off", &prog, &c);
+    assert!(on.semantics_ok() && off.semantics_ok());
+    assert!(
+        on.speedup() > off.speedup(),
+        "SVP {} should beat no-SVP {}",
+        on.speedup(),
+        off.speedup()
+    );
+}
+
+#[test]
+fn representative_benchmarks_preserve_semantics() {
+    for name in ["parsers", "gccs", "vortexs"] {
+        let w = benchmark(name, Scale::Test);
+        let out = evaluate_workload(&w, &cfg());
+        assert!(out.semantics_ok(), "{name} diverged");
+        assert!(!out.spt.out_of_fuel, "{name} ran out of fuel");
+    }
+}
+
+#[test]
+fn vortex_shows_no_gain_parser_does() {
+    let parsers = evaluate_workload(&benchmark("parsers", Scale::Test), &cfg());
+    let vortexs = evaluate_workload(&benchmark("vortexs", Scale::Test), &cfg());
+    assert!(
+        parsers.speedup() > vortexs.speedup(),
+        "parser {} must beat vortex {}",
+        parsers.speedup(),
+        vortexs.speedup()
+    );
+    assert!(
+        vortexs.speedup() < 1.05,
+        "vortex speedup {} should be ~0",
+        vortexs.speedup()
+    );
+    assert!(
+        parsers.speedup() > 1.05,
+        "parser speedup {} should be solid",
+        parsers.speedup()
+    );
+}
+
+#[test]
+fn compiled_programs_always_verify() {
+    for name in ["bzip2s", "mcfs", "twolfs"] {
+        let w = benchmark(name, Scale::Test);
+        let out = evaluate_workload(&w, &cfg());
+        out.compiled.program.verify().unwrap();
+    }
+}
