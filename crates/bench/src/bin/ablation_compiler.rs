@@ -1,18 +1,14 @@
 //! Ablation A4: compiler feature ablation (SVP, unrolling, code motion).
-use spt::experiments::ablation_compiler;
-use spt_bench::{run_config, scale_from_args};
+use spt::report::render_ablation_compiler;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
-    let data = ablation_compiler(
+    let sweep = sweep_from_args();
+    let (data, report) = sweep.ablation_compiler(
         &["parsers", "vprs", "gzips"],
         scale_from_args(),
         &run_config(),
     );
-    println!("Ablation A4: compiler features vs program speedup");
-    for (name, rows) in &data {
-        println!("\n{name}:");
-        for (label, sp) in rows {
-            println!("  {:<12} {:>7.1}%", label, (sp - 1.0) * 100.0);
-        }
-    }
+    print!("{}", render_ablation_compiler(&data));
+    finish(&report);
 }

@@ -1,19 +1,14 @@
 //! Ablations A2/A3: recovery mechanism and register dependence checking.
-use spt::experiments::ablation_policies;
-use spt_bench::{run_config, scale_from_args};
+use spt::report::render_ablation_policies;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
-    let data = ablation_policies(
+    let sweep = sweep_from_args();
+    let (data, report) = sweep.ablation_policies(
         &["parsers", "gccs", "twolfs"],
         scale_from_args(),
         &run_config(),
     );
-    println!("Ablations A2/A3: recovery mechanism and register checking");
-    for (name, rows) in &data {
-        println!("\n{name}:");
-        for (label, sp) in rows {
-            println!("  {:<16} {:>7.1}%", label, (sp - 1.0) * 100.0);
-        }
-    }
-    println!("\n(Table 1 defaults: SRX+FC with value-based checking)");
+    print!("{}", render_ablation_policies(&data));
+    finish(&report);
 }

@@ -1,27 +1,16 @@
 //! Ablation A1: speculation result buffer size sweep.
-use spt::experiments::ablation_srb;
-use spt_bench::{run_config, scale_from_args};
+use spt::report::render_ablation_srb;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
     let sizes = [16usize, 64, 256, 1024, 4096];
-    let data = ablation_srb(
+    let sweep = sweep_from_args();
+    let (data, report) = sweep.ablation_srb(
         &["parsers", "gccs", "mcfs"],
         &sizes,
         scale_from_args(),
         &run_config(),
     );
-    println!("Ablation A1: SRB size vs program speedup");
-    print!("{:<10}", "bench");
-    for s in sizes {
-        print!(" {:>8}", s);
-    }
-    println!();
-    for (name, series) in &data {
-        print!("{:<10}", name);
-        for (_, sp) in series {
-            print!(" {:>7.1}%", (sp - 1.0) * 100.0);
-        }
-        println!();
-    }
-    println!("(Table 1 default: 1024 entries)");
+    print!("{}", render_ablation_srb(&sizes, &data));
+    finish(&report);
 }

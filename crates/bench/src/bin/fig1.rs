@@ -1,13 +1,10 @@
 //! Regenerate the Figure 1 case study: parser's list-free loop.
-use spt::experiments::fig1_case_study;
-use spt::report::{gain, pct};
-use spt_bench::run_config;
+use spt::report::render_fig1;
+use spt_bench::{finish, run_config, sweep_from_args};
 
 fn main() {
-    let cs = fig1_case_study(2000, &run_config());
-    println!("Figure 1 case study: parser list-free loop");
-    println!("  loop speedup:                {:>8}   (paper: >40%)", gain(cs.loop_speedup));
-    println!("  invalid speculative instrs:  {:>8}   (paper: ~5%)", pct(cs.invalid_ratio));
-    println!("  perfectly parallel threads:  {:>8}   (paper: ~20%)", pct(cs.perfect_ratio));
-    println!("  semantics preserved:         {}", cs.outcome.semantics_ok());
+    let sweep = sweep_from_args();
+    let (cs, report) = sweep.fig1_case_study(2000, &run_config());
+    print!("{}", render_fig1(&cs));
+    finish(&report);
 }

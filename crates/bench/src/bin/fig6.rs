@@ -1,21 +1,10 @@
 //! Regenerate Figure 6: accumulative loop coverage vs loop body size.
-use spt::experiments::{fig6, FIG6_LIMITS};
-use spt_bench::{p, scale_from_args};
+use spt::report::render_fig6;
+use spt_bench::{finish, scale_from_args, sweep_from_args};
 
 fn main() {
-    let series = fig6(scale_from_args(), 500_000_000);
-    print!("{:<10}", "bench");
-    for lim in FIG6_LIMITS {
-        print!(" {:>9}", lim as u64);
-    }
-    println!();
-    for s in &series {
-        print!("{:<10}", s.name);
-        for (_, c) in &s.points {
-            print!(" {:>9}", p(*c).trim());
-        }
-        println!();
-    }
-    println!("\n(accumulative coverage of all loops whose average dynamic body size");
-    println!(" is within each limit; paper Figure 6)");
+    let sweep = sweep_from_args();
+    let (series, report) = sweep.fig6(scale_from_args(), 500_000_000);
+    print!("{}", render_fig6(&series));
+    finish(&report);
 }

@@ -1,36 +1,10 @@
 //! Regenerate Figure 7: SPT loop number and coverage.
-use spt::experiments::fig7;
-use spt::report::render_table;
-use spt_bench::{p, run_config, scale_from_args};
+use spt::report::render_fig7;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
-    let rows = fig7(scale_from_args(), &run_config());
-    let mut avg_cov = 0.0;
-    let mut avg_n = 0.0;
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            avg_cov += r.spt_coverage;
-            avg_n += r.n_spt_loops as f64;
-            vec![
-                r.name.clone(),
-                p(r.max_coverage),
-                p(r.spt_coverage),
-                r.n_spt_loops.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Figure 7: SPT loop number and coverage",
-            &["bench", "max loop coverage", "SPT loop coverage", "# SPT loops"],
-            &table
-        )
-    );
-    println!(
-        "average: {} coverage with {:.0} SPT loops (paper: 53% with 32 loops)",
-        p(avg_cov / rows.len() as f64),
-        avg_n / rows.len() as f64
-    );
+    let sweep = sweep_from_args();
+    let (rows, report) = sweep.fig7(scale_from_args(), &run_config());
+    print!("{}", render_fig7(&rows));
+    finish(&report);
 }

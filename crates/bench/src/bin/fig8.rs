@@ -1,36 +1,10 @@
 //! Regenerate Figure 8: SPT loop-level performance.
-use spt::experiments::{eval_suite, fig8_rows};
-use spt::report::render_table;
-use spt_bench::{p, run_config, scale_from_args};
+use spt::report::render_fig8;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
-    let outcomes = eval_suite(scale_from_args(), &run_config());
-    let rows = fig8_rows(&outcomes);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:>6.1}%", (r.avg_loop_speedup - 1.0) * 100.0),
-                p(r.fast_commit_ratio),
-                format!("{:>6.2}%", r.misspeculation_ratio * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Figure 8: SPT loop performance",
-            &["bench", "avg SPT loop speedup", "fast-commit ratio", "misspec ratio"],
-            &table
-        )
-    );
-    let n = rows.len() as f64;
-    println!(
-        "averages: loop speedup {:+.1}%, fast-commit {:.1}%, misspec {:.2}%",
-        rows.iter().map(|r| r.avg_loop_speedup - 1.0).sum::<f64>() / n * 100.0,
-        rows.iter().map(|r| r.fast_commit_ratio).sum::<f64>() / n * 100.0,
-        rows.iter().map(|r| r.misspeculation_ratio).sum::<f64>() / n * 100.0
-    );
-    println!("(paper: 35% avg loop speedup, 64% fast-commit, 1.2% misspeculation)");
+    let sweep = sweep_from_args();
+    let run = sweep.eval_suite(scale_from_args(), &run_config());
+    print!("{}", render_fig8(&run.outcomes));
+    finish(&run.report);
 }

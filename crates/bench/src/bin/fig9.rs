@@ -1,33 +1,10 @@
 //! Regenerate Figure 9: overall program speedup with breakdown.
-use spt::experiments::{average_speedup, eval_suite, fig9_rows};
-use spt::report::render_table;
-use spt_bench::{p, run_config, scale_from_args};
+use spt::report::render_fig9;
+use spt_bench::{finish, run_config, scale_from_args, sweep_from_args};
 
 fn main() {
-    let outcomes = eval_suite(scale_from_args(), &run_config());
-    let rows = fig9_rows(&outcomes);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:>6.1}%", (r.speedup - 1.0) * 100.0),
-                p(r.exec_contrib),
-                p(r.pipe_contrib),
-                p(r.dcache_contrib),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Figure 9: program speedup (breakdown as fraction of baseline time)",
-            &["bench", "speedup", "execution", "pipeline stalls", "dcache stalls"],
-            &table
-        )
-    );
-    println!(
-        "average program speedup: {:+.1}%  (paper: 15.6% = 8.4% exec + 1.7% pipe + 5.5% dcache)",
-        (average_speedup(&outcomes) - 1.0) * 100.0
-    );
+    let sweep = sweep_from_args();
+    let run = sweep.eval_suite(scale_from_args(), &run_config());
+    print!("{}", render_fig9(&run.outcomes));
+    finish(&run.report);
 }

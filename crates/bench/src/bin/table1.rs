@@ -1,15 +1,20 @@
 //! Regenerate Table 1: the default machine configuration.
-use spt::MachineConfig;
-use spt::report::render_table;
+use spt::report::render_table1;
+use spt::{MachineConfig, MemoStats, RunReport};
+use spt_bench::finish;
+use std::time::Instant;
 
 fn main() {
-    let rows: Vec<Vec<String>> = MachineConfig::default()
-        .table1_rows()
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
-    println!(
-        "{}",
-        render_table("Table 1: machine configuration", &["parameter", "value"], &rows)
-    );
+    let t0 = Instant::now();
+    let cfg = MachineConfig::default();
+    print!("{}", render_table1(&cfg));
+    // No simulation happens here; the report still gives every binary a
+    // uniform machine-readable footer.
+    finish(&RunReport {
+        experiment: "table1".into(),
+        workers: 1,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        records: Vec::new(),
+        cache: MemoStats::default(),
+    });
 }

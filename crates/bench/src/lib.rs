@@ -15,25 +15,40 @@
 //! | `ablation_recovery` | A2/A3 — recovery and checking policies |
 //! | `ablation_compiler` | A4 — compiler feature ablation |
 //!
-//! Pass `--scale test|small|full` (default `small`) to trade time for
-//! fidelity.
+//! Common flags:
+//!
+//! * `--scale test|small|full` (default `small`) — trade time for fidelity;
+//! * `--workers N` — sweep worker threads (default: `SPT_WORKERS` env or
+//!   available parallelism);
+//! * `--json PATH` — also write the run's structured metrics
+//!   ([`spt::RunReport`]) as JSON to `PATH` (`-` for stdout).
+//!
+//! Parallel runs are bit-identical to sequential ones; `--workers` only
+//! changes wall-clock time.
 
-use spt::RunConfig;
+use spt::sweep::default_workers;
+use spt::{RunConfig, RunReport, Sweep, ToJson};
 use spt_workloads::Scale;
 
 /// Parse `--scale` from argv; default Small.
 pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-    {
+    match arg_value("--scale").as_deref() {
         Some("test") => Scale::Test,
         Some("full") => Scale::Full,
         _ => Scale::Small,
     }
+}
+
+/// Parse `--workers` from argv; default from env/machine.
+pub fn workers_from_args() -> usize {
+    arg_value("--workers")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(default_workers, |n| n.max(1))
+}
+
+/// A sweep engine configured from argv.
+pub fn sweep_from_args() -> Sweep {
+    Sweep::new(workers_from_args())
 }
 
 /// The default evaluation configuration used by all figure binaries.
@@ -43,5 +58,30 @@ pub fn run_config() -> RunConfig {
 
 /// Format a float as a percent string.
 pub fn p(x: f64) -> String {
-    format!("{:>6.1}%", x * 100.0)
+    spt::report::pcell(x)
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Print the run's one-line metrics summary and, if `--json PATH` was
+/// given, write the full structured report there (`-` writes to stdout).
+pub fn finish(report: &RunReport) {
+    println!("{}", report.summary());
+    if let Some(path) = arg_value("--json") {
+        let body = report.to_json().pretty();
+        if path == "-" {
+            print!("{body}");
+        } else if let Err(e) = std::fs::write(&path, &body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            println!("wrote metrics to {path}");
+        }
+    }
 }

@@ -1,0 +1,97 @@
+//! Golden-snapshot tests for every text artifact in `results/`.
+//!
+//! Each golden is the exact text a figure binary prints at `--scale test`
+//! (minus the machine-dependent metrics footer). The test regenerates all
+//! of them through one shared [`Sweep`] — the same engine the binaries use,
+//! so the memo cache is exercised across experiments — and diffs against
+//! the checked-in files.
+//!
+//! To refresh after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p spt-bench --test goldens
+//! ```
+
+use spt::report::{
+    render_ablation_compiler, render_ablation_policies, render_ablation_srb, render_fig1,
+    render_fig5, render_fig6, render_fig7, render_fig8, render_fig9, render_table1,
+};
+use spt::{MachineConfig, RunConfig, Sweep};
+use spt_workloads::kernels::svp_loop;
+use spt_workloads::Scale;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Compare `content` against the checked-in golden, or rewrite it when
+/// `UPDATE_GOLDENS=1`. Returns the name on mismatch instead of panicking so
+/// one run reports every stale golden.
+fn check(name: &str, content: &str) -> Option<String> {
+    let path = results_dir().join(name);
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {name}: {e}"));
+        return None;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    if want == content {
+        None
+    } else {
+        eprintln!("=== golden mismatch: {name} ===");
+        eprintln!("--- want ---\n{want}");
+        eprintln!("--- got ---\n{content}");
+        Some(name.to_string())
+    }
+}
+
+#[test]
+fn results_match_goldens() {
+    let cfg = RunConfig::default();
+    let sweep = Sweep::new(2);
+    let mut stale = Vec::new();
+
+    stale.extend(check("table1.txt", &render_table1(&MachineConfig::default())));
+
+    let (cs, _) = sweep.fig1_case_study(2000, &cfg);
+    stale.extend(check("fig1.txt", &render_fig1(&cs)));
+
+    // Figure 5 mirrors the binary: the x = bar(x) kernel with SVP off/on.
+    let prog = svp_loop(3000);
+    let on_cfg = cfg.clone();
+    let mut off_cfg = cfg.clone();
+    off_cfg.compile.enable_svp = false;
+    let (off, _) = sweep.evaluate("svp-off", &prog, &off_cfg);
+    let (on, _) = sweep.evaluate("svp-on", &prog, &on_cfg);
+    stale.extend(check("fig5.txt", &render_fig5(&off, &on)));
+
+    let (series, _) = sweep.fig6(Scale::Test, 500_000_000);
+    stale.extend(check("fig6.txt", &render_fig6(&series)));
+
+    let (rows, _) = sweep.fig7(Scale::Test, &cfg);
+    stale.extend(check("fig7.txt", &render_fig7(&rows)));
+
+    // fig8 and fig9 share one suite evaluation through the memo cache.
+    let run = sweep.eval_suite(Scale::Test, &cfg);
+    stale.extend(check("fig8.txt", &render_fig8(&run.outcomes)));
+    stale.extend(check("fig9.txt", &render_fig9(&run.outcomes)));
+
+    let sizes = [16usize, 64, 256, 1024, 4096];
+    let (srb, _) = sweep.ablation_srb(&["parsers", "gccs", "mcfs"], &sizes, Scale::Test, &cfg);
+    stale.extend(check("ablation_srb.txt", &render_ablation_srb(&sizes, &srb)));
+
+    let (pol, _) = sweep.ablation_policies(&["parsers", "gccs", "twolfs"], Scale::Test, &cfg);
+    stale.extend(check("ablation_recovery.txt", &render_ablation_policies(&pol)));
+
+    let (comp, _) = sweep.ablation_compiler(&["parsers", "vprs", "gzips"], Scale::Test, &cfg);
+    stale.extend(check(
+        "ablation_compiler.txt",
+        &render_ablation_compiler(&comp),
+    ));
+
+    assert!(
+        stale.is_empty(),
+        "stale goldens: {stale:?} — refresh with \
+         `UPDATE_GOLDENS=1 cargo test -p spt-bench --test goldens`"
+    );
+}

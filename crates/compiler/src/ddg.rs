@@ -236,10 +236,10 @@ impl Ddg {
             preds_all[d.to].push(d.from);
         }
         let mut closure: Vec<BitSet> = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, preds) in preds_all.iter().enumerate() {
             let mut bs = BitSet::new(n);
             bs.insert(i);
-            for &p in &preds_all[i] {
+            for &p in preds {
                 let prev = closure[p].clone();
                 bs.union_with(&prev);
             }

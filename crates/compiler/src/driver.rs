@@ -105,7 +105,7 @@ pub struct SptLoopInfo {
 }
 
 /// Output of the SPT compiler.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompileResult {
     pub program: Program,
     pub loops: Vec<SptLoopInfo>,
@@ -137,6 +137,21 @@ struct Pass1Candidate {
 /// Run the full two-pass SPT compilation.
 pub fn compile(prog: &Program, opts: &CompileOptions) -> CompileResult {
     let profile = profile_program(prog, opts.profile_fuel);
+    compile_with_profile(prog, opts, profile)
+}
+
+/// Run the two-pass compilation against an already-collected profile.
+///
+/// `compile` is `compile_with_profile ∘ profile_program`; callers that
+/// profile the program for other purposes (Figure 6, the sweep engine's
+/// memo cache) can reuse that work here instead of re-interpreting the
+/// whole program. The profile must have been collected with
+/// `opts.profile_fuel` for results to match `compile`.
+pub fn compile_with_profile(
+    prog: &Program,
+    opts: &CompileOptions,
+    profile: ProgramProfile,
+) -> CompileResult {
     let mut rejected: Vec<(LoopKey, RejectReason)> = Vec::new();
 
     // Pass 1a: enumerate loops and apply the simple selection criteria.

@@ -28,7 +28,9 @@ pub mod unroll;
 pub use body::{linearize, LinearBody, LinearizeError};
 pub use cost::{estimate_speedup, misspeculation_cost, stmt_cost, CostParams};
 pub use ddg::{CrossDep, Ddg, IntraDep};
-pub use driver::{compile, CompileOptions, CompileResult, RejectReason, SptLoopInfo};
+pub use driver::{
+    compile, compile_with_profile, CompileOptions, CompileResult, RejectReason, SptLoopInfo,
+};
 pub use partition::{search_partition, Partition};
 pub use region::{apply_region_split, find_region_split, speculate_region, RegionSplit};
 pub use transform::transform_loop;

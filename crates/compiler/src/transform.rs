@@ -216,7 +216,6 @@ mod tests {
     use spt_interp::run;
     use spt_sir::{analyze_loops, ProgramBuilder};
     use spt_profile::{profile_loops, LoopKey};
-    use std::collections::HashMap;
 
     const FUEL: u64 = 2_000_000;
 

@@ -127,6 +127,51 @@ fn lenient_opts() -> CompileOptions {
     o
 }
 
+/// The `compile_preserves_semantics` property on one concrete input, with
+/// plain asserts.
+fn check_compile_case(body: &[Stmt], trip: u8) {
+    let prog = build(body, trip);
+    prog.verify().unwrap();
+    let (seq, _) = run(&prog, FUEL);
+    assert!(!seq.out_of_fuel);
+    let res = compile(&prog, &lenient_opts());
+    res.program.verify().unwrap();
+    let (got, _) = run(&res.program, FUEL);
+    assert_eq!(got.ret, seq.ret, "selected {} loops", res.loops.len());
+}
+
+// The two failure cases recorded in `prop_transform.proptest-regressions`
+// by earlier upstream-proptest runs, pinned here as deterministic tests:
+// the offline proptest stand-in does not read persistence files, so the
+// shrunken inputs are replayed explicitly to keep their coverage.
+
+#[test]
+fn regression_seed_guarded_alu_load_loop() {
+    check_compile_case(
+        &[
+            Stmt::Alu(0, 2, 0, 3),
+            Stmt::Alu(0, 3, 0, 3),
+            Stmt::Load(2, 1, 0),
+            Stmt::Guarded(1, 4, 0, 0),
+            Stmt::Guarded(0, 1, 3, 0),
+        ],
+        2,
+    );
+}
+
+#[test]
+fn regression_seed_load_chain_loop() {
+    check_compile_case(
+        &[
+            Stmt::Load(2, 3, 0),
+            Stmt::Alu(0, 3, 0, 4),
+            Stmt::Load(4, 3, 0),
+            Stmt::Load(1, 2, 0),
+        ],
+        2,
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -9,7 +9,6 @@
 //! time stamp.
 
 use crate::config::{CacheParams, MachineConfig};
-use serde::{Deserialize, Serialize};
 
 /// One set-associative level with LRU replacement.
 pub struct CacheLevel {
@@ -87,7 +86,7 @@ impl CacheLevel {
 }
 
 /// Hit/miss counts for the hierarchy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub l1_hits: u64,
     pub l1_misses: u64,

@@ -1,9 +1,8 @@
 //! Machine configuration — Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheParams {
     pub size_bytes: usize,
     pub assoc: usize,
@@ -18,7 +17,7 @@ impl CacheParams {
 }
 
 /// Misspeculation recovery mechanism (Table 1 default: SRX+FC).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveryPolicy {
     /// Selective re-execution with fast commit — the SPT mechanism: commit
     /// correct speculative results, re-execute only misspeculated
@@ -36,7 +35,7 @@ pub enum RecoveryPolicy {
 }
 
 /// Register dependence checking mode (Table 1 default: value-based).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RegCheckPolicy {
     /// A register is violated if the main thread wrote it after the
     /// fork-point (scoreboard marking), regardless of value.
@@ -48,7 +47,7 @@ pub enum RegCheckPolicy {
 }
 
 /// Full machine configuration. `MachineConfig::default()` is Table 1.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     pub l1i: CacheParams,
     pub l1d: CacheParams,
@@ -252,20 +251,12 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
-        let c = MachineConfig::default();
-        let json = serde_json_like(&c);
-        assert!(json.contains("srb_entries"));
-    }
-
-    // serde_json is not in the dependency set; exercise Serialize via the
-    // serde-debug path using the `serde` test shim below.
-    fn serde_json_like(c: &MachineConfig) -> String {
-        // Minimal serializer check: ensure Serialize is implemented by
-        // formatting through Debug (structural) and checking a field name
-        // via reflection-free means.
-        let dbg = format!("{:?}", c);
-        assert!(dbg.contains("MachineConfig"));
-        "srb_entries".to_string()
+    fn config_debug_is_structural() {
+        // The sweep engine's memo cache keys configs by their Debug
+        // rendering: it must name every field that affects simulation.
+        let dbg = format!("{:?}", MachineConfig::default());
+        for field in ["srb_entries", "recovery", "reg_check", "mem_latency", "issue_width"] {
+            assert!(dbg.contains(field), "Debug output missing {field}");
+        }
     }
 }

@@ -88,7 +88,7 @@ proptest! {
             prop_assert_eq!(sb.ready_at(d, r), (t, k));
         }
         sb.reset_all(floor);
-        for (&(d, r), _) in &model {
+        for &(d, r) in model.keys() {
             prop_assert_eq!(sb.ready_at(d, r), (floor, ProducerKind::Other));
         }
         // Writes after the floor dominate it again.

@@ -146,8 +146,7 @@ pub fn profile_program(prog: &Program, max_steps: u64) -> ProgramProfile {
         }
 
         let tr = tracker.observe(&ev);
-        if tr.entered.is_some() {
-            let key = tr.entered.unwrap();
+        if let Some(key) = tr.entered {
             p.loops.entry(key).or_default().invocations += 1;
         }
         if let Some(key) = tr.iterated {

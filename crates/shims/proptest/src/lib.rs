@@ -1,0 +1,134 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, API-compatible with the subset this workspace uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! proptest (and its sizeable dependency tree) cannot be vendored. This shim
+//! reimplements the pieces the test suite relies on:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map`/`boxed`, integer-range and tuple
+//!   strategies, [`collection::vec`], [`any`], and [`prop_oneof!`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports the
+//! generated input verbatim) and no persistence files. Generation is fully
+//! deterministic: the RNG is seeded from the test's name, so a failure
+//! reproduces on every run, on every machine. Set `PROPTEST_SEED=<u64>` to
+//! explore a different deterministic universe.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// The deterministic pseudo-random source behind every strategy
+/// (SplitMix64: tiny, fast, and plenty for test-case generation).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3..17u8).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5..9i64).new_value(&mut rng);
+            assert!((-5..9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = crate::collection::vec(0..10u8, 2..6);
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_samples_all_arms() {
+        let s = prop_oneof![0..1u8, 10..11u8, 20..21u8];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.new_value(&mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                20 => seen[2] = true,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro end-to-end: multiple args, map, assume, assertions.
+        #[test]
+        fn macro_end_to_end(
+            xs in prop::collection::vec(0..100u8, 1..8),
+            flag in any::<bool>(),
+            off in (0..50i64).prop_map(|v| v * 2),
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(off % 2 == 0, "doubled value {} must be even", off);
+            let total: u64 = xs.iter().map(|&b| b as u64).sum();
+            prop_assert!(total <= 100 * xs.len() as u64);
+            if flag {
+                prop_assert_eq!(xs.len(), xs.len());
+            }
+        }
+    }
+}

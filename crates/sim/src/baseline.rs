@@ -3,13 +3,12 @@
 
 use crate::engine::{CycleBreakdown, Engine};
 use crate::metrics::{LoopAnnotations, LoopCycleTracker};
-use serde::{Deserialize, Serialize};
 use spt_interp::{Cursor, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig};
 use spt_sir::Program;
 
 /// Result of a baseline run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineReport {
     pub cycles: u64,
     pub instrs: u64,
@@ -43,6 +42,17 @@ pub fn simulate_baseline(
     annots: &LoopAnnotations,
     max_steps: u64,
 ) -> BaselineReport {
+    simulate_baseline_with_memory(prog, cfg, annots, max_steps).0
+}
+
+/// Like [`simulate_baseline`], but also returns the final memory image for
+/// differential state comparison.
+pub fn simulate_baseline_with_memory(
+    prog: &Program,
+    cfg: &MachineConfig,
+    annots: &LoopAnnotations,
+    max_steps: u64,
+) -> (BaselineReport, Memory) {
     let mut engine = Engine::new(cfg);
     let mut cache = CacheSim::new(cfg);
     let mut mem = Memory::for_program(prog);
@@ -58,7 +68,7 @@ pub fn simulate_baseline(
         tracker.observe(&ev, engine.cycle() - before);
     }
 
-    BaselineReport {
+    let report = BaselineReport {
         cycles: engine.cycle() + 1,
         instrs: engine.instrs(),
         breakdown: engine.breakdown(),
@@ -70,7 +80,8 @@ pub fn simulate_baseline(
         ret: cur.return_value(),
         steps,
         out_of_fuel: !cur.is_halted(),
-    }
+    };
+    (report, mem)
 }
 
 #[cfg(test)]

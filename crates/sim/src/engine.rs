@@ -11,7 +11,6 @@
 //! instruction issued), *pipeline stall* (operand latency, branch penalty,
 //! SPT overheads), and *D-cache stall* (waiting on a load result).
 
-use serde::{Deserialize, Serialize};
 use spt_interp::Event;
 use spt_mach::{CacheSim, GagPredictor, MachineConfig, ProducerKind, Scoreboard};
 use spt_sir::LatClass;
@@ -24,7 +23,7 @@ pub enum StallKind {
 }
 
 /// Cycle accounting of one pipeline.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
     /// Cycles in which at least one instruction issued.
     pub busy: u64,

@@ -21,7 +21,7 @@ pub mod metrics;
 pub mod spt;
 pub mod ssb;
 
-pub use baseline::{simulate_baseline, BaselineReport};
+pub use baseline::{simulate_baseline, simulate_baseline_with_memory, BaselineReport};
 pub use engine::{CycleBreakdown, Engine, StallKind};
 pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerLoopStats};
 pub use spt::{SptReport, SptSim};

@@ -1,6 +1,5 @@
 //! Loop annotations, per-loop cycle attribution, and report types.
 
-use serde::{Deserialize, Serialize};
 use spt_interp::{EvKind, Event};
 use spt_sir::{BlockId, FuncId};
 
@@ -125,7 +124,7 @@ impl LoopCycleTracker {
 }
 
 /// Per-SPT-loop speculation statistics (Figure 8 inputs).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PerLoopStats {
     pub id: usize,
     /// Main-pipeline cycles attributed to the loop region.

@@ -32,14 +32,13 @@
 use crate::engine::{CycleBreakdown, Engine};
 use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerLoopStats};
 use crate::ssb::{SpecMem, Ssb};
-use serde::{Deserialize, Serialize};
 use spt_interp::{Cursor, EvKind, Event, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig, RecoveryPolicy, RegCheckPolicy};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg, StmtRef, Terminator};
 use std::collections::HashSet;
 
 /// Result of an SPT run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SptReport {
     /// Program execution time: main-pipeline cycles.
     pub cycles: u64,
@@ -199,6 +198,13 @@ impl<'p> SptSim<'p> {
     /// Run the program to completion (or until `max_steps` interpreter steps
     /// across both pipelines).
     pub fn run(&self, max_steps: u64) -> SptReport {
+        self.run_with_memory(max_steps).0
+    }
+
+    /// Like [`SptSim::run`], but also returns the final architectural memory
+    /// image, so differential tests can compare the SPT machine's committed
+    /// state against a sequential interpretation word for word.
+    pub fn run_with_memory(&self, max_steps: u64) -> (SptReport, Memory) {
         let cfg = &self.cfg;
         let mut mem = Memory::for_program(self.prog);
         let mut cache = CacheSim::new(cfg);
@@ -364,7 +370,7 @@ impl<'p> SptSim<'p> {
             pl.instrs = tracker.instrs()[i];
         }
 
-        SptReport {
+        let report = SptReport {
             cycles: main_eng.cycle() + 1,
             instrs: main_eng.instrs(),
             breakdown: main_eng.breakdown(),
@@ -386,7 +392,8 @@ impl<'p> SptSim<'p> {
             ret: main.return_value(),
             steps,
             out_of_fuel: !main.is_halted() && steps >= max_steps,
-        }
+        };
+        (report, mem)
     }
 
     /// One speculative-pipeline step.

@@ -102,7 +102,7 @@ mod tests {
         assert_eq!(view.load(3), 10); // falls through to base
         view.store(3, 99);
         assert_eq!(view.load(3), 99); // forwarded
-        drop(view);
+        let _ = view;
         assert_eq!(mem.peek(3), 10); // architectural state untouched
     }
 

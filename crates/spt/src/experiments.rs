@@ -1,14 +1,35 @@
 //! The paper's evaluation experiments (Figures 6–9, Table 1, the Figure 1
 //! case study, and the implied ablations), producing structured data that
 //! the `spt-bench` binaries render.
+//!
+//! Every experiment comes in two forms:
+//!
+//! * a method on [`Sweep`] that fans per-benchmark work across the engine's
+//!   worker pool, reuses phase results through the memo cache, and returns
+//!   the experiment data together with a [`RunReport`] of per-phase
+//!   timings and cache counters;
+//! * a free function with the original signature, which runs on a fresh
+//!   [`Sweep::auto`] engine and discards the report.
+//!
+//! Parallel and sequential runs produce identical data: work items are
+//! independent, results are collected in item order, and all timing
+//! information is confined to the `RunReport`.
 
 use crate::report::arithmetic_mean;
-use crate::solution::{evaluate_workload, EvalOutcome, RunConfig};
-use spt_compiler::compile;
+use crate::solution::{EvalOutcome, RunConfig};
+use crate::sweep::{BenchRecord, PhaseTimings, RunReport, Sweep};
+use spt_compiler::CompileResult;
 use spt_mach::{MachineConfig, RecoveryPolicy, RegCheckPolicy};
-use spt_profile::profile_program;
-use spt_sim::{LoopAnnot, LoopAnnotations, SptSim};
+use spt_profile::ProgramProfile;
+use spt_sim::{LoopAnnot, LoopAnnotations};
 use spt_workloads::{benchmark, kernels, suite, Scale, Workload};
+use std::time::Instant;
+
+/// Ablation A1 output: per benchmark, a series of (SRB size, speedup).
+pub type SrbData = Vec<(String, Vec<(usize, f64)>)>;
+
+/// Labeled-ablation output: per benchmark, rows of (variant label, speedup).
+pub type LabeledData = Vec<(String, Vec<(String, f64)>)>;
 
 /// Figure 6: one benchmark's accumulative loop coverage vs body size.
 #[derive(Clone, Debug)]
@@ -25,21 +46,17 @@ pub const FIG6_LIMITS: [f64; 9] = [
 
 /// Compute Figure 6 for every suite benchmark.
 pub fn fig6(scale: Scale, fuel: u64) -> Vec<Fig6Series> {
-    suite(scale)
-        .iter()
-        .map(|w| fig6_one(w, fuel))
-        .collect()
+    Sweep::auto().fig6(scale, fuel).0
 }
 
-fn fig6_one(w: &Workload, fuel: u64) -> Fig6Series {
-    let prof = profile_program(&w.program, fuel);
+fn fig6_points(prof: &ProgramProfile) -> Vec<(f64, f64)> {
     let mut loops: Vec<(f64, f64)> = prof
         .loops
         .iter()
         .map(|(k, d)| (d.avg_body_size(), prof.coverage(*k)))
         .collect();
     loops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    let points = FIG6_LIMITS
+    FIG6_LIMITS
         .iter()
         .map(|&lim| {
             let cov: f64 = loops
@@ -49,10 +66,17 @@ fn fig6_one(w: &Workload, fuel: u64) -> Fig6Series {
                 .sum();
             (lim, cov.min(1.0))
         })
-        .collect();
+        .collect()
+}
+
+/// Reference (non-memoized) Figure 6 computation, kept for the tests that
+/// cross-check the sweep path against it.
+#[cfg(test)]
+fn fig6_one(w: &Workload, fuel: u64) -> Fig6Series {
+    let prof = spt_profile::profile_program(&w.program, fuel);
     Fig6Series {
         name: w.name.to_string(),
-        points,
+        points: fig6_points(&prof),
     }
 }
 
@@ -66,34 +90,32 @@ pub struct Fig7Row {
     pub n_spt_loops: usize,
 }
 
-pub fn fig7(scale: Scale, cfg: &RunConfig) -> Vec<Fig7Row> {
-    suite(scale)
+fn fig7_row(name: &str, compiled: &CompileResult) -> Fig7Row {
+    let limit = if name == "gaps" { 2500.0 } else { 1000.0 };
+    let max_coverage: f64 = compiled
+        .profile
+        .loops
         .iter()
-        .map(|w| {
-            let compiled = compile(&w.program, &cfg.compile);
-            let limit = if w.name == "gaps" { 2500.0 } else { 1000.0 };
-            let max_coverage: f64 = compiled
-                .profile
-                .loops
-                .iter()
-                .filter(|(_, d)| d.avg_body_size() <= limit)
-                .map(|(k, _)| compiled.profile.coverage(*k))
-                .sum::<f64>()
-                .min(1.0);
-            let spt_coverage: f64 = compiled
-                .loops
-                .iter()
-                .map(|l| l.coverage)
-                .sum::<f64>()
-                .min(1.0);
-            Fig7Row {
-                name: w.name.to_string(),
-                max_coverage,
-                spt_coverage,
-                n_spt_loops: compiled.loops.len(),
-            }
-        })
-        .collect()
+        .filter(|(_, d)| d.avg_body_size() <= limit)
+        .map(|(k, _)| compiled.profile.coverage(*k))
+        .sum::<f64>()
+        .min(1.0);
+    let spt_coverage: f64 = compiled
+        .loops
+        .iter()
+        .map(|l| l.coverage)
+        .sum::<f64>()
+        .min(1.0);
+    Fig7Row {
+        name: name.to_string(),
+        max_coverage,
+        spt_coverage,
+        n_spt_loops: compiled.loops.len(),
+    }
+}
+
+pub fn fig7(scale: Scale, cfg: &RunConfig) -> Vec<Fig7Row> {
+    Sweep::auto().fig7(scale, cfg).0
 }
 
 /// Figure 8: per-benchmark SPT loop-level performance.
@@ -119,18 +141,264 @@ pub struct Fig9Row {
 
 /// Evaluate the full suite once (shared by Figures 8 and 9).
 pub fn eval_suite(scale: Scale, cfg: &RunConfig) -> Vec<EvalOutcome> {
-    suite(scale)
-        .iter()
-        .map(|w| {
-            let out = evaluate_workload(w, cfg);
+    Sweep::auto().eval_suite(scale, cfg).outcomes
+}
+
+/// A suite evaluation: outcomes in suite order, plus the run's metrics.
+#[derive(Debug)]
+pub struct SuiteRun {
+    pub outcomes: Vec<EvalOutcome>,
+    pub report: RunReport,
+}
+
+fn split<A, B>(pairs: Vec<(A, B)>) -> (Vec<A>, Vec<B>) {
+    let mut xs = Vec::with_capacity(pairs.len());
+    let mut ys = Vec::with_capacity(pairs.len());
+    for (a, b) in pairs {
+        xs.push(a);
+        ys.push(b);
+    }
+    (xs, ys)
+}
+
+impl Sweep {
+    /// Evaluate the full suite across the worker pool. Semantics of every
+    /// benchmark are asserted on the calling thread, after collection.
+    pub fn eval_suite(&self, scale: Scale, cfg: &RunConfig) -> SuiteRun {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let ws = suite(scale);
+        let results = self.map(&ws, |_, w| self.evaluate(w.name, &w.program, cfg));
+        let (outcomes, records) = split(results);
+        for o in &outcomes {
             assert!(
-                out.semantics_ok(),
+                o.semantics_ok(),
                 "{}: SPT run diverged from sequential semantics",
-                w.name
+                o.name
             );
-            out
-        })
-        .collect()
+        }
+        SuiteRun {
+            outcomes,
+            report: self.report_since("eval_suite", t0, before, records),
+        }
+    }
+
+    /// Figure 6 across the worker pool (profile phase only).
+    pub fn fig6(&self, scale: Scale, fuel: u64) -> (Vec<Fig6Series>, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let ws = suite(scale);
+        let results = self.map(&ws, |_, w| {
+            let (prof, stamp) = self.profile(&w.program, fuel);
+            let series = Fig6Series {
+                name: w.name.to_string(),
+                points: fig6_points(&prof),
+            };
+            let record = BenchRecord {
+                name: w.name.to_string(),
+                timings: PhaseTimings {
+                    profile_ms: stamp.ms,
+                    ..Default::default()
+                },
+                profile_hit: stamp.hit,
+                ..Default::default()
+            };
+            (series, record)
+        });
+        let (series, records) = split(results);
+        (series, self.report_since("fig6", t0, before, records))
+    }
+
+    /// Figure 7 across the worker pool (profile + compile phases).
+    pub fn fig7(&self, scale: Scale, cfg: &RunConfig) -> (Vec<Fig7Row>, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let ws = suite(scale);
+        let results = self.map(&ws, |_, w| {
+            let (compiled, cstamp, pstamp) = self.compile(&w.program, &cfg.compile);
+            let row = fig7_row(w.name, &compiled);
+            let record = BenchRecord {
+                name: w.name.to_string(),
+                timings: PhaseTimings {
+                    profile_ms: pstamp.ms,
+                    compile_ms: cstamp.ms,
+                    ..Default::default()
+                },
+                profile_hit: pstamp.hit,
+                compile_hit: cstamp.hit,
+                ..Default::default()
+            };
+            (row, record)
+        });
+        let (rows, records) = split(results);
+        (rows, self.report_since("fig7", t0, before, records))
+    }
+
+    /// The Figure 1 case study through the engine.
+    pub fn fig1_case_study(&self, nodes: usize, cfg: &RunConfig) -> (CaseStudy, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let prog = kernels::parser_free_loop(nodes);
+        let (out, record) = self.evaluate("parser_free_loop", &prog, cfg);
+        (
+            case_study_of(out),
+            self.report_since("fig1", t0, before, vec![record]),
+        )
+    }
+
+    /// Ablation A1 across the worker pool: one item per
+    /// (benchmark, SRB size) pair; the compile and baseline simulation are
+    /// shared per benchmark through the memo cache.
+    pub fn ablation_srb(
+        &self,
+        bench_names: &[&str],
+        sizes: &[usize],
+        scale: Scale,
+        cfg: &RunConfig,
+    ) -> (SrbData, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let ws: Vec<Workload> = bench_names.iter().map(|n| benchmark(n, scale)).collect();
+        let items: Vec<(usize, usize)> = (0..ws.len())
+            .flat_map(|b| sizes.iter().map(move |&s| (b, s)))
+            .collect();
+        let results = self.map(&items, |_, &(b, s)| {
+            let w = &ws[b];
+            let (compiled, cstamp, pstamp) = self.compile(&w.program, &cfg.compile);
+            let annots = annots_of(&compiled);
+            let (base, bstamp) =
+                self.baseline(&w.program, &cfg.machine, &LoopAnnotations::empty(), cfg.fuel);
+            let mut m = cfg.machine.clone();
+            m.srb_entries = s;
+            let (rep, sstamp) = self.spt_sim(&compiled.program, &m, &annots, cfg.fuel);
+            let speedup = base.cycles as f64 / rep.cycles as f64;
+            let record = BenchRecord {
+                name: format!("{}@srb{}", w.name, s),
+                timings: PhaseTimings {
+                    profile_ms: pstamp.ms,
+                    compile_ms: cstamp.ms,
+                    baseline_ms: bstamp.ms,
+                    spt_ms: sstamp.ms,
+                },
+                profile_hit: pstamp.hit,
+                compile_hit: cstamp.hit,
+                baseline_hit: bstamp.hit,
+                spt_hit: sstamp.hit,
+                baseline_cycles: Some(base.cycles),
+                spt_cycles: Some(rep.cycles),
+                speedup: Some(speedup),
+                semantics_ok: None,
+            };
+            (speedup, record)
+        });
+        let (speedups, records) = split(results);
+        let data = bench_names
+            .iter()
+            .enumerate()
+            .map(|(b, name)| {
+                let series = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &s)| (s, speedups[b * sizes.len() + j]))
+                    .collect();
+                (name.to_string(), series)
+            })
+            .collect();
+        (data, self.report_since("ablation_srb", t0, before, records))
+    }
+
+    /// Ablations A2/A3 across the worker pool: one item per
+    /// (benchmark, machine variant) pair.
+    pub fn ablation_policies(
+        &self,
+        bench_names: &[&str],
+        scale: Scale,
+        cfg: &RunConfig,
+    ) -> (LabeledData, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let variants = policy_variants(&cfg.machine);
+        let ws: Vec<Workload> = bench_names.iter().map(|n| benchmark(n, scale)).collect();
+        let items: Vec<(usize, usize)> = (0..ws.len())
+            .flat_map(|b| (0..variants.len()).map(move |v| (b, v)))
+            .collect();
+        let results = self.map(&items, |_, &(b, v)| {
+            let w = &ws[b];
+            let (label, m) = &variants[v];
+            let (compiled, cstamp, pstamp) = self.compile(&w.program, &cfg.compile);
+            let annots = annots_of(&compiled);
+            let (base, bstamp) =
+                self.baseline(&w.program, &cfg.machine, &LoopAnnotations::empty(), cfg.fuel);
+            let (rep, sstamp) = self.spt_sim(&compiled.program, m, &annots, cfg.fuel);
+            let speedup = base.cycles as f64 / rep.cycles as f64;
+            let record = BenchRecord {
+                name: format!("{}@{}", w.name, label),
+                timings: PhaseTimings {
+                    profile_ms: pstamp.ms,
+                    compile_ms: cstamp.ms,
+                    baseline_ms: bstamp.ms,
+                    spt_ms: sstamp.ms,
+                },
+                profile_hit: pstamp.hit,
+                compile_hit: cstamp.hit,
+                baseline_hit: bstamp.hit,
+                spt_hit: sstamp.hit,
+                baseline_cycles: Some(base.cycles),
+                spt_cycles: Some(rep.cycles),
+                speedup: Some(speedup),
+                semantics_ok: None,
+            };
+            ((label.clone(), speedup), record)
+        });
+        let (pairs, records) = split(results);
+        let data = bench_names
+            .iter()
+            .enumerate()
+            .map(|(b, name)| {
+                let rows = (0..variants.len())
+                    .map(|v| pairs[b * variants.len() + v].clone())
+                    .collect();
+                (name.to_string(), rows)
+            })
+            .collect();
+        (data, self.report_since("ablation_policies", t0, before, records))
+    }
+
+    /// Ablation A4 across the worker pool: one item per
+    /// (benchmark, compiler variant) pair, each a full evaluation.
+    pub fn ablation_compiler(
+        &self,
+        bench_names: &[&str],
+        scale: Scale,
+        cfg: &RunConfig,
+    ) -> (LabeledData, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let variants = compiler_variants(cfg);
+        let ws: Vec<Workload> = bench_names.iter().map(|n| benchmark(n, scale)).collect();
+        let items: Vec<(usize, usize)> = (0..ws.len())
+            .flat_map(|b| (0..variants.len()).map(move |v| (b, v)))
+            .collect();
+        let results = self.map(&items, |_, &(b, v)| {
+            let w = &ws[b];
+            let (label, rc) = &variants[v];
+            let (out, mut record) = self.evaluate(w.name, &w.program, rc);
+            record.name = format!("{}@{}", w.name, label);
+            ((label.clone(), out.speedup()), record)
+        });
+        let (pairs, records) = split(results);
+        let data = bench_names
+            .iter()
+            .enumerate()
+            .map(|(b, name)| {
+                let rows = (0..variants.len())
+                    .map(|v| pairs[b * variants.len() + v].clone())
+                    .collect();
+                (name.to_string(), rows)
+            })
+            .collect();
+        (data, self.report_since("ablation_compiler", t0, before, records))
+    }
 }
 
 pub fn fig8_rows(outcomes: &[EvalOutcome]) -> Vec<Fig8Row> {
@@ -181,7 +449,7 @@ pub fn fig9_rows(outcomes: &[EvalOutcome]) -> Vec<Fig9Row> {
 }
 
 /// The Figure 1 case study: the parser list-free loop.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CaseStudy {
     pub loop_speedup: f64,
     /// Fraction of speculatively executed instructions that were invalid
@@ -193,9 +461,7 @@ pub struct CaseStudy {
     pub outcome: EvalOutcome,
 }
 
-pub fn fig1_case_study(nodes: usize, cfg: &RunConfig) -> CaseStudy {
-    let prog = kernels::parser_free_loop(nodes);
-    let out = crate::solution::evaluate_program("parser_free_loop", &prog, cfg);
+fn case_study_of(out: EvalOutcome) -> CaseStudy {
     let speedups = out.loop_speedups();
     let loop_speedup = speedups.first().copied().unwrap_or(out.speedup());
     let spec_total = out.spt.spec_instrs_checked + out.spt.spec_instrs_discarded;
@@ -212,37 +478,46 @@ pub fn fig1_case_study(nodes: usize, cfg: &RunConfig) -> CaseStudy {
     }
 }
 
+pub fn fig1_case_study(nodes: usize, cfg: &RunConfig) -> CaseStudy {
+    Sweep::auto().fig1_case_study(nodes, cfg).0
+}
+
 /// Ablation A1: speculation result buffer size sweep.
 pub fn ablation_srb(
     bench_names: &[&str],
     sizes: &[usize],
     scale: Scale,
     cfg: &RunConfig,
-) -> Vec<(String, Vec<(usize, f64)>)> {
-    bench_names
-        .iter()
-        .map(|name| {
-            let w = benchmark(name, scale);
-            let compiled = compile(&w.program, &cfg.compile);
-            let annots = annots_of(&compiled);
-            let base = spt_sim::simulate_baseline(
-                &w.program,
-                &cfg.machine,
-                &spt_sim::LoopAnnotations::empty(),
-                cfg.fuel,
-            );
-            let series = sizes
-                .iter()
-                .map(|&s| {
-                    let mut m = cfg.machine.clone();
-                    m.srb_entries = s;
-                    let rep = SptSim::new(&compiled.program, m, annots.clone()).run(cfg.fuel);
-                    (s, base.cycles as f64 / rep.cycles as f64)
-                })
-                .collect();
-            (name.to_string(), series)
-        })
-        .collect()
+) -> SrbData {
+    Sweep::auto().ablation_srb(bench_names, sizes, scale, cfg).0
+}
+
+/// The machine variants of ablations A2/A3 (recovery × register checking).
+fn policy_variants(machine: &MachineConfig) -> Vec<(String, MachineConfig)> {
+    vec![
+        ("SRX+FC value".into(), machine.clone()),
+        (
+            "SRX+FC mark".into(),
+            MachineConfig {
+                reg_check: RegCheckPolicy::MarkBased,
+                ..machine.clone()
+            },
+        ),
+        (
+            "SRX only".into(),
+            MachineConfig {
+                recovery: RecoveryPolicy::SrxOnly,
+                ..machine.clone()
+            },
+        ),
+        (
+            "Squash".into(),
+            MachineConfig {
+                recovery: RecoveryPolicy::Squash,
+                ..machine.clone()
+            },
+        ),
+    ]
 }
 
 /// Ablation A2/A3: recovery mechanism and register checking policy.
@@ -250,62 +525,12 @@ pub fn ablation_policies(
     bench_names: &[&str],
     scale: Scale,
     cfg: &RunConfig,
-) -> Vec<(String, Vec<(String, f64)>)> {
-    let variants: Vec<(String, MachineConfig)> = vec![
-        ("SRX+FC value".into(), cfg.machine.clone()),
-        (
-            "SRX+FC mark".into(),
-            MachineConfig {
-                reg_check: RegCheckPolicy::MarkBased,
-                ..cfg.machine.clone()
-            },
-        ),
-        (
-            "SRX only".into(),
-            MachineConfig {
-                recovery: RecoveryPolicy::SrxOnly,
-                ..cfg.machine.clone()
-            },
-        ),
-        (
-            "Squash".into(),
-            MachineConfig {
-                recovery: RecoveryPolicy::Squash,
-                ..cfg.machine.clone()
-            },
-        ),
-    ];
-    bench_names
-        .iter()
-        .map(|name| {
-            let w = benchmark(name, scale);
-            let compiled = compile(&w.program, &cfg.compile);
-            let annots = annots_of(&compiled);
-            let base = spt_sim::simulate_baseline(
-                &w.program,
-                &cfg.machine,
-                &spt_sim::LoopAnnotations::empty(),
-                cfg.fuel,
-            );
-            let rows = variants
-                .iter()
-                .map(|(label, m)| {
-                    let rep =
-                        SptSim::new(&compiled.program, m.clone(), annots.clone()).run(cfg.fuel);
-                    (label.clone(), base.cycles as f64 / rep.cycles as f64)
-                })
-                .collect();
-            (name.to_string(), rows)
-        })
-        .collect()
+) -> LabeledData {
+    Sweep::auto().ablation_policies(bench_names, scale, cfg).0
 }
 
-/// Ablation A4: compiler features (no SVP, no unroll, naive partition).
-pub fn ablation_compiler(
-    bench_names: &[&str],
-    scale: Scale,
-    cfg: &RunConfig,
-) -> Vec<(String, Vec<(String, f64)>)> {
+/// The compiler-feature variants of ablation A4.
+fn compiler_variants(cfg: &RunConfig) -> Vec<(String, RunConfig)> {
     let mut no_svp = cfg.clone();
     no_svp.compile.enable_svp = false;
     let mut no_unroll = cfg.clone();
@@ -314,29 +539,24 @@ pub fn ablation_compiler(
     // "Naive partition": fork at the very top — emulated by forbidding any
     // motion (size bound 0).
     naive.compile.cost.size_bound_frac = 0.0;
-    let variants: Vec<(String, RunConfig)> = vec![
+    vec![
         ("full".into(), cfg.clone()),
         ("no-svp".into(), no_svp),
         ("no-unroll".into(), no_unroll),
         ("no-motion".into(), naive),
-    ];
-    bench_names
-        .iter()
-        .map(|name| {
-            let w = benchmark(name, scale);
-            let rows = variants
-                .iter()
-                .map(|(label, rc)| {
-                    let out = evaluate_workload(&w, rc);
-                    (label.clone(), out.speedup())
-                })
-                .collect();
-            (name.to_string(), rows)
-        })
-        .collect()
+    ]
 }
 
-fn annots_of(compiled: &spt_compiler::CompileResult) -> LoopAnnotations {
+/// Ablation A4: compiler features (no SVP, no unroll, naive partition).
+pub fn ablation_compiler(
+    bench_names: &[&str],
+    scale: Scale,
+    cfg: &RunConfig,
+) -> LabeledData {
+    Sweep::auto().ablation_compiler(bench_names, scale, cfg).0
+}
+
+fn annots_of(compiled: &CompileResult) -> LoopAnnotations {
     LoopAnnotations {
         loops: compiled
             .loops
@@ -382,6 +602,19 @@ mod tests {
     }
 
     #[test]
+    fn fig6_sweep_matches_direct() {
+        let sw = Sweep::new(2);
+        let (series, report) = sw.fig6(Scale::Test, 10_000_000);
+        assert_eq!(series.len(), 10);
+        assert_eq!(report.records.len(), 10);
+        let direct = fig6_one(&benchmark("gzips", Scale::Test), 10_000_000);
+        let via_sweep = series.iter().find(|s| s.name == "gzips").unwrap();
+        assert_eq!(via_sweep.points, direct.points);
+        // All ten benchmarks profiled exactly once.
+        assert_eq!(report.cache.profile_misses, 10);
+    }
+
+    #[test]
     fn fig1_case_study_shape() {
         let cs = fig1_case_study(400, &quick_cfg());
         assert!(cs.outcome.semantics_ok());
@@ -399,5 +632,23 @@ mod tests {
         assert!(parsers.spt_coverage <= parsers.max_coverage + 1e-9);
         let vortexs = rows.iter().find(|r| r.name == "vortexs").unwrap();
         assert!(vortexs.max_coverage < 0.5);
+    }
+
+    #[test]
+    fn ablation_srb_shares_compile_and_baseline() {
+        let sw = Sweep::new(2);
+        let mut cfg = quick_cfg();
+        cfg.fuel = 10_000_000;
+        let sizes = [16usize, 1024];
+        let (data, report) = sw.ablation_srb(&["parsers", "mcfs"], &sizes, Scale::Test, &cfg);
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].1.len(), 2);
+        // 2 benches × 2 sizes = 4 items, but only 2 compiles, 2 baselines;
+        // every SPT sim is distinct (machine differs per size).
+        assert_eq!(report.cache.compile_misses, 2);
+        assert_eq!(report.cache.compile_hits, 2);
+        assert_eq!(report.cache.baseline_misses, 2);
+        assert_eq!(report.cache.baseline_hits, 2);
+        assert_eq!(report.cache.spt_misses, 4);
     }
 }

@@ -28,10 +28,17 @@
 //! ([`spt_workloads::suite`]).
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod solution;
+pub mod sweep;
 
-pub use solution::{evaluate_program, evaluate_workload, EvalOutcome, RunConfig};
+pub use json::{Json, ToJson};
+pub use solution::{
+    evaluate_program, evaluate_workload, original_annotations, spt_annotations, EvalOutcome,
+    RunConfig,
+};
+pub use sweep::{BenchRecord, MemoStats, PhaseTimings, RunReport, Sweep};
 
 // Re-export the component crates under one roof.
 pub use spt_compiler::{self as compiler, CompileOptions};

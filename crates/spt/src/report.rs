@@ -1,4 +1,15 @@
 //! Plain-text rendering of experiment tables.
+//!
+//! The `render_*` functions produce the exact text each `spt-bench` binary
+//! prints, so the golden-snapshot tests and the binaries cannot drift
+//! apart: both call the same renderer.
+
+use crate::experiments::{
+    fig8_rows, fig9_rows, CaseStudy, Fig6Series, Fig7Row, FIG6_LIMITS,
+};
+use crate::solution::EvalOutcome;
+use spt_mach::MachineConfig;
+use std::fmt::Write as _;
 
 /// Render an aligned text table.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -56,6 +67,217 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
         return 1.0;
     }
     (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Format a float as a right-aligned percent cell (the bench binaries'
+/// house style).
+pub fn pcell(x: f64) -> String {
+    format!("{:>6.1}%", x * 100.0)
+}
+
+/// Figure 6 text block: coverage vs body-size limit per benchmark.
+pub fn render_fig6(series: &[Fig6Series]) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{:<10}", "bench");
+    for lim in FIG6_LIMITS {
+        let _ = write!(s, " {:>9}", lim as u64);
+    }
+    s.push('\n');
+    for ser in series {
+        let _ = write!(s, "{:<10}", ser.name);
+        for (_, c) in &ser.points {
+            let _ = write!(s, " {:>9}", pcell(*c).trim());
+        }
+        s.push('\n');
+    }
+    s.push_str("\n(accumulative coverage of all loops whose average dynamic body size\n");
+    s.push_str(" is within each limit; paper Figure 6)\n");
+    s
+}
+
+/// Figure 7 table plus the averages line.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut avg_cov = 0.0;
+    let mut avg_n = 0.0;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            avg_cov += r.spt_coverage;
+            avg_n += r.n_spt_loops as f64;
+            vec![
+                r.name.clone(),
+                pcell(r.max_coverage),
+                pcell(r.spt_coverage),
+                r.n_spt_loops.to_string(),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Figure 7: SPT loop number and coverage",
+        &["bench", "max loop coverage", "SPT loop coverage", "# SPT loops"],
+        &table,
+    );
+    let _ = writeln!(
+        s,
+        "average: {} coverage with {:.0} SPT loops (paper: 53% with 32 loops)",
+        pcell(avg_cov / rows.len() as f64),
+        avg_n / rows.len() as f64
+    );
+    s
+}
+
+/// Figure 8 table plus the averages line, from suite outcomes.
+pub fn render_fig8(outcomes: &[EvalOutcome]) -> String {
+    let rows = fig8_rows(outcomes);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:>6.1}%", (r.avg_loop_speedup - 1.0) * 100.0),
+                pcell(r.fast_commit_ratio),
+                format!("{:>6.2}%", r.misspeculation_ratio * 100.0),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Figure 8: SPT loop performance",
+        &["bench", "avg SPT loop speedup", "fast-commit ratio", "misspec ratio"],
+        &table,
+    );
+    let n = rows.len() as f64;
+    let _ = writeln!(
+        s,
+        "averages: loop speedup {:+.1}%, fast-commit {:.1}%, misspec {:.2}%",
+        rows.iter().map(|r| r.avg_loop_speedup - 1.0).sum::<f64>() / n * 100.0,
+        rows.iter().map(|r| r.fast_commit_ratio).sum::<f64>() / n * 100.0,
+        rows.iter().map(|r| r.misspeculation_ratio).sum::<f64>() / n * 100.0
+    );
+    s.push_str("(paper: 35% avg loop speedup, 64% fast-commit, 1.2% misspeculation)\n");
+    s
+}
+
+/// Figure 9 table plus the average-speedup line, from suite outcomes.
+pub fn render_fig9(outcomes: &[EvalOutcome]) -> String {
+    let rows = fig9_rows(outcomes);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:>6.1}%", (r.speedup - 1.0) * 100.0),
+                pcell(r.exec_contrib),
+                pcell(r.pipe_contrib),
+                pcell(r.dcache_contrib),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Figure 9: program speedup (breakdown as fraction of baseline time)",
+        &["bench", "speedup", "execution", "pipeline stalls", "dcache stalls"],
+        &table,
+    );
+    let avg = crate::experiments::average_speedup(outcomes);
+    let _ = writeln!(
+        s,
+        "average program speedup: {:+.1}%  (paper: 15.6% = 8.4% exec + 1.7% pipe + 5.5% dcache)",
+        (avg - 1.0) * 100.0
+    );
+    s
+}
+
+/// Figure 1 case-study block.
+pub fn render_fig1(cs: &CaseStudy) -> String {
+    let mut s = String::from("Figure 1 case study: parser list-free loop\n");
+    let _ = writeln!(
+        s,
+        "  loop speedup:                {:>8}   (paper: >40%)",
+        gain(cs.loop_speedup)
+    );
+    let _ = writeln!(
+        s,
+        "  invalid speculative instrs:  {:>8}   (paper: ~5%)",
+        pct(cs.invalid_ratio)
+    );
+    let _ = writeln!(
+        s,
+        "  perfectly parallel threads:  {:>8}   (paper: ~20%)",
+        pct(cs.perfect_ratio)
+    );
+    let _ = writeln!(s, "  semantics preserved:         {}", cs.outcome.semantics_ok());
+    s
+}
+
+/// Figure 5 block: SVP off vs on.
+pub fn render_fig5(off: &EvalOutcome, on: &EvalOutcome) -> String {
+    let mut s = String::from("Figure 5: software value prediction\n");
+    let _ = writeln!(
+        s,
+        "  without SVP: speedup {:>7}, fast-commit {:>5.1}%",
+        gain(off.speedup()),
+        off.spt.fast_commit_ratio() * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  with SVP:    speedup {:>7}, fast-commit {:>5.1}%",
+        gain(on.speedup()),
+        on.spt.fast_commit_ratio() * 100.0
+    );
+    s
+}
+
+/// Table 1 (machine configuration).
+pub fn render_table1(cfg: &MachineConfig) -> String {
+    let rows: Vec<Vec<String>> = cfg
+        .table1_rows()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    render_table("Table 1: machine configuration", &["parameter", "value"], &rows)
+}
+
+/// Ablation A1 block: SRB size sweep.
+pub fn render_ablation_srb(sizes: &[usize], data: &[(String, Vec<(usize, f64)>)]) -> String {
+    let mut s = String::from("Ablation A1: SRB size vs program speedup\n");
+    let _ = write!(s, "{:<10}", "bench");
+    for &sz in sizes {
+        let _ = write!(s, " {:>8}", sz);
+    }
+    s.push('\n');
+    for (name, series) in data {
+        let _ = write!(s, "{:<10}", name);
+        for (_, sp) in series {
+            let _ = write!(s, " {:>7.1}%", (sp - 1.0) * 100.0);
+        }
+        s.push('\n');
+    }
+    s.push_str("(Table 1 default: 1024 entries)\n");
+    s
+}
+
+/// Ablations A2/A3 block: recovery and checking policies.
+pub fn render_ablation_policies(data: &[(String, Vec<(String, f64)>)]) -> String {
+    let mut s = String::from("Ablations A2/A3: recovery mechanism and register checking\n");
+    for (name, rows) in data {
+        let _ = writeln!(s, "\n{name}:");
+        for (label, sp) in rows {
+            let _ = writeln!(s, "  {:<16} {:>7.1}%", label, (sp - 1.0) * 100.0);
+        }
+    }
+    s.push_str("\n(Table 1 defaults: SRX+FC with value-based checking)\n");
+    s
+}
+
+/// Ablation A4 block: compiler feature ablation.
+pub fn render_ablation_compiler(data: &[(String, Vec<(String, f64)>)]) -> String {
+    let mut s = String::from("Ablation A4: compiler features vs program speedup\n");
+    for (name, rows) in data {
+        let _ = writeln!(s, "\n{name}:");
+        for (label, sp) in rows {
+            let _ = writeln!(s, "  {:<12} {:>7.1}%", label, (sp - 1.0) * 100.0);
+        }
+    }
+    s
 }
 
 #[cfg(test)]

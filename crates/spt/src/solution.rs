@@ -29,7 +29,7 @@ impl Default for RunConfig {
 }
 
 /// Everything measured for one program.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOutcome {
     pub name: String,
     /// The sequential program on one core (the paper's reference).
@@ -88,7 +88,7 @@ impl EvalOutcome {
 }
 
 /// Annotations for the *transformed* program (SPT run).
-fn spt_annotations(compiled: &CompileResult) -> LoopAnnotations {
+pub fn spt_annotations(compiled: &CompileResult) -> LoopAnnotations {
     LoopAnnotations {
         loops: compiled
             .loops
@@ -106,7 +106,7 @@ fn spt_annotations(compiled: &CompileResult) -> LoopAnnotations {
 
 /// Annotations locating the same loops in the *original* program (baseline
 /// run), aligned with `compiled.loops`.
-fn original_annotations(prog: &Program, compiled: &CompileResult) -> LoopAnnotations {
+pub fn original_annotations(prog: &Program, compiled: &CompileResult) -> LoopAnnotations {
     let mut loops = Vec::new();
     for (i, info) in compiled.loops.iter().enumerate() {
         let f = prog.func(info.func);
@@ -129,6 +129,10 @@ fn original_annotations(prog: &Program, compiled: &CompileResult) -> LoopAnnotat
 }
 
 /// Compile and evaluate one program end to end.
+///
+/// This is the reference implementation of the pipeline; the sweep
+/// engine's memoized [`crate::sweep::Sweep::evaluate`] produces identical
+/// outcomes phase by phase (a property the sweep tests assert).
 pub fn evaluate_program(name: &str, prog: &Program, cfg: &RunConfig) -> EvalOutcome {
     let compiled = compile(prog, &cfg.compile);
 

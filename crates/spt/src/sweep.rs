@@ -1,0 +1,624 @@
+//! The parallel experiment engine.
+//!
+//! Every evaluation experiment (the figure sweeps, the suite evaluation,
+//! the ablations) decomposes into per-benchmark work items whose phases —
+//! profile, compile, baseline simulation, SPT simulation — are pure
+//! functions of `(program, options/config, fuel)`. This module provides:
+//!
+//! * [`Sweep`] — a scoped worker pool (`std::thread::scope`, no external
+//!   dependencies) that fans work items across `workers` threads while
+//!   preserving item order in the results, so parallel and sequential runs
+//!   are **bit-identical**;
+//! * a content-keyed **memo cache**: each phase result is computed at most
+//!   once per process for a given `(program fingerprint, config
+//!   fingerprint, fuel)` key, no matter how many experiments share it
+//!   (e.g. Figures 8 and 9 both consume the suite evaluation; the SRB
+//!   ablation shares one compile across all buffer sizes);
+//! * a structured-metrics layer — [`RunReport`], [`BenchRecord`],
+//!   [`PhaseTimings`], [`MemoStats`] — recording per-phase wall-clock
+//!   times and cache hit/miss counts, serializable as JSON via
+//!   [`ToJson`].
+//!
+//! Determinism contract: all simulators are deterministic, cache values
+//! are keyed purely by content, and *no timing data flows into results* —
+//! wall-clock numbers live only in `RunReport`. Worker scheduling can
+//! change which thread computes a value and how long phases take, never
+//! what they produce.
+
+use crate::json::{Json, ToJson};
+use crate::solution::{original_annotations, spt_annotations, EvalOutcome, RunConfig};
+use spt_compiler::{compile_with_profile, CompileOptions, CompileResult};
+use spt_mach::MachineConfig;
+use spt_profile::{profile_program, ProgramProfile};
+use spt_sim::{simulate_baseline, BaselineReport, LoopAnnotations, SptReport, SptSim};
+use spt_sir::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Content fingerprints
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content fingerprint of a program: its full textual rendering plus the
+/// initial data image and memory size (which `Display` only summarizes).
+pub fn program_fingerprint(prog: &Program) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, prog.to_string().as_bytes());
+    h = fnv1a(h, format!("{:?}|{}", prog.data, prog.mem_words).as_bytes());
+    h
+}
+
+/// Fingerprint of any `Debug`-printable configuration. Derived `Debug`
+/// names every field, so two configs collide only if structurally equal.
+fn debug_fingerprint<T: std::fmt::Debug>(x: &T) -> u64 {
+    fnv1a(FNV_OFFSET, format!("{x:?}").as_bytes())
+}
+
+/// Memo-cache key: `(program, config, extra, fuel)` fingerprints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key(u64, u64, u64, u64);
+
+// ---------------------------------------------------------------------------
+// Memo cache
+// ---------------------------------------------------------------------------
+
+/// What one memoized phase lookup cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStamp {
+    /// True if the value was already cached (or another worker computed it).
+    pub hit: bool,
+    /// Wall-clock milliseconds spent computing, 0.0 on a hit.
+    pub ms: f64,
+}
+
+/// One phase's memo table. `Arc<OnceLock<..>>` guarantees at-most-once
+/// computation per key even when several workers request it concurrently:
+/// the map lock is held only for the entry lookup, and `get_or_init`
+/// serializes initialization per cell.
+struct Shard<T> {
+    map: Mutex<HashMap<Key, Arc<OnceLock<Arc<T>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> Shard<T> {
+    fn get_or_compute(&self, key: Key, f: impl FnOnce() -> T) -> (Arc<T>, PhaseStamp) {
+        let cell = {
+            let mut m = self.map.lock().unwrap();
+            m.entry(key).or_default().clone()
+        };
+        let t0 = Instant::now();
+        let mut computed = false;
+        let v = cell
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(f())
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            (v, PhaseStamp { hit: false, ms })
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            (v, PhaseStamp { hit: true, ms: 0.0 })
+        }
+    }
+}
+
+/// Snapshot of the memo cache's hit/miss counters, per phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    pub profile_hits: u64,
+    pub profile_misses: u64,
+    pub compile_hits: u64,
+    pub compile_misses: u64,
+    pub baseline_hits: u64,
+    pub baseline_misses: u64,
+    pub spt_hits: u64,
+    pub spt_misses: u64,
+}
+
+impl MemoStats {
+    pub fn hits(&self) -> u64 {
+        self.profile_hits + self.compile_hits + self.baseline_hits + self.spt_hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.profile_misses + self.compile_misses + self.baseline_misses + self.spt_misses
+    }
+
+    /// Counter deltas since an earlier snapshot (for per-experiment stats
+    /// on a shared engine).
+    pub fn since(&self, before: &MemoStats) -> MemoStats {
+        MemoStats {
+            profile_hits: self.profile_hits - before.profile_hits,
+            profile_misses: self.profile_misses - before.profile_misses,
+            compile_hits: self.compile_hits - before.compile_hits,
+            compile_misses: self.compile_misses - before.compile_misses,
+            baseline_hits: self.baseline_hits - before.baseline_hits,
+            baseline_misses: self.baseline_misses - before.baseline_misses,
+            spt_hits: self.spt_hits - before.spt_hits,
+            spt_misses: self.spt_misses - before.spt_misses,
+        }
+    }
+}
+
+impl ToJson for MemoStats {
+    fn to_json(&self) -> Json {
+        let pair = |h: u64, m: u64| Json::obj().with("hits", h).with("misses", m);
+        Json::obj()
+            .with("profile", pair(self.profile_hits, self.profile_misses))
+            .with("compile", pair(self.compile_hits, self.compile_misses))
+            .with("baseline_sim", pair(self.baseline_hits, self.baseline_misses))
+            .with("spt_sim", pair(self.spt_hits, self.spt_misses))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured metrics
+// ---------------------------------------------------------------------------
+
+/// Wall-clock milliseconds per pipeline phase; 0.0 when the phase was a
+/// cache hit or did not run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    pub profile_ms: f64,
+    pub compile_ms: f64,
+    pub baseline_ms: f64,
+    pub spt_ms: f64,
+}
+
+impl PhaseTimings {
+    pub fn total_ms(&self) -> f64 {
+        self.profile_ms + self.compile_ms + self.baseline_ms + self.spt_ms
+    }
+}
+
+impl ToJson for PhaseTimings {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("profile_ms", self.profile_ms)
+            .with("compile_ms", self.compile_ms)
+            .with("baseline_sim_ms", self.baseline_ms)
+            .with("spt_sim_ms", self.spt_ms)
+    }
+}
+
+/// Metrics for one work item (usually one benchmark, or one
+/// benchmark × variant point in an ablation).
+#[derive(Clone, Debug, Default)]
+pub struct BenchRecord {
+    pub name: String,
+    pub timings: PhaseTimings,
+    /// Which phases were served from the memo cache.
+    pub profile_hit: bool,
+    pub compile_hit: bool,
+    pub baseline_hit: bool,
+    pub spt_hit: bool,
+    /// Cycle stats, when the item ran the simulators.
+    pub baseline_cycles: Option<u64>,
+    pub spt_cycles: Option<u64>,
+    pub speedup: Option<f64>,
+    pub semantics_ok: Option<bool>,
+}
+
+impl ToJson for BenchRecord {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("timings", self.timings.to_json())
+            .with(
+                "cache_hits",
+                Json::obj()
+                    .with("profile", self.profile_hit)
+                    .with("compile", self.compile_hit)
+                    .with("baseline_sim", self.baseline_hit)
+                    .with("spt_sim", self.spt_hit),
+            )
+            .with("baseline_cycles", self.baseline_cycles)
+            .with("spt_cycles", self.spt_cycles)
+            .with("speedup", self.speedup)
+            .with("semantics_ok", self.semantics_ok)
+    }
+}
+
+/// The observability record of one experiment run: wall-clock, worker
+/// count, per-item records, and cache counters. Every `spt-bench` binary
+/// can serialize one of these as machine-readable JSON next to its text
+/// tables.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Experiment name (`"fig8"`, `"ablation_srb"`, ...).
+    pub experiment: String,
+    /// Worker threads the sweep ran with.
+    pub workers: usize,
+    /// End-to-end wall-clock of the experiment, milliseconds.
+    pub wall_ms: f64,
+    pub records: Vec<BenchRecord>,
+    /// Cache activity during this experiment (deltas, not process totals).
+    pub cache: MemoStats,
+}
+
+impl RunReport {
+    /// Sum of per-phase compute time across records — the work a
+    /// sequential run would serialize. `wall_ms` below this sum means the
+    /// sweep overlapped work; the ratio is the parallel speedup.
+    pub fn compute_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.timings.total_ms()).sum()
+    }
+
+    /// One-line human summary (printed by the bench binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "[{}] {} items in {:.0} ms wall ({:.0} ms compute) on {} workers; cache {} hits / {} misses",
+            self.experiment,
+            self.records.len(),
+            self.wall_ms,
+            self.compute_ms(),
+            self.workers,
+            self.cache.hits(),
+            self.cache.misses()
+        )
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("experiment", self.experiment.as_str())
+            .with("workers", self.workers)
+            .with("wall_ms", self.wall_ms)
+            .with("compute_ms", self.compute_ms())
+            .with("cache", self.cache.to_json())
+            .with(
+                "records",
+                Json::Array(self.records.iter().map(ToJson::to_json).collect()),
+            )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Parallel experiment engine: a worker pool plus the process-wide memo
+/// cache for the four pipeline phases.
+pub struct Sweep {
+    workers: usize,
+    profiles: Shard<ProgramProfile>,
+    compiles: Shard<CompileResult>,
+    baselines: Shard<BaselineReport>,
+    spts: Shard<SptReport>,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::auto()
+    }
+}
+
+impl Sweep {
+    /// An engine with exactly `workers` threads (min 1).
+    pub fn new(workers: usize) -> Sweep {
+        Sweep {
+            workers: workers.max(1),
+            profiles: Shard::default(),
+            compiles: Shard::default(),
+            baselines: Shard::default(),
+            spts: Shard::default(),
+        }
+    }
+
+    /// Single-threaded engine (still memoizes).
+    pub fn sequential() -> Sweep {
+        Sweep::new(1)
+    }
+
+    /// Worker count from the `SPT_WORKERS` environment variable, falling
+    /// back to the machine's available parallelism.
+    pub fn auto() -> Sweep {
+        Sweep::new(default_workers())
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current cumulative cache counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MemoStats {
+            profile_hits: ld(&self.profiles.hits),
+            profile_misses: ld(&self.profiles.misses),
+            compile_hits: ld(&self.compiles.hits),
+            compile_misses: ld(&self.compiles.misses),
+            baseline_hits: ld(&self.baselines.hits),
+            baseline_misses: ld(&self.baselines.misses),
+            spt_hits: ld(&self.spts.hits),
+            spt_misses: ld(&self.spts.misses),
+        }
+    }
+
+    /// Fan `items` across the worker pool, preserving order: `result[i]`
+    /// is `f(i, &items[i])` regardless of which worker ran it or when.
+    /// With one worker (or one item) this runs inline on the caller's
+    /// thread. A panic in any item propagates after all workers finish.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.workers == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    done.lock().unwrap().push((i, r));
+                });
+            }
+        });
+        let mut v = done.into_inner().unwrap();
+        v.sort_by_key(|(i, _)| *i);
+        v.into_iter().map(|(_, r)| r).collect()
+    }
+
+    // -- memoized pipeline phases ------------------------------------------
+
+    /// Profile a program (memoized on program content + fuel).
+    pub fn profile(&self, prog: &Program, fuel: u64) -> (Arc<ProgramProfile>, PhaseStamp) {
+        let key = Key(program_fingerprint(prog), fuel, 0, 0);
+        self.profiles.get_or_compute(key, || profile_program(prog, fuel))
+    }
+
+    /// Compile a program (memoized on program content + options). The
+    /// profiling pass inside compilation goes through the profile cache,
+    /// so e.g. Figure 6 and a suite evaluation share one profile per
+    /// benchmark. Returns `(result, compile stamp, profile stamp)`.
+    pub fn compile(
+        &self,
+        prog: &Program,
+        opts: &CompileOptions,
+    ) -> (Arc<CompileResult>, PhaseStamp, PhaseStamp) {
+        let (profile, pstamp) = self.profile(prog, opts.profile_fuel);
+        let key = Key(program_fingerprint(prog), debug_fingerprint(opts), 0, 0);
+        let (res, cstamp) = self
+            .compiles
+            .get_or_compute(key, || compile_with_profile(prog, opts, (*profile).clone()));
+        (res, cstamp, pstamp)
+    }
+
+    /// Baseline (sequential one-core) simulation, memoized on program
+    /// content, machine config, loop annotations and fuel.
+    pub fn baseline(
+        &self,
+        prog: &Program,
+        machine: &MachineConfig,
+        annots: &LoopAnnotations,
+        fuel: u64,
+    ) -> (Arc<BaselineReport>, PhaseStamp) {
+        let key = Key(
+            program_fingerprint(prog),
+            debug_fingerprint(machine),
+            debug_fingerprint(annots),
+            fuel,
+        );
+        self.baselines
+            .get_or_compute(key, || simulate_baseline(prog, machine, annots, fuel))
+    }
+
+    /// Two-core SPT simulation of a (transformed) program, memoized like
+    /// [`Sweep::baseline`].
+    pub fn spt_sim(
+        &self,
+        prog: &Program,
+        machine: &MachineConfig,
+        annots: &LoopAnnotations,
+        fuel: u64,
+    ) -> (Arc<SptReport>, PhaseStamp) {
+        let key = Key(
+            program_fingerprint(prog),
+            debug_fingerprint(machine),
+            debug_fingerprint(annots),
+            fuel,
+        );
+        self.spts.get_or_compute(key, || {
+            SptSim::new(prog, machine.clone(), annots.clone()).run(fuel)
+        })
+    }
+
+    /// The full evaluation pipeline for one program, phase by phase
+    /// through the memo cache. Produces exactly what
+    /// [`crate::solution::evaluate_program`] produces, plus the metrics
+    /// record. Does **not** assert semantics — callers running inside
+    /// worker threads collect outcomes first and assert on their own
+    /// thread.
+    pub fn evaluate(&self, name: &str, prog: &Program, cfg: &RunConfig) -> (EvalOutcome, BenchRecord) {
+        let (compiled, cstamp, pstamp) = self.compile(prog, &cfg.compile);
+
+        let base_annots = original_annotations(prog, &compiled);
+        let (baseline, bstamp) = self.baseline(prog, &cfg.machine, &base_annots, cfg.fuel);
+
+        let annots = spt_annotations(&compiled);
+        let (spt, sstamp) = self.spt_sim(&compiled.program, &cfg.machine, &annots, cfg.fuel);
+
+        let outcome = EvalOutcome {
+            name: name.to_string(),
+            baseline_loop_cycles: baseline.loop_cycles.clone(),
+            baseline: (*baseline).clone(),
+            spt: (*spt).clone(),
+            compiled: (*compiled).clone(),
+        };
+        let record = BenchRecord {
+            name: name.to_string(),
+            timings: PhaseTimings {
+                profile_ms: pstamp.ms,
+                compile_ms: cstamp.ms,
+                baseline_ms: bstamp.ms,
+                spt_ms: sstamp.ms,
+            },
+            profile_hit: pstamp.hit,
+            compile_hit: cstamp.hit,
+            baseline_hit: bstamp.hit,
+            spt_hit: sstamp.hit,
+            baseline_cycles: Some(outcome.baseline.cycles),
+            spt_cycles: Some(outcome.spt.cycles),
+            speedup: Some(outcome.speedup()),
+            semantics_ok: Some(outcome.semantics_ok()),
+        };
+        (outcome, record)
+    }
+
+    /// Assemble a [`RunReport`] for an experiment that started at `t0`
+    /// with cache counters `before`.
+    pub(crate) fn report_since(
+        &self,
+        experiment: &str,
+        t0: Instant,
+        before: MemoStats,
+        records: Vec<BenchRecord>,
+    ) -> RunReport {
+        RunReport {
+            experiment: experiment.to_string(),
+            workers: self.workers,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            records,
+            cache: self.memo_stats().since(&before),
+        }
+    }
+}
+
+/// `SPT_WORKERS` env var, else available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("SPT_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_workloads::kernels::array_map;
+
+    #[test]
+    fn fingerprints_separate_programs_and_configs() {
+        let a = array_map(64, 8);
+        let b = array_map(65, 8);
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&array_map(64, 8)));
+
+        let m1 = MachineConfig::default();
+        let mut m2 = MachineConfig::default();
+        m2.srb_entries = 16;
+        assert_ne!(debug_fingerprint(&m1), debug_fingerprint(&m2));
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8] {
+            let sw = Sweep::new(workers);
+            let got = sw.map(&items, |_, &x| x * x);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn memo_computes_each_key_once() {
+        let sw = Sweep::new(4);
+        let prog = array_map(80, 8);
+        // Hammer the same profile from many workers.
+        let idxs: Vec<usize> = (0..16).collect();
+        let fps: Vec<u64> = sw.map(&idxs, |_, _| {
+            let (p, _) = sw.profile(&prog, 1_000_000);
+            Arc::as_ptr(&p) as u64
+        });
+        // Everyone saw the same allocation.
+        assert!(fps.windows(2).all(|w| w[0] == w[1]));
+        let stats = sw.memo_stats();
+        assert_eq!(stats.profile_misses, 1);
+        assert_eq!(stats.profile_hits, 15);
+    }
+
+    #[test]
+    fn evaluate_matches_direct_pipeline() {
+        let prog = array_map(100, 8);
+        let mut cfg = RunConfig::default();
+        cfg.fuel = 5_000_000;
+        let sw = Sweep::sequential();
+        let (a, record) = sw.evaluate("array_map", &prog, &cfg);
+        let b = crate::solution::evaluate_program("array_map", &prog, &cfg);
+        assert_eq!(a.baseline.cycles, b.baseline.cycles);
+        assert_eq!(a.spt.cycles, b.spt.cycles);
+        assert_eq!(a.baseline.ret, b.baseline.ret);
+        assert_eq!(a.spt.ret, b.spt.ret);
+        assert!(!record.compile_hit && !record.spt_hit);
+        // Second evaluation: everything hits.
+        let (_, r2) = sw.evaluate("array_map", &prog, &cfg);
+        assert!(r2.profile_hit && r2.compile_hit && r2.baseline_hit && r2.spt_hit);
+        assert_eq!(r2.timings.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn report_serializes_with_stable_schema() {
+        let rep = RunReport {
+            experiment: "demo".into(),
+            workers: 2,
+            wall_ms: 1.5,
+            records: vec![BenchRecord {
+                name: "b".into(),
+                speedup: Some(1.25),
+                ..Default::default()
+            }],
+            cache: MemoStats::default(),
+        };
+        let s = rep.to_json().dump();
+        for key in [
+            "\"experiment\":\"demo\"",
+            "\"workers\":2",
+            "\"cache\":",
+            "\"profile\":{\"hits\":0,\"misses\":0}",
+            "\"records\":",
+            "\"speedup\":1.25",
+            "\"timings\":",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -107,6 +107,7 @@ pub fn svp_loop(iters: usize) -> Program {
     let mut pb = ProgramBuilder::new();
     let limit = 2 * iters as i64;
     // foo(x): consumer work.
+    #[allow(clippy::disallowed_names)] // named after the paper's Figure 5
     let foo = {
         let mut g = pb.func("foo", 1);
         let p = g.param(0);

@@ -72,6 +72,7 @@ fn seg(spec: LoopSpec, invocations: usize, region_words: usize) -> Segment {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one row of the spec table, labeled by parameter name
 fn spec(
     name: &'static str,
     body_alu: usize,
@@ -403,8 +404,8 @@ mod tests {
         let prof = spt_profile::profile_program(&w.program, 50_000_000);
         let best = prof
             .loops
-            .iter()
-            .map(|(k, _)| prof.coverage(*k))
+            .keys()
+            .map(|k| prof.coverage(*k))
             .fold(0.0f64, f64::max);
         assert!(best > 0.2, "parser hottest loop coverage = {best}");
     }
