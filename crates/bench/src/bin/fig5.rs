@@ -2,7 +2,7 @@
 //! x = bar(x) loop, with and without SVP.
 use spt::report::render_fig5;
 use spt::RunConfig;
-use spt_bench::{finish, sweep_from_args};
+use spt_bench::{finish, sweep_from_args, write_trace};
 use spt_workloads::kernels::svp_loop;
 use std::time::Instant;
 
@@ -23,5 +23,11 @@ fn main() {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         records,
         cache: sweep.memo_stats(),
+        histograms: None,
     });
+    write_trace(
+        &sweep,
+        &[("svp_loop".to_string(), prog.clone())],
+        &configs[1].1,
+    );
 }

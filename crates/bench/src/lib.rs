@@ -14,6 +14,7 @@
 //! | `ablation_srb` | A1 — speculation result buffer size sweep |
 //! | `ablation_recovery` | A2/A3 — recovery and checking policies |
 //! | `ablation_compiler` | A4 — compiler feature ablation |
+//! | `spt-explain` | per-loop misspeculation diagnosis from a trace |
 //!
 //! Common flags:
 //!
@@ -21,14 +22,20 @@
 //! * `--workers N` — sweep worker threads (default: `SPT_WORKERS` env or
 //!   available parallelism);
 //! * `--json PATH` — also write the run's structured metrics
-//!   ([`spt::RunReport`]) as JSON to `PATH` (`-` for stdout).
+//!   ([`spt::RunReport`]) as JSON to `PATH` (`-` for stdout);
+//! * `--trace PATH` — re-run the binary's workloads with tracing on and
+//!   write a Chrome trace-event JSON file (open in Perfetto or
+//!   `chrome://tracing`), schema-validated before writing (`-` for stdout).
 //!
 //! Parallel runs are bit-identical to sequential ones; `--workers` only
-//! changes wall-clock time.
+//! changes wall-clock time. Traces are cycle-stamped and byte-identical
+//! at any worker count.
 
 use spt::sweep::default_workers;
+use spt::trace::{chrome_trace, validate_chrome_trace, ProgramTrace};
 use spt::{RunConfig, RunReport, Sweep, ToJson};
-use spt_workloads::Scale;
+use spt_sir::Program;
+use spt_workloads::{suite, Scale};
 
 /// Parse `--scale` from argv; default Small.
 pub fn scale_from_args() -> Scale {
@@ -61,12 +68,56 @@ pub fn p(x: f64) -> String {
     spt::report::pcell(x)
 }
 
-fn arg_value(flag: &str) -> Option<String> {
+/// The value following `flag` in argv, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Honor `--trace PATH`: re-run `programs` with tracing on, export a
+/// Chrome trace-event JSON document, validate it against the trace
+/// schema, and write it to PATH (`-` for stdout). No-op without the flag.
+pub fn write_trace(sweep: &Sweep, programs: &[(String, Program)], cfg: &RunConfig) {
+    let Some(path) = arg_value("--trace") else { return };
+    let pairs = sweep.map(programs, |_, (name, prog)| {
+        sweep.trace_program(name, prog, cfg)
+    });
+    let traces: Vec<ProgramTrace> = pairs.into_iter().map(|(r, _)| r.trace).collect();
+    let body = chrome_trace(&traces).pretty();
+    let events = match validate_chrome_trace(&body) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("exported trace failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    if path == "-" {
+        print!("{body}");
+    } else if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote trace ({events} events, {} workloads) to {path}",
+            traces.len()
+        );
+    }
+}
+
+/// [`write_trace`] over the benchmark suite at `scale` — the suite
+/// binaries' `--trace` implementation.
+pub fn write_suite_trace(sweep: &Sweep, scale: Scale, cfg: &RunConfig) {
+    if arg_value("--trace").is_none() {
+        return;
+    }
+    let programs: Vec<(String, Program)> = suite(scale)
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.program))
+        .collect();
+    write_trace(sweep, &programs, cfg);
 }
 
 /// Print the run's one-line metrics summary and, if `--json PATH` was

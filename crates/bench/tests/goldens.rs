@@ -13,12 +13,13 @@
 //! ```
 
 use spt::report::{
-    render_ablation_compiler, render_ablation_policies, render_ablation_srb, render_fig1,
-    render_fig5, render_fig6, render_fig7, render_fig8, render_fig9, render_table1,
+    render_ablation_compiler, render_ablation_policies, render_ablation_srb, render_explain,
+    render_fig1, render_fig5, render_fig6, render_fig7, render_fig8, render_fig9, render_table1,
 };
+use spt::trace::chrome_trace;
 use spt::{MachineConfig, RunConfig, Sweep};
 use spt_workloads::kernels::svp_loop;
-use spt_workloads::Scale;
+use spt_workloads::{benchmark, Scale};
 use std::path::PathBuf;
 
 fn results_dir() -> PathBuf {
@@ -88,6 +89,20 @@ fn results_match_goldens() {
         "ablation_compiler.txt",
         &render_ablation_compiler(&comp),
     ));
+
+    // Observability goldens: the spt-explain report and the Chrome trace
+    // export for one benchmark. Both are pure functions of cycle-stamped
+    // events, so they are as deterministic as the text tables above (the
+    // trace golden is stored compact to keep the file small).
+    let w = benchmark("parsers", Scale::Test);
+    let (trun, _) = sweep.trace_program(w.name, &w.program, &cfg);
+    stale.extend(check(
+        "explain_parsers.txt",
+        &render_explain(&trun.outcome, &trun.fold),
+    ));
+    let mut trace_json = chrome_trace(std::slice::from_ref(&trun.trace)).dump();
+    trace_json.push('\n');
+    stale.extend(check("trace_parsers.json", &trace_json));
 
     assert!(
         stale.is_empty(),

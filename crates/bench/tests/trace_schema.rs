@@ -1,0 +1,48 @@
+//! Trace schema validation — the same checks the CI trace step performs,
+//! as a test: run a small kernel traced, export both serialization forms,
+//! and validate them against the event schema. Also asserts the fold
+//! differential oracle at the bench level.
+
+use spt::trace::{chrome_trace, validate_chrome_trace, validate_trace_jsonl, EVENT_NAMES};
+use spt::{RunConfig, Sweep};
+use spt_workloads::{benchmark, Scale};
+
+#[test]
+fn exported_traces_validate_against_schema() {
+    let mut cfg = RunConfig::default();
+    cfg.fuel = 20_000_000;
+    let sweep = Sweep::sequential();
+    let w = benchmark("gzips", Scale::Test);
+    let (run, rec) = sweep.trace_program(w.name, &w.program, &cfg);
+
+    // Chrome trace-event form.
+    let chrome = chrome_trace(std::slice::from_ref(&run.trace)).pretty();
+    let n = validate_chrome_trace(&chrome).expect("chrome export schema-valid");
+    assert!(n > 10, "expected a non-trivial event stream, got {n}");
+
+    // JSONL form: every line parses, names a known event, carries a cycle.
+    let jsonl = run.trace.jsonl();
+    let lines = validate_trace_jsonl(&jsonl).expect("jsonl export schema-valid");
+    assert_eq!(
+        lines,
+        run.trace.compile.len() + run.trace.baseline.len() + run.trace.spt.len()
+    );
+
+    // Every event name the stream uses is in the published schema.
+    for stream in [&run.trace.compile, &run.trace.baseline, &run.trace.spt] {
+        for r in stream {
+            assert!(
+                EVENT_NAMES.contains(&r.ev.name()),
+                "unknown event name {:?}",
+                r.ev.name()
+            );
+        }
+    }
+
+    // The fold is a differential oracle against the simulator's counters.
+    assert_eq!(run.fold.forks, run.outcome.spt.forks);
+    assert_eq!(run.fold.fast_commits, run.outcome.spt.fast_commits);
+    assert_eq!(run.fold.replays, run.outcome.spt.replays);
+    assert_eq!(run.fold.kills, run.outcome.spt.kills);
+    assert_eq!(rec.semantics_ok, Some(true));
+}

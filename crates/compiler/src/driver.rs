@@ -18,6 +18,7 @@ use crate::transform::transform_loop;
 use crate::unroll::unroll_linear;
 use spt_profile::{profile_loops, profile_program, LoopKey, ProgramProfile};
 use spt_sir::{analyze_loops, BlockId, Cfg, FuncId, Loop, Program};
+use spt_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
 
 /// Tunables of the compilation framework.
@@ -134,10 +135,43 @@ struct Pass1Candidate {
     unroll: usize,
 }
 
+/// Record a rejection and mirror it into the trace (selection decisions are
+/// compile-time facts, stamped cycle 0; the reason travels as its `Debug`
+/// rendering because `spt-trace` sits below this crate).
+fn push_reject(
+    rejected: &mut Vec<(LoopKey, RejectReason)>,
+    sink: &mut dyn TraceSink,
+    key: LoopKey,
+    reason: RejectReason,
+) {
+    if sink.enabled() {
+        sink.emit(
+            0,
+            TraceEvent::LoopRejected {
+                func: key.func,
+                loop_id: key.loop_id.0,
+                reason: format!("{reason:?}"),
+            },
+        );
+    }
+    rejected.push((key, reason));
+}
+
 /// Run the full two-pass SPT compilation.
 pub fn compile(prog: &Program, opts: &CompileOptions) -> CompileResult {
     let profile = profile_program(prog, opts.profile_fuel);
     compile_with_profile(prog, opts, profile)
+}
+
+/// [`compile`] with a trace sink receiving the driver's selection events
+/// (`PartitionChosen`, `LoopSelected`, `LoopRejected`).
+pub fn compile_traced(
+    prog: &Program,
+    opts: &CompileOptions,
+    sink: &mut dyn TraceSink,
+) -> CompileResult {
+    let profile = profile_program(prog, opts.profile_fuel);
+    compile_with_profile_traced(prog, opts, profile, sink)
 }
 
 /// Run the two-pass compilation against an already-collected profile.
@@ -151,6 +185,16 @@ pub fn compile_with_profile(
     prog: &Program,
     opts: &CompileOptions,
     profile: ProgramProfile,
+) -> CompileResult {
+    compile_with_profile_traced(prog, opts, profile, &mut NullSink)
+}
+
+/// [`compile_with_profile`] with an explicit trace sink.
+pub fn compile_with_profile_traced(
+    prog: &Program,
+    opts: &CompileOptions,
+    profile: ProgramProfile,
+    sink: &mut dyn TraceSink,
 ) -> CompileResult {
     let mut rejected: Vec<(LoopKey, RejectReason)> = Vec::new();
 
@@ -169,12 +213,12 @@ pub fn compile_with_profile(
             };
             let cov = profile.coverage(key);
             if cov < opts.min_coverage {
-                rejected.push((key, RejectReason::LowCoverage(cov)));
+                push_reject(&mut rejected, sink, key, RejectReason::LowCoverage(cov));
                 continue;
             }
             let trip = dynstats.avg_trip();
             if trip < opts.min_trip {
-                rejected.push((key, RejectReason::ShortTrip(trip)));
+                push_reject(&mut rejected, sink, key, RejectReason::ShortTrip(trip));
                 continue;
             }
             let body = dynstats.avg_body_size();
@@ -184,11 +228,11 @@ pub fn compile_with_profile(
                 opts.size_limit
             };
             if body > limit {
-                rejected.push((key, RejectReason::BodyTooBig(body)));
+                push_reject(&mut rejected, sink, key, RejectReason::BodyTooBig(body));
                 continue;
             }
             if body < opts.min_body {
-                rejected.push((key, RejectReason::BodyTooSmall(body)));
+                push_reject(&mut rejected, sink, key, RejectReason::BodyTooSmall(body));
                 continue;
             }
             structural.push((key, l.clone(), Cfg::new(f)));
@@ -212,7 +256,7 @@ pub fn compile_with_profile(
         let lb = match linearize(f, &cfg, &l) {
             Ok(lb) => lb,
             Err(e) => {
-                rejected.push((key, RejectReason::Structure(e)));
+                push_reject(&mut rejected, sink, key, RejectReason::Structure(e));
                 continue;
             }
         };
@@ -257,8 +301,25 @@ pub fn compile_with_profile(
         }
         match best {
             Some((part, lb_used, unroll)) => {
+                if sink.enabled() {
+                    sink.emit(
+                        0,
+                        TraceEvent::PartitionChosen {
+                            func: key.func,
+                            loop_id: key.loop_id.0,
+                            cost: part.misspec_cost,
+                            est_speedup: part.est_speedup,
+                            pre_size: part.pre.count(),
+                        },
+                    );
+                }
                 if part.est_speedup < opts.min_speedup {
-                    rejected.push((key, RejectReason::NotProfitable(part.est_speedup)));
+                    push_reject(
+                        &mut rejected,
+                        sink,
+                        key,
+                        RejectReason::NotProfitable(part.est_speedup),
+                    );
                     continue;
                 }
                 candidates.push(Pass1Candidate {
@@ -271,10 +332,12 @@ pub fn compile_with_profile(
                 });
             }
             None => {
-                rejected.push((
+                push_reject(
+                    &mut rejected,
+                    sink,
                     key,
                     reject.unwrap_or(RejectReason::NotProfitable(0.0)),
-                ));
+                );
             }
         }
     }
@@ -293,7 +356,7 @@ pub fn compile_with_profile(
                     || c.l.blocks.iter().any(|b| s.l.contains(*b)))
         });
         if overlaps {
-            rejected.push((c.key, RejectReason::Nested));
+            push_reject(&mut rejected, sink, c.key, RejectReason::Nested);
         } else {
             selected.push(c);
         }
@@ -303,6 +366,18 @@ pub fn compile_with_profile(
     let mut out = prog.clone();
     let mut loops = Vec::new();
     for c in &selected {
+        if sink.enabled() {
+            sink.emit(
+                0,
+                TraceEvent::LoopSelected {
+                    func: c.key.func,
+                    loop_id: c.key.loop_id.0,
+                    est_speedup: c.part.est_speedup,
+                    coverage: c.coverage,
+                    unroll: c.unroll,
+                },
+            );
+        }
         let tr = transform_loop(&mut out, c.key.func, &c.l, &c.lb, &c.part);
         let n_moved = c
             .part
@@ -552,6 +627,34 @@ mod tests {
         if let Some(info) = res.loops.first() {
             assert!(info.unroll > 1, "tiny body should be unrolled");
         }
+    }
+
+    #[test]
+    fn traced_compile_emits_selection_events() {
+        let prog = two_loop_program();
+        let mut sink = spt_trace::RingBufferSink::unbounded();
+        let res = compile_traced(&prog, &CompileOptions::default(), &mut sink);
+        let recs: Vec<_> = sink.into_records();
+        assert!(recs.iter().all(|r| r.cycle == 0), "compile events at cycle 0");
+        let selected = recs
+            .iter()
+            .filter(|r| matches!(r.ev, spt_trace::TraceEvent::LoopSelected { .. }))
+            .count();
+        let rejected = recs
+            .iter()
+            .filter(|r| matches!(r.ev, spt_trace::TraceEvent::LoopRejected { .. }))
+            .count();
+        let partitions = recs
+            .iter()
+            .filter(|r| matches!(r.ev, spt_trace::TraceEvent::PartitionChosen { .. }))
+            .count();
+        assert_eq!(selected, res.loops.len());
+        assert_eq!(rejected, res.rejected.len());
+        assert!(partitions >= selected);
+        // Tracing must not change the compilation result.
+        let res2 = compile(&prog, &CompileOptions::default());
+        assert_eq!(res2.loops.len(), res.loops.len());
+        assert_eq!(res2.rejected.len(), res.rejected.len());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::metrics::{LoopAnnotations, LoopCycleTracker};
 use spt_interp::{Cursor, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig};
 use spt_sir::Program;
+use spt_trace::{NullSink, Pipe, StallClass, TraceSink};
 
 /// Result of a baseline run.
 #[derive(Clone, Debug)]
@@ -53,19 +54,43 @@ pub fn simulate_baseline_with_memory(
     annots: &LoopAnnotations,
     max_steps: u64,
 ) -> (BaselineReport, Memory) {
+    simulate_baseline_traced(prog, cfg, annots, max_steps, &mut NullSink)
+}
+
+/// [`simulate_baseline`] with a trace sink: the single pipeline emits
+/// `StallTransition` events whenever its idle-cause changes class.
+pub fn simulate_baseline_traced(
+    prog: &Program,
+    cfg: &MachineConfig,
+    annots: &LoopAnnotations,
+    max_steps: u64,
+    sink: &mut dyn TraceSink,
+) -> (BaselineReport, Memory) {
     let mut engine = Engine::new(cfg);
     let mut cache = CacheSim::new(cfg);
     let mut mem = Memory::for_program(prog);
     let mut cur = Cursor::at_entry(prog);
     let mut tracker = LoopCycleTracker::new(annots.clone());
+    let mut last_stall: Option<StallClass> = None;
 
     let mut steps = 0u64;
     while steps < max_steps {
         let Some(ev) = cur.step(&mut mem) else { break };
         steps += 1;
         let before = engine.cycle();
+        let before_bd = engine.breakdown();
         engine.issue(&ev, &mut cache, cfg);
         tracker.observe(&ev, engine.cycle() - before);
+        if sink.enabled() {
+            crate::spt::note_stall(
+                sink,
+                Pipe::Main,
+                &mut last_stall,
+                before_bd,
+                engine.breakdown(),
+                engine.cycle(),
+            );
+        }
     }
 
     let report = BaselineReport {

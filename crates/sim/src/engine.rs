@@ -22,6 +22,24 @@ pub enum StallKind {
     DCache,
 }
 
+/// Attribution of `pipe_stall` cycles to their proximate cause, so the
+/// Figure 9 pipe-stall cells can be decomposed further.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Waiting out a branch-misprediction fetch redirect.
+    pub fetch_gate: u64,
+    /// Waiting on a non-load operand producer (ALU/mul/div latency).
+    pub operand: u64,
+    /// Explicit `advance_to` jumps (SPT overheads: RF copy, fast commit).
+    pub advance: u64,
+}
+
+impl StallBreakdown {
+    pub fn total(&self) -> u64 {
+        self.fetch_gate + self.operand + self.advance
+    }
+}
+
 /// Cycle accounting of one pipeline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
@@ -32,6 +50,8 @@ pub struct CycleBreakdown {
     pub pipe_stall: u64,
     /// Idle cycles waiting on a load result.
     pub dcache_stall: u64,
+    /// Cause attribution of `pipe_stall`; `stall.total() == pipe_stall`.
+    pub stall: StallBreakdown,
 }
 
 impl CycleBreakdown {
@@ -53,8 +73,6 @@ pub struct Engine {
     last_busy_cycle: u64,
     started: bool,
     breakdown: CycleBreakdown,
-    /// Debug attribution of pipe stalls: (fetch-gate, operand, advance).
-    stall_debug: (u64, u64, u64),
     instrs: u64,
     bp_lookups: u64,
     bp_mispredicts: u64,
@@ -72,7 +90,6 @@ impl Engine {
             last_busy_cycle: u64::MAX,
             started: false,
             breakdown: CycleBreakdown::default(),
-            stall_debug: (0, 0, 0),
             instrs: 0,
             bp_lookups: 0,
             bp_mispredicts: 0,
@@ -110,15 +127,10 @@ impl Engine {
         if t > self.cycle {
             let g = self.gap_to(t);
             self.breakdown.pipe_stall += g;
-            self.stall_debug.2 += g;
+            self.breakdown.stall.advance += g;
             self.cycle = t;
             self.slots_used = 0;
         }
-    }
-
-    /// Debug: pipe-stall attribution (fetch-gate, operand, advance).
-    pub fn stall_debug(&self) -> (u64, u64, u64) {
-        self.stall_debug
     }
 
     /// Earliest cycle at which an instruction at `depth` reading `regs`
@@ -180,9 +192,9 @@ impl Engine {
             } else {
                 self.breakdown.pipe_stall += gap;
                 if self.fetch_gate > ready {
-                    self.stall_debug.0 += gap;
+                    self.breakdown.stall.fetch_gate += gap;
                 } else {
-                    self.stall_debug.1 += gap;
+                    self.breakdown.stall.operand += gap;
                 }
             }
             self.cycle = start;
@@ -402,6 +414,7 @@ mod tests {
         // in-flight window).
         assert!(bd.total() <= cycles + 2);
         assert!(bd.total() + 2 >= cycles);
+        assert_eq!(bd.stall.total(), bd.pipe_stall);
     }
 
     #[test]
@@ -411,6 +424,7 @@ mod tests {
         eng.advance_to(10);
         assert_eq!(eng.cycle(), 10);
         assert_eq!(eng.breakdown().pipe_stall, 10);
+        assert_eq!(eng.breakdown().stall.advance, 10);
         eng.advance_to(5); // no-op backwards
         assert_eq!(eng.cycle(), 10);
     }

@@ -21,8 +21,10 @@ pub mod metrics;
 pub mod spt;
 pub mod ssb;
 
-pub use baseline::{simulate_baseline, simulate_baseline_with_memory, BaselineReport};
-pub use engine::{CycleBreakdown, Engine, StallKind};
+pub use baseline::{
+    simulate_baseline, simulate_baseline_traced, simulate_baseline_with_memory, BaselineReport,
+};
+pub use engine::{CycleBreakdown, Engine, StallBreakdown, StallKind};
 pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerLoopStats};
 pub use spt::{SptReport, SptSim};
 pub use ssb::{SpecMem, Ssb};

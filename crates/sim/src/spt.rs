@@ -35,6 +35,7 @@ use crate::ssb::{SpecMem, Ssb};
 use spt_interp::{Cursor, EvKind, Event, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig, RecoveryPolicy, RegCheckPolicy};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg, StmtRef, Terminator};
+use spt_trace::{NullSink, Pipe, StallClass, StderrSink, TraceEvent, TraceSink};
 use std::collections::HashSet;
 
 /// Result of an SPT run.
@@ -65,9 +66,6 @@ pub struct SptReport {
     /// Main-pipeline branch predictor statistics.
     pub bp_mispredicts: u64,
     pub bp_lookups: u64,
-    /// Debug: pipe-stall attribution (fetch-gate, operand wait, SPT
-    /// overhead advance).
-    pub stall_debug: (u64, u64, u64),
     pub ret: Option<i64>,
     pub steps: u64,
     pub out_of_fuel: bool,
@@ -128,6 +126,33 @@ struct SpecState<'p> {
     stalled: bool,
     /// Annotated loop this fork belongs to, if known.
     loop_idx: Option<usize>,
+    /// Main-pipeline cycle at which the fork issued (trace attribution).
+    fork_cycle: u64,
+}
+
+/// Emit a `StallTransition` when an issue attributed new idle cycles to a
+/// different stall class than the last one reported for this pipeline.
+pub(crate) fn note_stall(
+    sink: &mut dyn TraceSink,
+    pipe: Pipe,
+    last: &mut Option<StallClass>,
+    before: CycleBreakdown,
+    after: CycleBreakdown,
+    cycle: u64,
+) {
+    let kind = if after.dcache_stall > before.dcache_stall {
+        Some(StallClass::DCache)
+    } else if after.pipe_stall > before.pipe_stall {
+        Some(StallClass::Pipeline)
+    } else {
+        None
+    };
+    if let Some(k) = kind {
+        if *last != Some(k) {
+            *last = Some(k);
+            sink.emit(cycle, TraceEvent::StallTransition { pipe, kind: k });
+        }
+    }
 }
 
 /// The SPT machine.
@@ -205,6 +230,27 @@ impl<'p> SptSim<'p> {
     /// image, so differential tests can compare the SPT machine's committed
     /// state against a sequential interpretation word for word.
     pub fn run_with_memory(&self, max_steps: u64) -> (SptReport, Memory) {
+        // `SPT_DEBUG` routes the same structured events the trace layer sees
+        // to stderr (successor of the old ad-hoc eprintln debugging).
+        if std::env::var_os("SPT_DEBUG").is_some() {
+            self.run_with_memory_traced(max_steps, &mut StderrSink)
+        } else {
+            self.run_with_memory_traced(max_steps, &mut NullSink)
+        }
+    }
+
+    /// Run with a trace sink receiving one event per observable speculation
+    /// action. With a disabled sink this is exactly [`SptSim::run`].
+    pub fn run_traced(&self, max_steps: u64, sink: &mut dyn TraceSink) -> SptReport {
+        self.run_with_memory_traced(max_steps, sink).0
+    }
+
+    /// [`SptSim::run_with_memory`] with an explicit trace sink.
+    pub fn run_with_memory_traced(
+        &self,
+        max_steps: u64,
+        sink: &mut dyn TraceSink,
+    ) -> (SptReport, Memory) {
         let cfg = &self.cfg;
         let mut mem = Memory::for_program(self.prog);
         let mut cache = CacheSim::new(cfg);
@@ -234,6 +280,10 @@ impl<'p> SptSim<'p> {
         let mut spec_checked = 0u64;
         let mut spec_discarded = 0u64;
         let mut spec_misspec = 0u64;
+        // Trace-only state (untouched when the sink is disabled).
+        let mut srb_high_water = 0usize;
+        let mut main_stall: Option<StallClass> = None;
+        let mut spec_stall: Option<StallClass> = None;
 
         'outer: while !main.is_halted() && steps < max_steps {
             // Let the speculative pipeline catch up in time. It only steps
@@ -246,7 +296,27 @@ impl<'p> SptSim<'p> {
                     && self.spec_next_ready(sp, &spec_eng) <= main_eng.cycle()
                 {
                     steps += 1;
+                    let before = spec_eng.breakdown();
                     Self::step_spec(self.prog, sp, &mut spec_eng, &mut cache, &mut mem, cfg);
+                    if sink.enabled() {
+                        if sp.srb.len() > srb_high_water {
+                            srb_high_water = sp.srb.len();
+                            sink.emit(
+                                spec_eng.cycle(),
+                                TraceEvent::SrbHighWater {
+                                    occupancy: srb_high_water,
+                                },
+                            );
+                        }
+                        note_stall(
+                            sink,
+                            Pipe::Spec,
+                            &mut spec_stall,
+                            before,
+                            spec_eng.breakdown(),
+                            spec_eng.cycle(),
+                        );
+                    }
                     continue 'outer;
                 }
             }
@@ -271,6 +341,7 @@ impl<'p> SptSim<'p> {
                         &mut divergence_kills,
                         &mut spec_checked,
                         &mut spec_misspec,
+                        sink,
                     );
                     continue 'outer;
                 }
@@ -280,14 +351,22 @@ impl<'p> SptSim<'p> {
             let Some(ev) = main.step(&mut mem) else { break };
             steps += 1;
             let before = main_eng.cycle();
+            let before_bd = main_eng.breakdown();
             main_eng.issue(&ev, &mut cache, cfg);
             tracker.observe(&ev, main_eng.cycle() - before);
+            if sink.enabled() {
+                note_stall(
+                    sink,
+                    Pipe::Main,
+                    &mut main_stall,
+                    before_bd,
+                    main_eng.breakdown(),
+                    main_eng.cycle(),
+                );
+            }
 
             // Fork?
             if let Some(start) = ev.fork {
-                if std::env::var_os("SPT_DEBUG").is_some() {
-                    eprintln!("FORK at cycle {} main_depth {} regs[0..4]={:?}", main_eng.cycle(), main.depth(), &main.top().regs[..4.min(main.top().regs.len())]);
-                }
                 if spec.is_none() {
                     forks += 1;
                     let func = ev.kind.func();
@@ -296,6 +375,16 @@ impl<'p> SptSim<'p> {
                     });
                     if let Some(li) = loop_idx {
                         per_loop[li].forks += 1;
+                    }
+                    if sink.enabled() {
+                        sink.emit(
+                            main_eng.cycle(),
+                            TraceEvent::Fork {
+                                loop_id: loop_idx,
+                                func,
+                                start_block: start,
+                            },
+                        );
                     }
                     let fork_level = main.depth() - 1;
                     let cursor = main.fork_speculative(start);
@@ -318,23 +407,40 @@ impl<'p> SptSim<'p> {
                         start_pos: self.position_of(func, start),
                         stalled: false,
                         loop_idx,
+                        fork_cycle: main_eng.cycle(),
                     });
                 } else {
                     forks_ignored += 1;
+                    if sink.enabled() {
+                        sink.emit(
+                            main_eng.cycle(),
+                            TraceEvent::ForkIgnored {
+                                func: ev.kind.func(),
+                                start_block: start,
+                            },
+                        );
+                    }
                 }
                 continue 'outer;
             }
 
             // Kill?
             if ev.kill {
-                if std::env::var_os("SPT_DEBUG").is_some() {
-                    eprintln!("KILL at cycle {} (spec active: {})", main_eng.cycle(), spec.is_some());
-                }
                 if let Some(sp) = spec.take() {
                     kills += 1;
                     spec_discarded += sp.srb.len() as u64;
                     if let Some(li) = sp.loop_idx {
                         per_loop[li].kills += 1;
+                    }
+                    if sink.enabled() {
+                        sink.emit(
+                            main_eng.cycle(),
+                            TraceEvent::Kill {
+                                loop_id: sp.loop_idx,
+                                fork_cycle: sp.fork_cycle,
+                                srb_len: sp.srb.len(),
+                            },
+                        );
                     }
                 }
                 continue 'outer;
@@ -359,6 +465,16 @@ impl<'p> SptSim<'p> {
                     spec_discarded += sp.srb.len() as u64;
                     if let Some(li) = sp.loop_idx {
                         per_loop[li].kills += 1;
+                    }
+                    if sink.enabled() {
+                        sink.emit(
+                            main_eng.cycle(),
+                            TraceEvent::Kill {
+                                loop_id: sp.loop_idx,
+                                fork_cycle: sp.fork_cycle,
+                                srb_len: sp.srb.len(),
+                            },
+                        );
                     }
                 }
             }
@@ -388,7 +504,6 @@ impl<'p> SptSim<'p> {
             per_loop,
             bp_mispredicts: main_eng.bp_mispredicts(),
             bp_lookups: main_eng.bp_lookups(),
-            stall_debug: main_eng.stall_debug(),
             ret: main.return_value(),
             steps,
             out_of_fuel: !main.is_halted() && steps >= max_steps,
@@ -490,8 +605,10 @@ impl<'p> SptSim<'p> {
         divergence_kills: &mut u64,
         spec_checked: &mut u64,
         spec_misspec: &mut u64,
+        sink: &mut dyn TraceSink,
     ) {
         let cfg = &self.cfg;
+        let check_cycle = main_eng.cycle();
         *spec_checked += sp.srb.len() as u64;
         if let Some(li) = sp.loop_idx {
             per_loop[li].spec_instrs += sp.srb.len() as u64;
@@ -515,30 +632,6 @@ impl<'p> SptSim<'p> {
         };
         let violated = !violated_regs.is_empty() || !sp.violated_addrs.is_empty();
 
-        if std::env::var_os("SPT_DEBUG").is_some() {
-            eprintln!(
-                "check: srb={} live_in={:?} post_fork_w={:?} viol_regs={:?} viol_addrs={} lab={} -> {}",
-                sp.srb.len(),
-                {
-                    let mut v: Vec<u32> = sp.live_in_reads.iter().copied().collect();
-                    v.sort();
-                    v
-                },
-                {
-                    let mut v: Vec<u32> = sp.post_fork_writes.iter().copied().collect();
-                    v.sort();
-                    v
-                },
-                {
-                    let mut v: Vec<u32> = violated_regs.iter().copied().collect();
-                    v.sort();
-                    v
-                },
-                sp.violated_addrs.len(),
-                sp.lab.len(),
-                if violated { "REPLAY" } else { "FAST-COMMIT" }
-            );
-        }
         if !violated && cfg.recovery != RecoveryPolicy::SrxOnly {
             // Fast commit: adopt the speculative context wholesale.
             let t = main_eng.cycle().max(spec_eng.cycle()) + cfg.fast_commit_overhead;
@@ -563,12 +656,19 @@ impl<'p> SptSim<'p> {
                     }
                 }
             }
-            if std::env::var_os("SPT_DEBUG").is_some() {
-                eprintln!("  COMMIT: adopted pos {:?} depth {} regs[0..4]={:?} halted {}", main.position(), main.depth(), main.frames.last().map(|f| f.regs[..4.min(f.regs.len())].to_vec()), main.is_halted());
-            }
             *fast_commits += 1;
             if let Some(li) = sp.loop_idx {
                 per_loop[li].fast_commits += 1;
+            }
+            if sink.enabled() {
+                sink.emit(
+                    main_eng.cycle(),
+                    TraceEvent::FastCommit {
+                        loop_id: sp.loop_idx,
+                        fork_cycle: sp.fork_cycle,
+                        srb_len: sp.srb.len(),
+                    },
+                );
             }
             return;
         }
@@ -587,6 +687,16 @@ impl<'p> SptSim<'p> {
             if let Some(li) = sp.loop_idx {
                 per_loop[li].spec_misspec += sp.srb.len() as u64;
             }
+            if sink.enabled() {
+                sink.emit(
+                    main_eng.cycle(),
+                    TraceEvent::Squash {
+                        loop_id: sp.loop_idx,
+                        fork_cycle: sp.fork_cycle,
+                        srb_len: sp.srb.len(),
+                    },
+                );
+            }
             return;
         }
 
@@ -601,13 +711,28 @@ impl<'p> SptSim<'p> {
         main_eng.advance_to(main_eng.cycle() + cfg.fast_commit_overhead);
         main_eng.set_width(cfg.replay_width);
 
+        // Sorted violation lists for the trace (the sets drive recovery;
+        // the trace needs a deterministic order).
+        let (trace_regs, trace_addrs) = if sink.enabled() {
+            let mut rs: Vec<u32> = violated_regs.iter().copied().collect();
+            rs.sort_unstable();
+            let mut addrs: Vec<u64> = sp.violated_addrs.iter().copied().collect();
+            addrs.sort_unstable();
+            (rs, addrs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut committed_n = 0usize;
+        let mut reexec_n = 0usize;
+
         let mut updated: HashSet<(u32, u32)> = violated_regs
             .into_iter()
             .map(|r| (sp.fork_level as u32, r))
             .collect();
         let mut updated_addrs: HashSet<u64> = sp.violated_addrs.clone();
 
-        for entry in &sp.srb {
+        // `processed` = SRB entries fully replayed before this iteration.
+        for (processed, entry) in sp.srb.iter().enumerate() {
             if *steps >= max_steps {
                 break;
             }
@@ -617,6 +742,15 @@ impl<'p> SptSim<'p> {
                 *divergence_kills += 1;
                 if let Some(li) = sp.loop_idx {
                     per_loop[li].kills += 1;
+                }
+                if sink.enabled() {
+                    sink.emit(
+                        main_eng.cycle(),
+                        TraceEvent::DivergenceKill {
+                            loop_id: sp.loop_idx,
+                            committed: processed,
+                        },
+                    );
                 }
                 break;
             }
@@ -645,11 +779,13 @@ impl<'p> SptSim<'p> {
             if missp {
                 main_eng.issue(&cev, cache, cfg);
                 *spec_misspec += 1;
+                reexec_n += 1;
                 if let Some(li) = sp.loop_idx {
                     per_loop[li].spec_misspec += 1;
                 }
             } else {
                 main_eng.commit_slot(&cev);
+                committed_n += 1;
             }
             tracker.observe(&cev, main_eng.cycle() - before);
 
@@ -690,8 +826,20 @@ impl<'p> SptSim<'p> {
         }
 
         main_eng.set_width(cfg.issue_width);
-        if std::env::var_os("SPT_DEBUG").is_some() {
-            eprintln!("  REPLAY-END: pos {:?} depth {} regs[0..4]={:?}", main.position(), main.depth(), main.frames.last().map(|f| f.regs[..4.min(f.regs.len())].to_vec()));
+        if sink.enabled() {
+            sink.emit(
+                main_eng.cycle(),
+                TraceEvent::Replay {
+                    loop_id: sp.loop_idx,
+                    fork_cycle: sp.fork_cycle,
+                    check_cycle,
+                    srb_len: sp.srb.len(),
+                    committed: committed_n,
+                    reexecuted: reexec_n,
+                    reg_violations: trace_regs,
+                    mem_violations: trace_addrs,
+                },
+            );
         }
         // SSB is discarded: replay wrote corrected values to memory
         // directly.
@@ -1033,6 +1181,45 @@ mod tests {
             rep_small.cycles,
             rep_big.cycles
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_fold_matches_report() {
+        for (prog, annots) in [serial_loop(60, 6), parallel_loop(50, 8)] {
+            let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+            let rep = sim.run(FUEL);
+            let mut sink = spt_trace::RingBufferSink::unbounded();
+            let rep_t = sim.run_traced(FUEL, &mut sink);
+            // Tracing must not perturb timing or results.
+            assert_eq!(rep.cycles, rep_t.cycles);
+            assert_eq!(rep.instrs, rep_t.instrs);
+            assert_eq!(rep.ret, rep_t.ret);
+            // Folding the trace reproduces the report's counters.
+            let fold = spt_trace::fold(sink.records());
+            assert_eq!(fold.forks, rep.forks);
+            assert_eq!(fold.forks_ignored, rep.forks_ignored);
+            assert_eq!(fold.fast_commits, rep.fast_commits);
+            assert_eq!(fold.replays, rep.replays);
+            assert_eq!(fold.kills, rep.kills);
+            assert_eq!(fold.divergence_kills, rep.divergence_kills);
+        }
+    }
+
+    #[test]
+    fn replay_events_name_the_violating_register() {
+        let (prog, annots) = serial_loop(40, 6);
+        let sim = SptSim::new(&prog, MachineConfig::default(), annots);
+        let mut sink = spt_trace::RingBufferSink::unbounded();
+        let rep = sim.run_traced(FUEL, &mut sink);
+        assert!(rep.replays > 0);
+        let fold = spt_trace::fold(sink.records());
+        let l = &fold.per_loop[0];
+        assert!(
+            !l.reg_violations.is_empty(),
+            "serial loop's cross-iteration register must be reported"
+        );
+        assert!(l.replay_lengths.count > 0);
+        assert!(l.srb_occupancy.count > 0);
     }
 
     #[test]

@@ -126,6 +126,10 @@ pub struct Fig8Row {
     pub avg_loop_speedup: f64,
     pub fast_commit_ratio: f64,
     pub misspeculation_ratio: f64,
+    /// `spt_fork`s that arrived while a speculative thread was running.
+    pub forks_ignored: u64,
+    /// Replays cut short by control divergence.
+    pub divergence_kills: u64,
 }
 
 /// Figure 9: per-benchmark program speedup with its breakdown.
@@ -427,6 +431,8 @@ pub fn fig8_rows(outcomes: &[EvalOutcome]) -> Vec<Fig8Row> {
                 avg_loop_speedup: avg,
                 fast_commit_ratio: o.spt.fast_commit_ratio(),
                 misspeculation_ratio: o.spt.misspeculation_ratio(),
+                forks_ignored: o.spt.forks_ignored,
+                divergence_kills: o.spt.divergence_kills,
             }
         })
         .collect()

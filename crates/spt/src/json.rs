@@ -63,6 +63,238 @@ impl Json {
         s
     }
 
+    /// Parse a JSON document. Strict enough for round-tripping what this
+    /// module and `spt_trace::jsonl` emit (the trace schema validator and
+    /// golden tests read files back through this).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.s.get(self.i) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.s.get(self.i) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.s.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.s.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.s.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.s.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Object(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.s.get(self.i) {
+            match b {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("expected a value at offset {start}"));
+        }
+        if is_float {
+            text.parse::<f64>().map(Json::Float).map_err(|e| e.to_string())
+        } else if let Some(neg) = text.strip_prefix('-') {
+            neg.parse::<i64>()
+                .map(|v| Json::Int(-v))
+                .map_err(|e| e.to_string())
+        } else {
+            text.parse::<u64>().map(Json::UInt).map_err(|e| e.to_string())
+        }
+    }
+}
+
+impl Json {
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -205,6 +437,14 @@ pub trait ToJson {
     fn to_json(&self) -> Json;
 }
 
+/// The `pipe_stall` attribution triple, nested under `"stall"`.
+fn stall_json(bd: &spt_sim::CycleBreakdown) -> Json {
+    Json::obj()
+        .with("fetch_gate", bd.stall.fetch_gate)
+        .with("operand", bd.stall.operand)
+        .with("advance", bd.stall.advance)
+}
+
 impl ToJson for spt_sim::BaselineReport {
     fn to_json(&self) -> Json {
         Json::obj()
@@ -213,6 +453,7 @@ impl ToJson for spt_sim::BaselineReport {
             .with("busy", self.breakdown.busy)
             .with("pipe_stall", self.breakdown.pipe_stall)
             .with("dcache_stall", self.breakdown.dcache_stall)
+            .with("stall", stall_json(&self.breakdown))
             .with("l1_misses", self.cache.l1_misses)
             .with("l2_misses", self.cache.l2_misses)
             .with("l3_misses", self.cache.l3_misses)
@@ -232,6 +473,7 @@ impl ToJson for spt_sim::SptReport {
             .with("busy", self.breakdown.busy)
             .with("pipe_stall", self.breakdown.pipe_stall)
             .with("dcache_stall", self.breakdown.dcache_stall)
+            .with("stall", stall_json(&self.breakdown))
             .with("l1_misses", self.cache.l1_misses)
             .with("l2_misses", self.cache.l2_misses)
             .with("l3_misses", self.cache.l3_misses)
@@ -350,5 +592,36 @@ mod tests {
     fn option_maps_to_null() {
         assert_eq!(Json::from(None::<i64>).dump(), "null");
         assert_eq!(Json::from(Some(4i64)).dump(), "4");
+    }
+
+    #[test]
+    fn parse_roundtrips_own_output() {
+        let j = Json::obj()
+            .with("a", Json::array(vec![1u64, 2]))
+            .with("b", Json::obj().with("s", "x\"y\n").with("f", 1.5f64))
+            .with("n", Json::Null)
+            .with("neg", -7i64)
+            .with("t", true);
+        assert_eq!(Json::parse(&j.dump()).unwrap(), j);
+        assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("3 4").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let j = Json::parse("{\"k\":3,\"xs\":[1,2],\"s\":\"v\",\"f\":2.5}").unwrap();
+        assert_eq!(j.get("k").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("xs").and_then(Json::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("v"));
+        assert_eq!(j.get("f").and_then(Json::as_f64), Some(2.5));
+        assert!(j.get("missing").is_none());
     }
 }

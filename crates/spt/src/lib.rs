@@ -32,6 +32,7 @@ pub mod json;
 pub mod report;
 pub mod solution;
 pub mod sweep;
+pub mod trace;
 
 pub use json::{Json, ToJson};
 pub use solution::{
@@ -39,6 +40,12 @@ pub use solution::{
     RunConfig,
 };
 pub use sweep::{BenchRecord, MemoStats, PhaseTimings, RunReport, Sweep};
+pub use trace::{
+    chrome_trace, validate_chrome_trace, validate_trace_jsonl, ProgramTrace, TraceRun,
+};
+
+// The typed event layer itself.
+pub use spt_trace as tracing;
 
 // Re-export the component crates under one roof.
 pub use spt_compiler::{self as compiler, CompileOptions};

@@ -9,6 +9,7 @@ use crate::experiments::{
 };
 use crate::solution::EvalOutcome;
 use spt_mach::MachineConfig;
+use spt_trace::{LoopHistograms, TraceFold};
 use std::fmt::Write as _;
 
 /// Render an aligned text table.
@@ -137,12 +138,21 @@ pub fn render_fig8(outcomes: &[EvalOutcome]) -> String {
                 format!("{:>6.1}%", (r.avg_loop_speedup - 1.0) * 100.0),
                 pcell(r.fast_commit_ratio),
                 format!("{:>6.2}%", r.misspeculation_ratio * 100.0),
+                r.forks_ignored.to_string(),
+                r.divergence_kills.to_string(),
             ]
         })
         .collect();
     let mut s = render_table(
         "Figure 8: SPT loop performance",
-        &["bench", "avg SPT loop speedup", "fast-commit ratio", "misspec ratio"],
+        &[
+            "bench",
+            "avg SPT loop speedup",
+            "fast-commit ratio",
+            "misspec ratio",
+            "ignored forks",
+            "div kills",
+        ],
         &table,
     );
     let n = rows.len() as f64;
@@ -276,6 +286,127 @@ pub fn render_ablation_compiler(data: &[(String, Vec<(String, f64)>)]) -> String
         for (label, sp) in rows {
             let _ = writeln!(s, "  {:<12} {:>7.1}%", label, (sp - 1.0) * 100.0);
         }
+    }
+    s
+}
+
+/// Locate the statement in the transformed loop body that defines fork-level
+/// register `reg`, as a `StmtRef` rendered with the instruction text.
+fn defining_stmt(outcome: &EvalOutcome, loop_idx: usize, reg: u32) -> Option<String> {
+    let info = outcome.compiled.loops.get(loop_idx)?;
+    let func = outcome.compiled.program.func(info.func);
+    let mut last = None;
+    for (sref, inst) in func.stmts() {
+        if sref.block == info.body_block && inst.dst().map(|r| r.0) == Some(reg) {
+            last = Some(format!("{sref:?}: {inst}"));
+        }
+    }
+    last
+}
+
+fn explain_loop(s: &mut String, outcome: &EvalOutcome, l: &LoopHistograms) {
+    let info = outcome.compiled.loops.get(l.loop_id);
+    let stats = outcome.spt.per_loop.get(l.loop_id);
+    match info {
+        Some(i) => {
+            let _ = writeln!(
+                s,
+                "loop {} (func {}, body {:?}): compiler est. speedup {:+.1}%, misspec cost {:.2}",
+                l.loop_id,
+                i.func.0,
+                i.body_block,
+                (i.est_speedup - 1.0) * 100.0,
+                i.misspec_cost
+            );
+        }
+        None => {
+            let _ = writeln!(s, "loop {} (not in compile result)", l.loop_id);
+        }
+    }
+    if let Some(st) = stats {
+        let checks = st.fast_commits + st.replays + st.kills;
+        let fc = if checks == 0 {
+            1.0
+        } else {
+            st.fast_commits as f64 / checks as f64
+        };
+        let _ = writeln!(
+            s,
+            "  outcomes: {} fast-commits / {} replays / {} kills ({} fast-commit)",
+            st.fast_commits,
+            st.replays,
+            st.kills,
+            pct(fc)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  replay length: mean {:.1}, max {} re-executed entries over {} replays",
+        l.replay_lengths.mean(),
+        l.replay_lengths.max,
+        l.replay_lengths.count
+    );
+    let _ = writeln!(
+        s,
+        "  SRB at check:  mean {:.1}, max {};  inter-fork distance: mean {:.0} cycles",
+        l.srb_occupancy.mean(),
+        l.srb_occupancy.max,
+        l.inter_fork_distance.mean()
+    );
+    // Rank violators by frequency, heaviest first (ties: lower id first,
+    // which the stable sort preserves from the ascending-sorted fold).
+    let mut regs = l.reg_violations.clone();
+    regs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (reg, n) in regs.iter().take(3) {
+        let def = defining_stmt(outcome, l.loop_id, *reg)
+            .unwrap_or_else(|| "defined outside the loop body".to_string());
+        let _ = writeln!(s, "  violating register r{reg} x{n}  ({def})");
+    }
+    let mut mems = l.mem_violations.clone();
+    mems.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (addr, n) in mems.iter().take(3) {
+        let _ = writeln!(s, "  violating address word[{addr}] x{n}  (main-thread store hit the LAB)");
+    }
+    if regs.is_empty() && mems.is_empty() && l.replay_lengths.count == 0 {
+        s.push_str("  no misspeculation observed\n");
+    }
+}
+
+/// The `spt-explain` report: why did each loop misspeculate?
+///
+/// Loops are ranked by misspeculation impact (total re-executed SRB
+/// entries, then replay count); every loop with a nonzero replay count
+/// names at least one violating register or address.
+pub fn render_explain(outcome: &EvalOutcome, fold: &TraceFold) -> String {
+    let mut s = format!("## spt-explain: {}\n", outcome.name);
+    let _ = writeln!(
+        s,
+        "program: baseline {} cycles, SPT {} cycles, speedup {}",
+        outcome.baseline.cycles,
+        outcome.spt.cycles,
+        gain(outcome.speedup())
+    );
+    let _ = writeln!(
+        s,
+        "speculation: {} forks ({} ignored), {} fast-commits, {} replays, {} kills, {} divergence kills; SRB high water {}",
+        fold.forks,
+        fold.forks_ignored,
+        fold.fast_commits,
+        fold.replays,
+        fold.kills,
+        fold.divergence_kills,
+        fold.srb_high_water
+    );
+    let mut loops: Vec<&LoopHistograms> = fold.per_loop.iter().collect();
+    loops.sort_by(|a, b| {
+        (b.replay_lengths.sum, b.replay_lengths.count)
+            .cmp(&(a.replay_lengths.sum, a.replay_lengths.count))
+    });
+    if loops.is_empty() {
+        s.push_str("no speculative loops ran\n");
+    }
+    for l in loops {
+        explain_loop(&mut s, outcome, l);
     }
     s
 }

@@ -260,6 +260,9 @@ pub struct RunReport {
     pub records: Vec<BenchRecord>,
     /// Cache activity during this experiment (deltas, not process totals).
     pub cache: MemoStats,
+    /// Per-benchmark trace-histogram folds, present only on traced runs
+    /// (see [`crate::trace`]): an object keyed by benchmark name.
+    pub histograms: Option<Json>,
 }
 
 impl RunReport {
@@ -287,7 +290,7 @@ impl RunReport {
 
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .with("experiment", self.experiment.as_str())
             .with("workers", self.workers)
             .with("wall_ms", self.wall_ms)
@@ -296,7 +299,11 @@ impl ToJson for RunReport {
             .with(
                 "records",
                 Json::Array(self.records.iter().map(ToJson::to_json).collect()),
-            )
+            );
+        if let Some(h) = &self.histograms {
+            j = j.with("histograms", h.clone());
+        }
+        j
     }
 }
 
@@ -516,6 +523,7 @@ impl Sweep {
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             records,
             cache: self.memo_stats().since(&before),
+            histograms: None,
         }
     }
 }
@@ -607,6 +615,7 @@ mod tests {
                 ..Default::default()
             }],
             cache: MemoStats::default(),
+            histograms: None,
         };
         let s = rep.to_json().dump();
         for key in [

@@ -1,0 +1,189 @@
+//! The typed speculation-event taxonomy.
+//!
+//! One [`TraceRecord`] per observable action of the SPT machine or the
+//! compiler driver. Records are **cycle-stamped, never wall-clocked**:
+//! every field is a pure function of the simulated program and
+//! configuration, so a trace of the same run is byte-identical no matter
+//! how many sweep workers produced it. Compiler events happen before the
+//! machine starts and carry cycle 0.
+
+use spt_sir::{BlockId, FuncId};
+
+/// Which pipeline an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pipe {
+    Main,
+    Spec,
+}
+
+/// Why a pipeline was idle (mirrors the simulator's stall attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallClass {
+    /// Operand latency, branch penalty, or SPT overheads.
+    Pipeline,
+    /// Waiting on a load result.
+    DCache,
+}
+
+impl StallClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallClass::Pipeline => "pipeline",
+            StallClass::DCache => "dcache",
+        }
+    }
+}
+
+/// A structured speculation / compilation event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    // -- simulator events ---------------------------------------------------
+    /// The main thread executed `spt_fork` and a speculative thread started.
+    Fork {
+        loop_id: Option<usize>,
+        func: FuncId,
+        start_block: BlockId,
+    },
+    /// `spt_fork` while a speculative thread was already running.
+    ForkIgnored { func: FuncId, start_block: BlockId },
+    /// Dependence check passed: speculative context adopted wholesale.
+    FastCommit {
+        loop_id: Option<usize>,
+        fork_cycle: u64,
+        srb_len: usize,
+    },
+    /// Dependence check failed: the SRB was replayed at replay width.
+    /// The record's cycle stamps the *end* of the replay.
+    Replay {
+        loop_id: Option<usize>,
+        fork_cycle: u64,
+        /// Cycle at which the main thread reached the start-point.
+        check_cycle: u64,
+        srb_len: usize,
+        /// SRB entries committed directly (correct speculative results).
+        committed: usize,
+        /// SRB entries re-executed (misspeculated).
+        reexecuted: usize,
+        /// Fork-level registers that failed the register dependence check,
+        /// sorted ascending for determinism.
+        reg_violations: Vec<u32>,
+        /// Word addresses where a main post-fork store hit the LAB, sorted.
+        mem_violations: Vec<u64>,
+    },
+    /// Speculative thread discarded (`spt_kill` or a safety kill).
+    Kill {
+        loop_id: Option<usize>,
+        fork_cycle: u64,
+        srb_len: usize,
+    },
+    /// Replay terminated early because the re-executed control path
+    /// diverged from the speculated one.
+    DivergenceKill {
+        loop_id: Option<usize>,
+        /// SRB entries processed before the divergence.
+        committed: usize,
+    },
+    /// All speculative results discarded under the squash recovery policy.
+    Squash {
+        loop_id: Option<usize>,
+        fork_cycle: u64,
+        srb_len: usize,
+    },
+    /// The SRB reached a new maximum occupancy for this run.
+    SrbHighWater { occupancy: usize },
+    /// A pipeline's idle-cause changed to a new stall class.
+    StallTransition { pipe: Pipe, kind: StallClass },
+
+    // -- compiler events ----------------------------------------------------
+    /// Pass 1 found an optimal partition for a candidate loop.
+    PartitionChosen {
+        func: FuncId,
+        loop_id: u32,
+        /// Estimated misspeculation cost of the chosen partition.
+        cost: f64,
+        est_speedup: f64,
+        /// Statements placed in the pre-fork region.
+        pre_size: usize,
+    },
+    /// Pass 2 selected and transformed the loop.
+    LoopSelected {
+        func: FuncId,
+        loop_id: u32,
+        est_speedup: f64,
+        coverage: f64,
+        unroll: usize,
+    },
+    /// The loop was rejected; `reason` is the Debug rendering of the
+    /// driver's `RejectReason` (kept as a string so this crate stays
+    /// dependency-free below the compiler).
+    LoopRejected {
+        func: FuncId,
+        loop_id: u32,
+        reason: String,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name (the JSON `"ev"` discriminant — the schema the
+    /// CI validation step checks against).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Fork { .. } => "fork",
+            TraceEvent::ForkIgnored { .. } => "fork_ignored",
+            TraceEvent::FastCommit { .. } => "fast_commit",
+            TraceEvent::Replay { .. } => "replay",
+            TraceEvent::Kill { .. } => "kill",
+            TraceEvent::DivergenceKill { .. } => "divergence_kill",
+            TraceEvent::Squash { .. } => "squash",
+            TraceEvent::SrbHighWater { .. } => "srb_high_water",
+            TraceEvent::StallTransition { .. } => "stall_transition",
+            TraceEvent::PartitionChosen { .. } => "partition_chosen",
+            TraceEvent::LoopSelected { .. } => "loop_selected",
+            TraceEvent::LoopRejected { .. } => "loop_rejected",
+        }
+    }
+
+    /// The annotated loop this event belongs to, when known.
+    pub fn loop_idx(&self) -> Option<usize> {
+        match self {
+            TraceEvent::Fork { loop_id, .. }
+            | TraceEvent::FastCommit { loop_id, .. }
+            | TraceEvent::Replay { loop_id, .. }
+            | TraceEvent::Kill { loop_id, .. }
+            | TraceEvent::DivergenceKill { loop_id, .. }
+            | TraceEvent::Squash { loop_id, .. } => *loop_id,
+            _ => None,
+        }
+    }
+}
+
+/// One cycle-stamped event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Main-pipeline cycle at emission (end cycle for `Replay`); 0 for
+    /// compile-time events.
+    pub cycle: u64,
+    pub ev: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let ev = TraceEvent::Fork {
+            loop_id: Some(0),
+            func: FuncId(0),
+            start_block: BlockId(1),
+        };
+        assert_eq!(ev.name(), "fork");
+        assert_eq!(ev.loop_idx(), Some(0));
+        let st = TraceEvent::StallTransition {
+            pipe: Pipe::Main,
+            kind: StallClass::DCache,
+        };
+        assert_eq!(st.name(), "stall_transition");
+        assert_eq!(st.loop_idx(), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! Folding a trace back into aggregate statistics.
+//!
+//! [`fold`] walks a record stream once and produces per-loop histograms
+//! (replay lengths, SRB occupancy at the dependence check, inter-fork
+//! distances) plus the same speculation counters the simulator reports —
+//! a differential oracle: folding a complete trace must reproduce
+//! `SptReport`'s `forks` / `fast_commits` / `replays` / `kills` exactly.
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// A power-of-two-bucketed histogram: bucket `i` counts samples in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zeros and ones). Log buckets keep the
+/// serialized form tiny and deterministic regardless of value range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts; trailing zero buckets are never stored.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize; // 0 -> 0, 1 -> 1, 2..3 -> 2
+        let idx = b.saturating_sub(1);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lower bound of bucket `i`'s value range.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+}
+
+/// Histograms for one annotated loop (index = the simulator's loop id).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoopHistograms {
+    pub loop_id: usize,
+    /// SRB entries re-executed per replay.
+    pub replay_lengths: Histogram,
+    /// SRB occupancy at each dependence check (commit, replay, or kill).
+    pub srb_occupancy: Histogram,
+    /// Cycles between consecutive forks of this loop.
+    pub inter_fork_distance: Histogram,
+    /// Violation frequency per fork-level register (sorted by register).
+    pub reg_violations: Vec<(u32, u64)>,
+    /// Violation frequency per word address (sorted by address).
+    pub mem_violations: Vec<(u64, u64)>,
+}
+
+/// Everything a trace folds down to.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceFold {
+    pub forks: u64,
+    pub forks_ignored: u64,
+    pub fast_commits: u64,
+    pub replays: u64,
+    /// `kill` events (spt_kill, safety kills) plus squashes — mirrors
+    /// `SptReport::kills` under the default recovery policy.
+    pub kills: u64,
+    pub divergence_kills: u64,
+    pub squashes: u64,
+    pub srb_high_water: u64,
+    pub stall_transitions: u64,
+    pub loops_selected: u64,
+    pub loops_rejected: u64,
+    /// Per-loop histograms, sorted by loop id. Events with no loop
+    /// attribution fold into the run-level counters only.
+    pub per_loop: Vec<LoopHistograms>,
+}
+
+impl TraceFold {
+    fn loop_mut(&mut self, id: usize) -> &mut LoopHistograms {
+        let pos = match self.per_loop.binary_search_by_key(&id, |l| l.loop_id) {
+            Ok(p) => p,
+            Err(p) => {
+                self.per_loop.insert(
+                    p,
+                    LoopHistograms {
+                        loop_id: id,
+                        ..Default::default()
+                    },
+                );
+                p
+            }
+        };
+        &mut self.per_loop[pos]
+    }
+}
+
+fn bump<K: Ord + Copy>(v: &mut Vec<(K, u64)>, key: K) {
+    match v.binary_search_by_key(&key, |(k, _)| *k) {
+        Ok(p) => v[p].1 += 1,
+        Err(p) => v.insert(p, (key, 1)),
+    }
+}
+
+/// Fold a record stream into aggregate statistics. Single pass; order of
+/// records only matters for inter-fork distances (which need program
+/// order, the order every sink preserves).
+pub fn fold<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceFold {
+    let mut f = TraceFold::default();
+    // Last fork cycle per loop id, for inter-fork distances.
+    let mut last_fork: Vec<(usize, u64)> = Vec::new();
+    for rec in records {
+        match &rec.ev {
+            TraceEvent::Fork { loop_id, .. } => {
+                f.forks += 1;
+                if let Some(id) = loop_id {
+                    match last_fork.binary_search_by_key(id, |(k, _)| *k) {
+                        Ok(p) => {
+                            let prev = last_fork[p].1;
+                            f.loop_mut(*id)
+                                .inter_fork_distance
+                                .record(rec.cycle.saturating_sub(prev));
+                            last_fork[p].1 = rec.cycle;
+                        }
+                        Err(p) => last_fork.insert(p, (*id, rec.cycle)),
+                    }
+                }
+            }
+            TraceEvent::ForkIgnored { .. } => f.forks_ignored += 1,
+            TraceEvent::FastCommit {
+                loop_id, srb_len, ..
+            } => {
+                f.fast_commits += 1;
+                if let Some(id) = loop_id {
+                    f.loop_mut(*id).srb_occupancy.record(*srb_len as u64);
+                }
+            }
+            TraceEvent::Replay {
+                loop_id,
+                srb_len,
+                reexecuted,
+                reg_violations,
+                mem_violations,
+                ..
+            } => {
+                f.replays += 1;
+                if let Some(id) = loop_id {
+                    let l = f.loop_mut(*id);
+                    l.srb_occupancy.record(*srb_len as u64);
+                    l.replay_lengths.record(*reexecuted as u64);
+                    for r in reg_violations {
+                        bump(&mut l.reg_violations, *r);
+                    }
+                    for a in mem_violations {
+                        bump(&mut l.mem_violations, *a);
+                    }
+                }
+            }
+            TraceEvent::Kill {
+                loop_id, srb_len, ..
+            } => {
+                f.kills += 1;
+                if let Some(id) = loop_id {
+                    f.loop_mut(*id).srb_occupancy.record(*srb_len as u64);
+                }
+            }
+            TraceEvent::DivergenceKill { .. } => f.divergence_kills += 1,
+            TraceEvent::Squash { .. } => f.squashes += 1,
+            TraceEvent::SrbHighWater { occupancy } => {
+                f.srb_high_water = f.srb_high_water.max(*occupancy as u64);
+            }
+            TraceEvent::StallTransition { .. } => f.stall_transitions += 1,
+            TraceEvent::LoopSelected { .. } => f.loops_selected += 1,
+            TraceEvent::LoopRejected { .. } => f.loops_rejected += 1,
+            TraceEvent::PartitionChosen { .. } => {}
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spt_sir::{BlockId, FuncId};
+
+    fn rec(cycle: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, ev }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, 1000);
+        // zeros+ones -> bucket 0; 2..3 -> bucket 1; 4..7 -> bucket 2;
+        // 8..15 -> bucket 3; 1000 -> bucket 9.
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert!((h.mean() - 1025.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_counts_and_attributes() {
+        let f0 = FuncId(0);
+        let recs = vec![
+            rec(
+                10,
+                TraceEvent::Fork {
+                    loop_id: Some(0),
+                    func: f0,
+                    start_block: BlockId(1),
+                },
+            ),
+            rec(
+                30,
+                TraceEvent::FastCommit {
+                    loop_id: Some(0),
+                    fork_cycle: 10,
+                    srb_len: 12,
+                },
+            ),
+            rec(
+                40,
+                TraceEvent::Fork {
+                    loop_id: Some(0),
+                    func: f0,
+                    start_block: BlockId(1),
+                },
+            ),
+            rec(
+                90,
+                TraceEvent::Replay {
+                    loop_id: Some(0),
+                    fork_cycle: 40,
+                    check_cycle: 60,
+                    srb_len: 8,
+                    committed: 6,
+                    reexecuted: 2,
+                    reg_violations: vec![3],
+                    mem_violations: vec![17, 18],
+                },
+            ),
+            rec(95, TraceEvent::ForkIgnored { func: f0, start_block: BlockId(1) }),
+            rec(
+                99,
+                TraceEvent::Kill {
+                    loop_id: None,
+                    fork_cycle: 95,
+                    srb_len: 0,
+                },
+            ),
+        ];
+        let f = fold(&recs);
+        assert_eq!(f.forks, 2);
+        assert_eq!(f.fast_commits, 1);
+        assert_eq!(f.replays, 1);
+        assert_eq!(f.forks_ignored, 1);
+        assert_eq!(f.kills, 1);
+        assert_eq!(f.per_loop.len(), 1);
+        let l = &f.per_loop[0];
+        assert_eq!(l.srb_occupancy.count, 2);
+        assert_eq!(l.replay_lengths.count, 1);
+        assert_eq!(l.inter_fork_distance.count, 1);
+        assert_eq!(l.inter_fork_distance.sum, 30);
+        assert_eq!(l.reg_violations, vec![(3, 1)]);
+        assert_eq!(l.mem_violations, vec![(17, 1), (18, 1)]);
+    }
+
+    #[test]
+    fn repeated_violations_accumulate() {
+        let mk = |r: u32| {
+            rec(
+                0,
+                TraceEvent::Replay {
+                    loop_id: Some(2),
+                    fork_cycle: 0,
+                    check_cycle: 0,
+                    srb_len: 1,
+                    committed: 0,
+                    reexecuted: 1,
+                    reg_violations: vec![r],
+                    mem_violations: vec![],
+                },
+            )
+        };
+        let recs = vec![mk(5), mk(5), mk(1)];
+        let f = fold(&recs);
+        assert_eq!(f.per_loop[0].reg_violations, vec![(1, 1), (5, 2)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace determinism and the fold differential oracle.
+//!
+//! The tracing contract (see `spt_trace` and DESIGN.md "Observability"):
+//! every event is cycle-stamped, never wall-clocked, so the exported
+//! trace of a given workload is byte-identical no matter how many sweep
+//! workers produced it, and folding a complete trace reproduces the
+//! simulator's own speculation counters exactly.
+
+use spt::trace::{chrome_trace, validate_chrome_trace, validate_trace_jsonl};
+use spt::{RunConfig, Sweep};
+use spt_workloads::kernels::{array_map, parser_free_loop};
+use spt_workloads::Scale;
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::default();
+    c.fuel = 20_000_000;
+    c
+}
+
+#[test]
+fn traces_are_byte_identical_across_worker_counts() {
+    let cfg = cfg();
+    let mut exports: Vec<String> = Vec::new();
+    for workers in [1, 2, 8] {
+        let sw = Sweep::new(workers);
+        let (runs, report) = sw.trace_suite(Scale::Test, &cfg);
+        let traces: Vec<_> = runs.iter().map(|r| r.trace.clone()).collect();
+        exports.push(chrome_trace(&traces).pretty());
+        assert_eq!(report.workers, workers);
+        assert!(report.histograms.is_some(), "traced report carries histograms");
+    }
+    assert_eq!(exports[0], exports[1], "1 vs 2 workers");
+    assert_eq!(exports[1], exports[2], "2 vs 8 workers");
+    let n = validate_chrome_trace(&exports[0]).expect("exported trace is schema-valid");
+    assert!(n > 100, "suite trace should be substantial, got {n} events");
+}
+
+#[test]
+fn fold_reproduces_simulator_counters() {
+    let cfg = cfg();
+    let sw = Sweep::sequential();
+    for (name, prog) in [
+        ("array_map", array_map(300, 16)),
+        ("parser_free", parser_free_loop(400)),
+    ] {
+        let (run, _) = sw.trace_program(name, &prog, &cfg);
+        assert_eq!(run.fold.forks, run.outcome.spt.forks, "{name}: forks");
+        assert_eq!(
+            run.fold.fast_commits, run.outcome.spt.fast_commits,
+            "{name}: fast_commits"
+        );
+        assert_eq!(run.fold.replays, run.outcome.spt.replays, "{name}: replays");
+        assert_eq!(run.fold.kills, run.outcome.spt.kills, "{name}: kills");
+        assert_eq!(
+            run.fold.forks_ignored, run.outcome.spt.forks_ignored,
+            "{name}: forks_ignored"
+        );
+        assert_eq!(
+            run.fold.divergence_kills, run.outcome.spt.divergence_kills,
+            "{name}: divergence_kills"
+        );
+        assert_eq!(
+            run.fold.loops_selected as usize,
+            run.outcome.compiled.loops.len(),
+            "{name}: loops_selected"
+        );
+    }
+}
+
+#[test]
+fn traced_run_is_cycle_identical_to_untraced() {
+    let cfg = cfg();
+    let sw = Sweep::sequential();
+    let prog = array_map(250, 12);
+    let (run, _) = sw.trace_program("array_map", &prog, &cfg);
+    let plain = spt::evaluate_program("array_map", &prog, &cfg);
+    assert_eq!(run.outcome.baseline.cycles, plain.baseline.cycles);
+    assert_eq!(run.outcome.spt.cycles, plain.spt.cycles);
+    assert_eq!(run.outcome.baseline.ret, plain.baseline.ret);
+    assert_eq!(run.outcome.spt.ret, plain.spt.ret);
+    assert_eq!(run.outcome.spt.breakdown, plain.spt.breakdown);
+}
+
+#[test]
+fn explain_names_a_violator_for_every_replaying_loop() {
+    let cfg = cfg();
+    let sw = Sweep::sequential();
+    let (runs, _) = sw.trace_suite(Scale::Test, &cfg);
+    let mut saw_replays = false;
+    for run in &runs {
+        let text = spt::report::render_explain(&run.outcome, &run.fold);
+        for l in &run.fold.per_loop {
+            if l.replay_lengths.count > 0 {
+                saw_replays = true;
+                assert!(
+                    !l.reg_violations.is_empty() || !l.mem_violations.is_empty(),
+                    "{}: loop {} replayed {} times but names no violator",
+                    run.trace.name,
+                    l.loop_id,
+                    l.replay_lengths.count
+                );
+                assert!(
+                    text.contains("violating"),
+                    "{}: explain report names no violator:\n{text}",
+                    run.trace.name
+                );
+            }
+        }
+        let jsonl = run.trace.jsonl();
+        validate_trace_jsonl(&jsonl).expect("jsonl export is schema-valid");
+    }
+    assert!(saw_replays, "suite at test scale should exercise replays");
+}
