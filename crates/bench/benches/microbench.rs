@@ -54,9 +54,7 @@ fn bench_baseline_sim(c: &mut Criterion) {
     let prog = array_map(256, 12);
     let cfg = MachineConfig::default();
     c.bench_function("sim/baseline_array_map", |b| {
-        b.iter(|| {
-            simulate_baseline(&prog, &cfg, &LoopAnnotations::empty(), 10_000_000).cycles
-        })
+        b.iter(|| simulate_baseline(&prog, &cfg, &LoopAnnotations::empty(), 10_000_000).cycles)
     });
 }
 

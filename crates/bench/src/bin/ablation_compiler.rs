@@ -7,11 +7,7 @@ const BENCHES: [&str; 3] = ["parsers", "vprs", "gzips"];
 
 fn main() {
     let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_compiler(
-        &BENCHES,
-        scale_from_args(),
-        &run_config(),
-    );
+    let (data, report) = sweep.ablation_compiler(&BENCHES, scale_from_args(), &run_config());
     print!("{}", render_ablation_compiler(&data));
     finish(&report);
     let traced: Vec<_> = BENCHES

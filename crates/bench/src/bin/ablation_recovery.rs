@@ -7,11 +7,7 @@ const BENCHES: [&str; 3] = ["parsers", "gccs", "twolfs"];
 
 fn main() {
     let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_policies(
-        &BENCHES,
-        scale_from_args(),
-        &run_config(),
-    );
+    let (data, report) = sweep.ablation_policies(&BENCHES, scale_from_args(), &run_config());
     print!("{}", render_ablation_policies(&data));
     finish(&report);
     let traced: Vec<_> = BENCHES

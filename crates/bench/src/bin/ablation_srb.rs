@@ -8,12 +8,7 @@ const BENCHES: [&str; 3] = ["parsers", "gccs", "mcfs"];
 fn main() {
     let sizes = [16usize, 64, 256, 1024, 4096];
     let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_srb(
-        &BENCHES,
-        &sizes,
-        scale_from_args(),
-        &run_config(),
-    );
+    let (data, report) = sweep.ablation_srb(&BENCHES, &sizes, scale_from_args(), &run_config());
     print!("{}", render_ablation_srb(&sizes, &data));
     finish(&report);
     let traced: Vec<_> = BENCHES

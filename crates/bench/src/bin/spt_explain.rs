@@ -13,9 +13,7 @@
 
 use spt::report::render_explain;
 use spt::ToJson;
-use spt_bench::{
-    arg_value, finish, run_config, scale_from_args, sweep_from_args, write_trace,
-};
+use spt_bench::{arg_value, finish, run_config, scale_from_args, sweep_from_args, write_trace};
 use spt_sir::Program;
 use spt_workloads::suite;
 use std::time::Instant;
@@ -41,7 +39,9 @@ fn main() {
 
     let t0 = Instant::now();
     let before = sweep.memo_stats();
-    let pairs = sweep.map(&workloads, |_, w| sweep.trace_program(w.name, &w.program, &cfg));
+    let pairs = sweep.map(&workloads, |_, w| {
+        sweep.trace_program(w.name, &w.program, &cfg)
+    });
 
     let mut records = Vec::with_capacity(pairs.len());
     let mut hists = spt::Json::obj();

@@ -81,7 +81,9 @@ pub fn arg_value(flag: &str) -> Option<String> {
 /// Chrome trace-event JSON document, validate it against the trace
 /// schema, and write it to PATH (`-` for stdout). No-op without the flag.
 pub fn write_trace(sweep: &Sweep, programs: &[(String, Program)], cfg: &RunConfig) {
-    let Some(path) = arg_value("--trace") else { return };
+    let Some(path) = arg_value("--trace") else {
+        return;
+    };
     let pairs = sweep.map(programs, |_, (name, prog)| {
         sweep.trace_program(name, prog, cfg)
     });

@@ -14,7 +14,8 @@
 
 use spt::report::{
     render_ablation_compiler, render_ablation_policies, render_ablation_srb, render_explain,
-    render_fig1, render_fig5, render_fig6, render_fig7, render_fig8, render_fig9, render_table1,
+    render_fig1, render_fig5, render_fig6, render_fig7, render_fig8, render_fig9, render_fig_scale,
+    render_table1,
 };
 use spt::trace::chrome_trace;
 use spt::{MachineConfig, RunConfig, Sweep};
@@ -52,7 +53,10 @@ fn results_match_goldens() {
     let sweep = Sweep::new(2);
     let mut stale = Vec::new();
 
-    stale.extend(check("table1.txt", &render_table1(&MachineConfig::default())));
+    stale.extend(check(
+        "table1.txt",
+        &render_table1(&MachineConfig::default()),
+    ));
 
     let (cs, _) = sweep.fig1_case_study(2000, &cfg);
     stale.extend(check("fig1.txt", &render_fig1(&cs)));
@@ -79,15 +83,34 @@ fn results_match_goldens() {
 
     let sizes = [16usize, 64, 256, 1024, 4096];
     let (srb, _) = sweep.ablation_srb(&["parsers", "gccs", "mcfs"], &sizes, Scale::Test, &cfg);
-    stale.extend(check("ablation_srb.txt", &render_ablation_srb(&sizes, &srb)));
+    stale.extend(check(
+        "ablation_srb.txt",
+        &render_ablation_srb(&sizes, &srb),
+    ));
 
     let (pol, _) = sweep.ablation_policies(&["parsers", "gccs", "twolfs"], Scale::Test, &cfg);
-    stale.extend(check("ablation_recovery.txt", &render_ablation_policies(&pol)));
+    stale.extend(check(
+        "ablation_recovery.txt",
+        &render_ablation_policies(&pol),
+    ));
 
     let (comp, _) = sweep.ablation_compiler(&["parsers", "vprs", "gzips"], Scale::Test, &cfg);
     stale.extend(check(
         "ablation_compiler.txt",
         &render_ablation_compiler(&comp),
+    ));
+
+    // Core-count scaling sweep over the full suite, like the fig_scale
+    // binary at --scale test.
+    let cores = [2usize, 4, 8];
+    let names: Vec<&str> = spt_workloads::suite(Scale::Test)
+        .iter()
+        .map(|w| w.name)
+        .collect();
+    let (scale_data, _) = sweep.fig_scale(&names, &cores, Scale::Test, &cfg);
+    stale.extend(check(
+        "fig_scale.txt",
+        &render_fig_scale(&cores, &scale_data),
     ));
 
     // Observability goldens: the spt-explain report and the Chrome trace

@@ -15,9 +15,7 @@
 //! other shapes (multiple exits, multiple latches, inner loops) are
 //! rejected, mirroring the paper's structural rejections.
 
-use spt_sir::{
-    BinOp, BlockId, Cfg, Func, Guard, Inst, Loop, Op, Reg, StmtRef, Terminator,
-};
+use spt_sir::{BinOp, BlockId, Cfg, Func, Guard, Inst, Loop, Op, Reg, StmtRef, Terminator};
 use std::collections::HashMap;
 use std::fmt;
 

@@ -18,6 +18,9 @@ pub struct CostParams {
     /// Maximum pre-fork region size as a fraction of the body size
     /// (Amdahl bound: the pre-fork region is executed serially).
     pub size_bound_frac: f64,
+    /// Cores of the target speculation fabric (paper machine: 2). More
+    /// cores deepen the iteration pipeline, raising the parallel bound.
+    pub cores: usize,
 }
 
 impl Default for CostParams {
@@ -27,6 +30,7 @@ impl Default for CostParams {
             commit_overhead: 5.0,
             value_based: true,
             size_bound_frac: 0.5,
+            cores: 2,
         }
     }
 }
@@ -41,11 +45,7 @@ pub fn stmt_cost(inst: &Inst, prog: &Program) -> f64 {
 /// calls when available — essential for rejecting loops whose bodies
 /// balloon through calls (the cost of a call bears no relation to the
 /// callee's static size).
-pub fn stmt_cost_with(
-    inst: &Inst,
-    prog: &Program,
-    call_costs: &HashMap<FuncId, f64>,
-) -> f64 {
+pub fn stmt_cost_with(inst: &Inst, prog: &Program, call_costs: &HashMap<FuncId, f64>) -> f64 {
     match inst.lat_class() {
         LatClass::Alu | LatClass::Nop | LatClass::Spt => 1.0,
         LatClass::Mul => 4.0,
@@ -122,16 +122,18 @@ fn ddg_uses_value(_ddg: &Ddg, c: &crate::ddg::CrossDep) -> bool {
 /// Estimated SPT speedup of a loop given body cost `b`, pre-fork cost
 /// `pre`, and misspeculation cost `m` (all in cycles per iteration).
 ///
-/// Model: iterations pipeline across the two cores. The serial component
-/// per iteration is the pre-fork region plus fork overhead (Amdahl);
-/// the parallel bound is half the body plus amortized commit overhead;
-/// misspeculated computation re-executes serially on the main pipeline.
+/// Model: iterations pipeline across the fabric's cores. The serial
+/// component per iteration is the pre-fork region plus fork overhead
+/// (Amdahl); the parallel bound is the body divided over the cores plus
+/// amortized commit overhead; misspeculated computation re-executes
+/// serially on the main pipeline.
 pub fn estimate_speedup(b: f64, pre: f64, m: f64, params: &CostParams) -> f64 {
     if b <= 0.0 {
         return 1.0;
     }
+    let cores = params.cores.max(2) as f64;
     let serial = pre + params.fork_overhead;
-    let parallel = b / 2.0 + params.commit_overhead;
+    let parallel = b / cores + params.commit_overhead;
     let t_spt = serial.max(parallel) + m;
     (b / t_spt).max(0.0)
 }
@@ -245,6 +247,34 @@ mod tests {
         assert!(s3 < 0.8);
         // Degenerate body.
         assert_eq!(estimate_speedup(0.0, 0.0, 0.0, &p), 1.0);
+    }
+
+    #[test]
+    fn speedup_scales_with_cores() {
+        // A parallel-bound loop gains from a wider fabric; the ceiling is
+        // the core count; a serial-bound loop gains nothing.
+        let mut p = CostParams::default();
+        let s2 = estimate_speedup(400.0, 2.0, 0.0, &p);
+        p.cores = 4;
+        let s4 = estimate_speedup(400.0, 2.0, 0.0, &p);
+        p.cores = 8;
+        let s8 = estimate_speedup(400.0, 2.0, 0.0, &p);
+        assert!(s2 < s4 && s4 < s8, "s2={s2} s4={s4} s8={s8}");
+        assert!(s4 <= 4.0 && s8 <= 8.0);
+        // Amdahl: pre-fork-dominated loops do not benefit from cores.
+        let serial2 = {
+            p.cores = 2;
+            estimate_speedup(100.0, 90.0, 0.0, &p)
+        };
+        let serial8 = {
+            p.cores = 8;
+            estimate_speedup(100.0, 90.0, 0.0, &p)
+        };
+        assert!((serial2 - serial8).abs() < 1e-9);
+        // cores < 2 clamps to the paper's two-core machine.
+        p.cores = 0;
+        let s0 = estimate_speedup(400.0, 2.0, 0.0, &p);
+        assert!((s0 - s2).abs() < 1e-9);
     }
 
     #[test]

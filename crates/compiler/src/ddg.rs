@@ -13,8 +13,8 @@
 //!   checker trips on).
 
 use crate::body::LinearBody;
-use spt_sir::{FuncId, Op, Program, Reg, StmtRef};
 use spt_profile::LoopDeps;
+use spt_sir::{FuncId, Op, Program, Reg, StmtRef};
 use std::collections::HashMap;
 
 /// A simple growable bitset used for dependence closures and partitions.
@@ -196,24 +196,17 @@ impl Ddg {
             .stmts
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                s.inst.is_load() || s.inst.is_store() || s.inst.is_call()
-            })
+            .filter(|(_, s)| s.inst.is_load() || s.inst.is_store() || s.inst.is_call())
             .map(|(i, _)| i)
             .collect();
         // def positions per register, to check base stability.
         let defs_between = |reg: Reg, a: usize, b: usize| -> bool {
-            lb.stmts[a + 1..b]
-                .iter()
-                .any(|s| s.inst.dst() == Some(reg))
+            lb.stmts[a + 1..b].iter().any(|s| s.inst.dst() == Some(reg))
         };
         for (x, &i) in mem_ops.iter().enumerate() {
             for &j in &mem_ops[x + 1..] {
                 let (si, sj) = (&lb.stmts[i].inst, &lb.stmts[j].inst);
-                let need_order = si.is_store()
-                    || si.is_call()
-                    || sj.is_store()
-                    || sj.is_call();
+                let need_order = si.is_store() || si.is_call() || sj.is_store() || sj.is_call();
                 if !need_order {
                     continue; // load-load never ordered
                 }
@@ -262,8 +255,8 @@ impl Ddg {
         let iters = deps.iterations.max(2);
         let denom = (iters - 1) as f64;
         for (&(w, r), c) in deps.reg_deps.iter().chain(deps.mem_deps.iter()) {
-            let is_mem = deps.mem_deps.contains_key(&(w, r))
-                && !deps.reg_deps.contains_key(&(w, r));
+            let is_mem =
+                deps.mem_deps.contains_key(&(w, r)) && !deps.reg_deps.contains_key(&(w, r));
             if let (Some(&src), Some(&dst)) = (last_of.get(&w), first_of.get(&r)) {
                 cross.push(CrossDep {
                     src,

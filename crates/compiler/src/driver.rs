@@ -278,8 +278,7 @@ pub fn compile_with_profile_traced(
         for (lb_used, unroll) in variants {
             let exec_prob =
                 exec_probs(prog, key.func, &lb_used, &profile, stats.avg_trip(), unroll);
-            let ddg =
-                Ddg::build_with(&lb_used, prog, key.func, &deps, exec_prob, &call_costs);
+            let ddg = Ddg::build_with(&lb_used, prog, key.func, &deps, exec_prob, &call_costs);
             let values = if opts.enable_svp {
                 scale_values(&deps.values, unroll)
             } else {
@@ -635,7 +634,10 @@ mod tests {
         let mut sink = spt_trace::RingBufferSink::unbounded();
         let res = compile_traced(&prog, &CompileOptions::default(), &mut sink);
         let recs: Vec<_> = sink.into_records();
-        assert!(recs.iter().all(|r| r.cycle == 0), "compile events at cycle 0");
+        assert!(
+            recs.iter().all(|r| r.cycle == 0),
+            "compile events at cycle 0"
+        );
         let selected = recs
             .iter()
             .filter(|r| matches!(r.ev, spt_trace::TraceEvent::LoopSelected { .. }))

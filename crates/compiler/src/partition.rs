@@ -24,8 +24,8 @@
 
 use crate::cost::{estimate_speedup, misspeculation_cost, CostParams};
 use crate::ddg::{BitSet, Ddg};
-use spt_sir::Op;
 use spt_profile::ValuePattern;
+use spt_sir::Op;
 use std::collections::HashMap;
 
 /// How a chosen candidate is satisfied.
@@ -104,7 +104,11 @@ pub fn search_partition(
     // non-negligible probability.
     let mut srcs: Vec<usize> = Vec::new();
     for c in &ddg.cross {
-        let q = if c.is_mem { c.prob } else { c.prob_value.max(c.prob * 0.1) };
+        let q = if c.is_mem {
+            c.prob
+        } else {
+            c.prob_value.max(c.prob * 0.1)
+        };
         if q >= 0.02 && !srcs.contains(&c.src) {
             srcs.push(c.src);
         }
@@ -173,7 +177,11 @@ pub fn search_partition(
         .collect();
 
     // Keep the highest-impact candidates within search limits.
-    cands.sort_by(|a, b| b.impact.partial_cmp(&a.impact).unwrap_or(std::cmp::Ordering::Equal));
+    cands.sort_by(|a, b| {
+        b.impact
+            .partial_cmp(&a.impact)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     cands.truncate(SEARCH_CANDIDATES);
     let k = cands.len();
 
@@ -244,7 +252,10 @@ fn try_subset(
                 chosen.push(ChosenCandidate {
                     stmt: c.stmt,
                     reg: c.reg,
-                    mitigation: Mitigation::Svp { stride, miss_rate: miss },
+                    mitigation: Mitigation::Svp {
+                        stride,
+                        miss_rate: miss,
+                    },
                 });
                 continue;
             }
@@ -274,7 +285,10 @@ fn try_subset(
             chosen.push(ChosenCandidate {
                 stmt: c.stmt,
                 reg: c.reg,
-                mitigation: Mitigation::Svp { stride, miss_rate: miss },
+                mitigation: Mitigation::Svp {
+                    stride,
+                    miss_rate: miss,
+                },
             });
         } else {
             return None; // cannot satisfy this candidate within bounds
@@ -417,8 +431,7 @@ mod tests {
 
     #[test]
     fn too_many_candidates_rejected() {
-        let cross: Vec<(usize, usize, f64)> =
-            (0..25).map(|i| (i, (i + 1) % 25, 1.0)).collect();
+        let cross: Vec<(usize, usize, f64)> = (0..25).map(|i| (i, (i + 1) % 25, 1.0)).collect();
         let (ddg, lb) = chain_ddg(30, &cross);
         assert!(matches!(
             search_partition(&ddg, &lb, &HashMap::new(), &CostParams::default()),

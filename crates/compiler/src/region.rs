@@ -86,9 +86,7 @@ pub fn find_region_split(
         let mut poisoned: HashSet<usize> = HashSet::new();
         let mut misspec = 0.0;
         for j in k..n {
-            let dep = insts[..k]
-                .iter()
-                .any(|a| depends(a, &insts[j]))
+            let dep = insts[..k].iter().any(|a| depends(a, &insts[j]))
                 || insts[k..j]
                     .iter()
                     .enumerate()
@@ -100,9 +98,7 @@ pub fn find_region_split(
         }
         let t_spt = first.max(second) + params.fork_overhead + params.commit_overhead + misspec;
         let est = if t_spt > 0.0 { total / t_spt } else { 1.0 };
-        let better = best
-            .as_ref()
-            .is_none_or(|b| est > b.est_speedup);
+        let better = best.as_ref().is_none_or(|b| est > b.est_speedup);
         if better {
             best = Some(RegionSplit {
                 block,
@@ -204,8 +200,7 @@ mod tests {
     }
 
     fn run_spt(prog: &Program) -> (Option<i64>, u64) {
-        let rep = SptSim::new(prog, MachineConfig::default(), LoopAnnotations::empty())
-            .run(FUEL);
+        let rep = SptSim::new(prog, MachineConfig::default(), LoopAnnotations::empty()).run(FUEL);
         assert!(!rep.out_of_fuel);
         (rep.ret, rep.cycles)
     }

@@ -33,10 +33,9 @@ pub struct TransformResult {
 
 fn with_dst(mut inst: Inst, new_dst: Reg) -> Inst {
     match &mut inst.op {
-        Op::Const { dst, .. }
-        | Op::Un { dst, .. }
-        | Op::Bin { dst, .. }
-        | Op::Load { dst, .. } => *dst = new_dst,
+        Op::Const { dst, .. } | Op::Un { dst, .. } | Op::Bin { dst, .. } | Op::Load { dst, .. } => {
+            *dst = new_dst
+        }
         Op::Call { ret, .. } => *ret = Some(new_dst),
         _ => panic!("with_dst on a non-defining statement"),
     }
@@ -214,8 +213,8 @@ mod tests {
     use crate::ddg::Ddg;
     use crate::partition::search_partition;
     use spt_interp::run;
-    use spt_sir::{analyze_loops, ProgramBuilder};
     use spt_profile::{profile_loops, LoopKey};
+    use spt_sir::{analyze_loops, ProgramBuilder};
 
     const FUEL: u64 = 2_000_000;
 
@@ -287,7 +286,10 @@ mod tests {
         assert_eq!(expect.ret, Some(3 * (30 * 31 / 2)));
         let (prog2, tr) = compile_one_loop(&prog, func);
         let (got, _) = run(&prog2, FUEL);
-        assert_eq!(got.ret, expect.ret, "transformation must be semantics-preserving");
+        assert_eq!(
+            got.ret, expect.ret,
+            "transformation must be semantics-preserving"
+        );
         // The new body must contain a fork.
         let body = prog2.func(func).block(tr.new_body);
         assert!(body
@@ -312,9 +314,7 @@ mod tests {
             .iter()
             .position(|i| matches!(i.op, Op::SptFork { .. }))
             .expect("fork present");
-        let load_before_fork = body.insts[..fork_at]
-            .iter()
-            .any(|i| i.is_load());
+        let load_before_fork = body.insts[..fork_at].iter().any(|i| i.is_load());
         assert!(
             load_before_fork,
             "pointer-chase load must be pre-fork; body:\n{}",
@@ -372,9 +372,10 @@ mod tests {
         // SVP should have been applied: a guarded mov (check/recover)
         // appears in the body.
         let body_blk = prog2.func(main).block(tr.new_body);
-        let has_guarded_mov = body_blk.insts.iter().any(|i| {
-            i.guard.is_some() && matches!(i.op, Op::Un { op: UnOp::Mov, .. })
-        });
+        let has_guarded_mov = body_blk
+            .insts
+            .iter()
+            .any(|i| i.guard.is_some() && matches!(i.op, Op::Un { op: UnOp::Mov, .. }));
         assert!(
             has_guarded_mov,
             "SVP check/recover expected; body:\n{}",

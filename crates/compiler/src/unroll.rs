@@ -150,8 +150,8 @@ fn synth(op: Op) -> LinearStmt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spt_sir::{analyze_loops, Block, BlockId, Program, ProgramBuilder, Terminator};
     use spt_interp::run;
+    use spt_sir::{analyze_loops, Block, BlockId, Program, ProgramBuilder, Terminator};
 
     /// Build a counted loop, return (program, func) for re-linearization.
     fn counted(n: i64) -> (Program, spt_sir::FuncId) {
@@ -275,11 +275,7 @@ mod tests {
         let lb = crate::body::linearize(f, &cfg, &l).unwrap();
         let u3 = unroll_linear(&lb, 3);
         for orig in lb.stmts.iter().filter_map(|s| s.origin) {
-            let copies = u3
-                .stmts
-                .iter()
-                .filter(|s| s.origin == Some(orig))
-                .count();
+            let copies = u3.stmts.iter().filter(|s| s.origin == Some(orig)).count();
             assert_eq!(copies, 3, "origin {orig:?}");
         }
     }

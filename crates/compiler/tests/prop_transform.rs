@@ -25,7 +25,12 @@ fn stmt() -> impl Strategy<Value = Stmt> {
             .prop_map(|(o, d, a, b)| Stmt::Alu(o, d, a, b)),
         (0..N_REGS as u8, 0..N_REGS as u8, 0..6u8).prop_map(|(d, b, o)| Stmt::Load(d, b, o)),
         (0..N_REGS as u8, 0..N_REGS as u8, 0..6u8).prop_map(|(s, b, o)| Stmt::Store(s, b, o)),
-        (0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8)
+        (
+            0..N_REGS as u8,
+            0..N_REGS as u8,
+            0..N_REGS as u8,
+            0..N_REGS as u8
+        )
             .prop_map(|(g, d, a, b)| Stmt::Guarded(g, d, a, b)),
     ]
 }

@@ -494,7 +494,9 @@ mod tests {
         for _ in 0..4 {
             cur.step(&mut mem);
         }
-        assert!(matches!(cur.position().unwrap(), EvKind::Term { block, .. } if block == BlockId(0)));
+        assert!(
+            matches!(cur.position().unwrap(), EvKind::Term { block, .. } if block == BlockId(0))
+        );
     }
 
     #[test]

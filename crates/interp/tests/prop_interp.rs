@@ -30,8 +30,8 @@ fn stmt() -> impl Strategy<Value = S> {
 fn binop(c: u8) -> BinOp {
     use BinOp::*;
     [
-        Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt,
-        CmpGe, Min, Max,
+        Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+        Min, Max,
     ][c as usize % 18]
 }
 

@@ -201,7 +201,7 @@ mod tests {
         cs.access(0, 0); // block 0 -> set 0
         cs.access(16, 1); // block 2 -> set 0
         cs.access(32, 2); // block 4 -> set 0, evicts block 0 from L1
-        // Block 0 is still in L2 -> L2 hit latency.
+                          // Block 0 is still in L2 -> L2 hit latency.
         assert_eq!(cs.access(0, 3), 5);
     }
 

@@ -1,6 +1,5 @@
 //! Machine configuration — Table 1 of the paper.
 
-
 /// Parameters of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheParams {
@@ -17,8 +16,12 @@ impl CacheParams {
 }
 
 /// Misspeculation recovery mechanism (Table 1 default: SRX+FC).
+///
+/// This is the *configuration-level* selector; the simulator dispatches
+/// it to a `spt_sim::RecoveryPolicy` trait object implementing the
+/// actual recovery behaviour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RecoveryPolicy {
+pub enum RecoveryKind {
     /// Selective re-execution with fast commit — the SPT mechanism: commit
     /// correct speculative results, re-execute only misspeculated
     /// instructions; if nothing was violated, commit the whole speculative
@@ -49,6 +52,10 @@ pub enum RegCheckPolicy {
 /// Full machine configuration. `MachineConfig::default()` is Table 1.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
+    /// Total cores in the speculation fabric: core 0 is architectural,
+    /// cores 1..N-1 run successive speculative iterations in a ring
+    /// (Table 1 / the paper: 2; N>2 follows Prophet's successor ring).
+    pub cores: usize,
     pub l1i: CacheParams,
     pub l1d: CacheParams,
     pub l2: CacheParams,
@@ -71,7 +78,7 @@ pub struct MachineConfig {
     pub fast_commit_overhead: u64,
     /// Speculation result buffer entries.
     pub srb_entries: usize,
-    pub recovery: RecoveryPolicy,
+    pub recovery: RecoveryKind,
     pub reg_check: RegCheckPolicy,
     // Functional-unit latencies.
     pub lat_alu: u64,
@@ -85,6 +92,7 @@ impl Default for MachineConfig {
     /// The Table 1 configuration.
     fn default() -> Self {
         MachineConfig {
+            cores: 2,
             l1i: CacheParams {
                 size_bytes: 16 * 1024,
                 assoc: 4,
@@ -118,7 +126,7 @@ impl Default for MachineConfig {
             rf_copy_overhead: 1,
             fast_commit_overhead: 5,
             srb_entries: 1024,
-            recovery: RecoveryPolicy::SrxFc,
+            recovery: RecoveryKind::SrxFc,
             reg_check: RegCheckPolicy::ValueBased,
             lat_alu: 1,
             lat_mul: 4,
@@ -144,12 +152,15 @@ impl MachineConfig {
         vec![
             (
                 "Processor cores".into(),
-                "2 Itanium2-like in-order cores".into(),
+                format!("{} Itanium2-like in-order cores", self.cores),
             ),
             ("L1 (separate I/D)".into(), cache(&self.l1d)),
             ("L2".into(), cache(&self.l2)),
             ("L3".into(), cache(&self.l3)),
-            ("Memory latency".into(), format!("{} cycles", self.mem_latency)),
+            (
+                "Memory latency".into(),
+                format!("{} cycles", self.mem_latency),
+            ),
             (
                 "Normal fetch/issue width".into(),
                 format!("{}", self.issue_width),
@@ -182,11 +193,11 @@ impl MachineConfig {
             (
                 "Misspeculation recovery mechanism".into(),
                 match self.recovery {
-                    RecoveryPolicy::SrxFc => {
+                    RecoveryKind::SrxFc => {
                         "Selective re-execution with fast-commit (SRX+FC)".into()
                     }
-                    RecoveryPolicy::SrxOnly => "Selective re-execution (SRX)".into(),
-                    RecoveryPolicy::Squash => "Full squash and re-execute".into(),
+                    RecoveryKind::SrxOnly => "Selective re-execution (SRX)".into(),
+                    RecoveryKind::Squash => "Full squash and re-execute".into(),
                 },
             ),
             (
@@ -207,6 +218,7 @@ mod tests {
     #[test]
     fn table1_defaults_match_paper() {
         let c = MachineConfig::default();
+        assert_eq!(c.cores, 2);
         assert_eq!(c.l1d.size_bytes, 16 * 1024);
         assert_eq!(c.l1d.assoc, 4);
         assert_eq!(c.l1d.block_bytes, 64);
@@ -225,7 +237,7 @@ mod tests {
         assert_eq!(c.rf_copy_overhead, 1);
         assert_eq!(c.fast_commit_overhead, 5);
         assert_eq!(c.srb_entries, 1024);
-        assert_eq!(c.recovery, RecoveryPolicy::SrxFc);
+        assert_eq!(c.recovery, RecoveryKind::SrxFc);
         assert_eq!(c.reg_check, RegCheckPolicy::ValueBased);
     }
 
@@ -240,10 +252,8 @@ mod tests {
     fn table1_rows_render() {
         let rows = MachineConfig::default().table1_rows();
         assert!(rows.len() >= 14);
-        let text: String = rows
-            .iter()
-            .map(|(k, v)| format!("{k}: {v}\n"))
-            .collect();
+        let text: String = rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        assert!(text.contains("2 Itanium2-like in-order cores"));
         assert!(text.contains("GAg with 1024 entries"));
         assert!(text.contains("150 cycles"));
         assert!(text.contains("SRX+FC"));
@@ -255,7 +265,14 @@ mod tests {
         // The sweep engine's memo cache keys configs by their Debug
         // rendering: it must name every field that affects simulation.
         let dbg = format!("{:?}", MachineConfig::default());
-        for field in ["srb_entries", "recovery", "reg_check", "mem_latency", "issue_width"] {
+        for field in [
+            "cores",
+            "srb_entries",
+            "recovery",
+            "reg_check",
+            "mem_latency",
+            "issue_width",
+        ] {
             assert!(dbg.contains(field), "Debug output missing {field}");
         }
     }

@@ -102,8 +102,7 @@ impl LoopContextTracker {
             let forest = &self.forests[&top.key.func];
             let l = forest.get(top.key.loop_id);
             let exited = ev.depth < top.depth
-                || (ev.depth == top.depth
-                    && (func != top.key.func || !l.contains(block)));
+                || (ev.depth == top.depth && (func != top.key.func || !l.contains(block)));
             if exited {
                 let t = self.stack.pop().expect("non-empty");
                 tr.exited.push((t.key, t.iters));

@@ -78,9 +78,7 @@ impl LoopDeps {
     /// trips when the value changed).
     pub fn reg_prob_value(&self, edge: (StmtRef, StmtRef)) -> f64 {
         match self.reg_deps.get(&edge) {
-            Some(c) if self.iterations > 1 => {
-                c.value_changed as f64 / (self.iterations - 1) as f64
-            }
+            Some(c) if self.iterations > 1 => c.value_changed as f64 / (self.iterations - 1) as f64,
             _ => 0.0,
         }
     }
@@ -91,9 +89,7 @@ impl LoopDeps {
 
     fn prob(&self, c: Option<&DepCount>) -> f64 {
         match c {
-            Some(c) if self.iterations > 1 => {
-                c.occurrences as f64 / (self.iterations - 1) as f64
-            }
+            Some(c) if self.iterations > 1 => c.occurrences as f64 / (self.iterations - 1) as f64,
             _ => 0.0,
         }
     }
@@ -179,11 +175,7 @@ impl DepState {
 
 /// Profile cross-iteration dependences and value patterns for the selected
 /// loops.
-pub fn profile_loops(
-    prog: &Program,
-    selection: &[LoopKey],
-    max_steps: u64,
-) -> DepProfile {
+pub fn profile_loops(prog: &Program, selection: &[LoopKey], max_steps: u64) -> DepProfile {
     let selected: HashSet<LoopKey> = selection.iter().copied().collect();
     let mut tracker = LoopContextTracker::new(prog);
     let mut mem = Memory::for_program(prog);

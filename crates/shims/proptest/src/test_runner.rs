@@ -157,11 +157,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (lhs, rhs) = (&$a, &$b);
-        $crate::prop_assert!(
-            lhs != rhs,
-            "assertion failed: both sides equal {:?}",
-            lhs
-        );
+        $crate::prop_assert!(lhs != rhs, "assertion failed: both sides equal {:?}", lhs);
     }};
 }
 

@@ -1,12 +1,13 @@
 //! Baseline single-core simulation: the optimized sequential program on one
 //! Itanium2-like in-order core (the paper's reference configuration).
 
-use crate::engine::{CycleBreakdown, Engine};
+use crate::engine::CycleBreakdown;
 use crate::metrics::{LoopAnnotations, LoopCycleTracker};
+use crate::pipeline::PipelineCore;
 use spt_interp::{Cursor, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig};
 use spt_sir::Program;
-use spt_trace::{NullSink, Pipe, StallClass, TraceSink};
+use spt_trace::{NullSink, Pipe, TraceSink};
 
 /// Result of a baseline run.
 #[derive(Clone, Debug)]
@@ -66,33 +67,20 @@ pub fn simulate_baseline_traced(
     max_steps: u64,
     sink: &mut dyn TraceSink,
 ) -> (BaselineReport, Memory) {
-    let mut engine = Engine::new(cfg);
+    let mut core = PipelineCore::new(cfg, Pipe::Main);
     let mut cache = CacheSim::new(cfg);
     let mut mem = Memory::for_program(prog);
     let mut cur = Cursor::at_entry(prog);
     let mut tracker = LoopCycleTracker::new(annots.clone());
-    let mut last_stall: Option<StallClass> = None;
 
     let mut steps = 0u64;
     while steps < max_steps {
         let Some(ev) = cur.step(&mut mem) else { break };
         steps += 1;
-        let before = engine.cycle();
-        let before_bd = engine.breakdown();
-        engine.issue(&ev, &mut cache, cfg);
-        tracker.observe(&ev, engine.cycle() - before);
-        if sink.enabled() {
-            crate::spt::note_stall(
-                sink,
-                Pipe::Main,
-                &mut last_stall,
-                before_bd,
-                engine.breakdown(),
-                engine.cycle(),
-            );
-        }
+        core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
     }
 
+    let engine = &core.engine;
     let report = BaselineReport {
         cycles: engine.cycle() + 1,
         instrs: engine.instrs(),

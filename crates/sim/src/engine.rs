@@ -400,11 +400,7 @@ mod tests {
         let prog = pb.finish(id, 8);
         let (cycles, _, bd) = time_program(&prog);
         assert!(cycles >= 150);
-        assert!(
-            bd.dcache_stall >= 140,
-            "dcache_stall = {}",
-            bd.dcache_stall
-        );
+        assert!(bd.dcache_stall >= 140, "dcache_stall = {}", bd.dcache_stall);
     }
 
     #[test]

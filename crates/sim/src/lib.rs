@@ -4,20 +4,27 @@
 //!
 //! * [`baseline::simulate_baseline`] — one Itanium2-like in-order core
 //!   running the sequential program; the paper's baseline reference.
-//! * [`spt::SptSim`] — the SPT architecture of §3: a main pipeline and a
-//!   speculative pipeline sharing the cache hierarchy, with `spt_fork` /
-//!   `spt_kill`, a speculation result buffer, a speculative store buffer, a
-//!   load address buffer, register and memory dependence checkers, and the
-//!   selective re-execution / fast-commit recovery mechanism.
+//! * [`spt::SptSim`] — the SPT speculation fabric: an N-core ring of
+//!   in-order pipelines (§3 of the paper describes N=2) where core 0 runs
+//!   the architectural thread and cores 1..N-1 run successive speculative
+//!   loop iterations, with `spt_fork` / `spt_kill`, per-core speculation
+//!   result buffers, speculative store buffers, load address buffers,
+//!   register and memory dependence checkers, and pluggable
+//!   [`recovery::RecoveryPolicy`] mechanisms (selective re-execution with
+//!   fast commit by default).
 //!
-//! Both simulators report the cycle breakdown used by Figure 9 (execution,
-//! pipeline stall, D-cache stall) plus the speculation statistics of
-//! Figure 8 (fast-commit ratio, misspeculation ratio) and per-loop cycle
-//! attributions.
+//! Both simulators share the per-pipeline [`pipeline::PipelineCore`]
+//! (timing engine + stall-transition trace state) and report the cycle
+//! breakdown used by Figure 9 (execution, pipeline stall, D-cache stall)
+//! plus the speculation statistics of Figure 8 (fast-commit ratio,
+//! misspeculation ratio), per-loop attributions, and per-core fabric
+//! statistics.
 
 pub mod baseline;
 pub mod engine;
 pub mod metrics;
+pub mod pipeline;
+pub mod recovery;
 pub mod spt;
 pub mod ssb;
 
@@ -25,6 +32,8 @@ pub use baseline::{
     simulate_baseline, simulate_baseline_traced, simulate_baseline_with_memory, BaselineReport,
 };
 pub use engine::{CycleBreakdown, Engine, StallBreakdown, StallKind};
-pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerLoopStats};
+pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};
+pub use pipeline::PipelineCore;
+pub use recovery::{policy_for, FullSquash, RecoveryPolicy, SrxFastCommit, SrxOnly};
 pub use spt::{SptReport, SptSim};
 pub use ssb::{SpecMem, Ssb};

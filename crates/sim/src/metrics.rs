@@ -85,9 +85,7 @@ impl LoopCycleTracker {
         // Exit checks.
         if let Some((idx, depth)) = self.active {
             let l = &self.annots.loops[idx];
-            if ev.depth < depth
-                || (ev.depth == depth && (func != l.func || !l.contains(block)))
-            {
+            if ev.depth < depth || (ev.depth == depth && (func != l.func || !l.contains(block))) {
                 self.active = None;
             }
         }
@@ -120,6 +118,16 @@ impl LoopCycleTracker {
 
     pub fn annotations(&self) -> &LoopAnnotations {
         &self.annots
+    }
+
+    /// Fold the attributed cycles and instructions into per-loop stat
+    /// rows (one row per annotation, in annotation order) — the common
+    /// tail of both the baseline and SPT report paths.
+    pub fn fold_into(&self, per_loop: &mut [PerLoopStats]) {
+        for (i, pl) in per_loop.iter_mut().enumerate() {
+            pl.cycles = self.cycles[i];
+            pl.instrs = self.instrs[i];
+        }
     }
 }
 
@@ -157,6 +165,48 @@ impl PerLoopStats {
             0.0
         } else {
             self.spec_misspec as f64 / self.spec_instrs as f64
+        }
+    }
+}
+
+/// Per-core statistics of the speculation fabric (core 0 is the
+/// architectural pipeline; cores 1..N-1 host speculative threads).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PerCoreStats {
+    /// Fabric core index.
+    pub core: usize,
+    /// Instructions issued by this core's pipeline (for speculative
+    /// cores: speculative instructions, whether or not they committed).
+    pub instrs: u64,
+    /// Speculative threads spawned onto this core (always 0 for core 0).
+    pub threads: u64,
+    /// Threads hosted here that fast-committed.
+    pub fast_commits: u64,
+    /// Threads hosted here that went through replay.
+    pub replays: u64,
+    /// Threads hosted here that were killed, squashed, or divergence-
+    /// killed.
+    pub kills: u64,
+}
+
+impl PerCoreStats {
+    /// Fraction of threads hosted on this core that fast-committed
+    /// (0 for an idle core).
+    pub fn fast_commit_ratio(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.fast_commits as f64 / self.threads as f64
+        }
+    }
+
+    /// Fraction of hosted threads whose work was (partly) wasted:
+    /// replayed or killed (0 for an idle core).
+    pub fn waste_ratio(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            (self.replays + self.kills) as f64 / self.threads as f64
         }
     }
 }
@@ -247,5 +297,42 @@ mod tests {
         let z = PerLoopStats::default();
         assert_eq!(z.fast_commit_ratio(), 0.0);
         assert_eq!(z.misspeculation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn per_core_ratios_guard_zero_denominators() {
+        let idle = PerCoreStats {
+            core: 3,
+            ..Default::default()
+        };
+        assert_eq!(idle.fast_commit_ratio(), 0.0);
+        assert_eq!(idle.waste_ratio(), 0.0);
+        assert!(idle.fast_commit_ratio().is_finite());
+        let busy = PerCoreStats {
+            core: 1,
+            threads: 8,
+            fast_commits: 6,
+            replays: 1,
+            kills: 1,
+            ..Default::default()
+        };
+        assert!((busy.fast_commit_ratio() - 0.75).abs() < 1e-9);
+        assert!((busy.waste_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_into_copies_attribution() {
+        let mut t = LoopCycleTracker::new(annots());
+        t.observe(&ev(0, 2, 0), 3);
+        t.observe(&ev(0, 3, 0), 2);
+        let mut per_loop = vec![PerLoopStats {
+            id: 7,
+            forks: 5,
+            ..Default::default()
+        }];
+        t.fold_into(&mut per_loop);
+        assert_eq!(per_loop[0].cycles, 5);
+        assert_eq!(per_loop[0].instrs, 2);
+        assert_eq!(per_loop[0].forks, 5, "non-attribution fields untouched");
     }
 }

@@ -1,0 +1,104 @@
+//! Pluggable misspeculation recovery policies.
+//!
+//! `MachineConfig::recovery` selects a [`RecoveryKind`]; the simulator
+//! dispatches it here to a [`RecoveryPolicy`] implementation. A policy
+//! decides *what happens at the dependence check* — whether a clean
+//! thread may commit its context wholesale and whether a violated thread
+//! is selectively re-executed or discarded outright. The fabric mechanics
+//! (SRB walk, SSB write-back, divergence detection) stay in `spt` and are
+//! shared by every policy.
+
+use spt_mach::RecoveryKind;
+
+/// Behaviour of the machine at a dependence check.
+pub trait RecoveryPolicy: Sync {
+    /// May a violation-free speculative thread commit its whole register
+    /// context and store buffer at once (the fast-commit shortcut)?
+    fn allows_fast_commit(&self) -> bool;
+    /// On a violation, discard all speculative results instead of walking
+    /// the SRB with selective re-execution?
+    fn squash_on_violation(&self) -> bool;
+    /// Short stable name for reports and traces.
+    fn name(&self) -> &'static str;
+}
+
+/// Selective re-execution with fast commit — the SPT mechanism and the
+/// Table 1 default.
+pub struct SrxFastCommit;
+
+/// Selective re-execution without the fast-commit shortcut: every
+/// speculative thread goes through the replay pipeline even when no
+/// violation occurred.
+pub struct SrxOnly;
+
+/// Full squash — what most other speculative multithreaded architectures
+/// do (per the paper): any violation trashes the entire speculative
+/// thread and the main thread re-executes it normally.
+pub struct FullSquash;
+
+impl RecoveryPolicy for SrxFastCommit {
+    fn allows_fast_commit(&self) -> bool {
+        true
+    }
+    fn squash_on_violation(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "srx+fc"
+    }
+}
+
+impl RecoveryPolicy for SrxOnly {
+    fn allows_fast_commit(&self) -> bool {
+        false
+    }
+    fn squash_on_violation(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "srx"
+    }
+}
+
+impl RecoveryPolicy for FullSquash {
+    fn allows_fast_commit(&self) -> bool {
+        true
+    }
+    fn squash_on_violation(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "squash"
+    }
+}
+
+/// Dispatch a configuration-level [`RecoveryKind`] to its policy.
+pub fn policy_for(kind: RecoveryKind) -> &'static dyn RecoveryPolicy {
+    match kind {
+        RecoveryKind::SrxFc => &SrxFastCommit,
+        RecoveryKind::SrxOnly => &SrxOnly,
+        RecoveryKind::Squash => &FullSquash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_kind() {
+        assert_eq!(policy_for(RecoveryKind::SrxFc).name(), "srx+fc");
+        assert_eq!(policy_for(RecoveryKind::SrxOnly).name(), "srx");
+        assert_eq!(policy_for(RecoveryKind::Squash).name(), "squash");
+    }
+
+    #[test]
+    fn policy_semantics() {
+        let fc = policy_for(RecoveryKind::SrxFc);
+        assert!(fc.allows_fast_commit() && !fc.squash_on_violation());
+        let srx = policy_for(RecoveryKind::SrxOnly);
+        assert!(!srx.allows_fast_commit() && !srx.squash_on_violation());
+        let sq = policy_for(RecoveryKind::Squash);
+        assert!(sq.allows_fast_commit() && sq.squash_on_violation());
+    }
+}

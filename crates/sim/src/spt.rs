@@ -1,16 +1,26 @@
-//! The SPT dual-pipeline simulator (§3 of the paper).
+//! The SPT speculation-fabric simulator (§3 of the paper, generalized to
+//! N cores).
 //!
-//! Execution model: the main pipeline always executes the main program
-//! thread over architectural memory. When it executes `spt_fork`, the
-//! register context is copied (1 cycle minimum) and the speculative
-//! pipeline begins executing real code at the start-point over a
+//! Execution model: core 0 (the main pipeline) always executes the main
+//! program thread over architectural memory. When it executes `spt_fork`,
+//! the register context is copied (1 cycle minimum) and a speculative
+//! pipeline begins executing real code at the start-point over a private
 //! speculative store buffer. There is no register communication or
 //! synchronization between the threads; all speculative results go to the
-//! speculation result buffer (SRB) in program order, and the speculative
-//! pipeline stalls when the SRB is full.
+//! thread's speculation result buffer (SRB) in program order, and a
+//! speculative pipeline stalls when its SRB is full.
 //!
-//! When the main thread arrives at the start-point, the dependence checkers
-//! run:
+//! At N=2 this is exactly the paper's dual-pipeline machine. With more
+//! cores the fabric forms a ring of successive iterations (in the style of
+//! Prophet's successor cores): when the *youngest* speculative thread
+//! itself executes `spt_fork` and a ring core is free, the next iteration
+//! starts there speculatively; a thread that reaches its successor's
+//! start-point parks rather than re-executing the successor's work. A
+//! speculative fork with no free core is dropped silently, exactly as the
+//! two-core machine drops it.
+//!
+//! When the main thread arrives at the *oldest* thread's start-point, the
+//! dependence checkers run:
 //!
 //! * register check — live-in registers read by the speculative thread vs.
 //!   registers the main thread modified after the fork point (mark-based),
@@ -19,23 +29,26 @@
 //! * memory check — the load address buffer (LAB) vs. main-thread store
 //!   addresses issued before the start-point.
 //!
-//! No violation → *fast commit*: the speculative register context is copied
-//! back (5 cycles minimum), outstanding SSB stores are written back, and
-//! the main thread resumes where the speculative thread stopped. Any
-//! violation → *replay*: the main pipeline walks the SRB in program order
-//! at replay width (12), committing correct results directly and
-//! re-executing only misspeculated instructions; replay stops when the SRB
-//! empties or a re-executed branch diverges from the recorded path, in
-//! which case the speculative thread is killed and the main thread resumes
-//! normal execution at that point.
+//! What happens next is the configured [`RecoveryPolicy`]: under the
+//! default (selective re-execution with fast commit), no violation →
+//! *fast commit* — the speculative register context is copied back (5
+//! cycles minimum), outstanding SSB stores are written back (and checked
+//! against downstream threads' LABs), and the main thread resumes where
+//! the speculative thread stopped; any violation → *replay* — the main
+//! pipeline walks the SRB in program order at replay width (12),
+//! committing correct results directly and re-executing only misspeculated
+//! instructions. A replay or squash invalidates every downstream ring
+//! thread (they forked from a context the recovery just rewrote).
 
 use crate::engine::{CycleBreakdown, Engine};
-use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerLoopStats};
+use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};
+use crate::pipeline::PipelineCore;
+use crate::recovery::policy_for;
 use crate::ssb::{SpecMem, Ssb};
 use spt_interp::{Cursor, EvKind, Event, Memory};
-use spt_mach::{CacheSim, CacheStats, MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg, StmtRef, Terminator};
-use spt_trace::{NullSink, Pipe, StallClass, StderrSink, TraceEvent, TraceSink};
+use spt_trace::{NullSink, Pipe, StderrSink, TraceEvent, TraceSink};
 use std::collections::HashSet;
 
 /// Result of an SPT run.
@@ -47,12 +60,13 @@ pub struct SptReport {
     pub instrs: u64,
     pub breakdown: CycleBreakdown,
     pub cache: CacheStats,
+    /// Speculative threads spawned (main-thread forks plus ring forks).
     pub forks: u64,
-    /// Forks ignored because a speculative thread was already running.
+    /// Main-thread forks ignored because speculation was already running.
     pub forks_ignored: u64,
     pub fast_commits: u64,
     pub replays: u64,
-    /// `spt_kill` + safety kills (loop exits).
+    /// `spt_kill` + safety kills (loop exits) + downstream invalidations.
     pub kills: u64,
     /// Replay terminations due to control divergence.
     pub divergence_kills: u64,
@@ -63,6 +77,8 @@ pub struct SptReport {
     /// Misspeculated instructions re-executed during replay.
     pub spec_misspec: u64,
     pub per_loop: Vec<PerLoopStats>,
+    /// Per-fabric-core statistics (length = configured core count).
+    pub per_core: Vec<PerCoreStats>,
     /// Main-pipeline branch predictor statistics.
     pub bp_mispredicts: u64,
     pub bp_lookups: u64,
@@ -98,11 +114,25 @@ impl SptReport {
             self.instrs as f64 / self.cycles as f64
         }
     }
+
+    /// Fraction of speculative-core instructions relative to the whole
+    /// fabric (0.0 when per-core stats are absent or empty).
+    pub fn spec_core_instr_share(&self) -> f64 {
+        let total: u64 = self.per_core.iter().map(|c| c.instrs).sum();
+        if total == 0 {
+            0.0
+        } else {
+            let spec: u64 = self.per_core.iter().skip(1).map(|c| c.instrs).sum();
+            spec as f64 / total as f64
+        }
+    }
 }
 
-/// State of the speculative pipeline while a thread is live.
+/// State of one live speculative thread.
 struct SpecState<'p> {
     cursor: Cursor<'p>,
+    /// Fabric core hosting this thread (1-based; core 0 is architectural).
+    core: usize,
     ssb: Ssb,
     /// Load address buffer: speculative loads that went to cache/memory.
     lab: HashSet<u64>,
@@ -111,9 +141,10 @@ struct SpecState<'p> {
     live_in_reads: HashSet<u32>,
     /// Fork-level registers written by the speculative thread.
     spec_written: HashSet<u32>,
-    /// Fork-level registers written by the main thread post-fork.
+    /// Fork-level registers written by the main thread post-fork (plus,
+    /// for downstream ring threads, by committed predecessors).
     post_fork_writes: HashSet<u32>,
-    /// Memory words where a main post-fork store hit the LAB.
+    /// Memory words where a post-fork store hit the LAB.
     violated_addrs: HashSet<u64>,
     /// Index of the frame that was live at the fork.
     fork_level: usize,
@@ -126,31 +157,57 @@ struct SpecState<'p> {
     stalled: bool,
     /// Annotated loop this fork belongs to, if known.
     loop_idx: Option<usize>,
-    /// Main-pipeline cycle at which the fork issued (trace attribution).
+    /// Cycle at which the fork issued (trace attribution).
     fork_cycle: u64,
 }
 
-/// Emit a `StallTransition` when an issue attributed new idle cycles to a
-/// different stall class than the last one reported for this pipeline.
-pub(crate) fn note_stall(
-    sink: &mut dyn TraceSink,
-    pipe: Pipe,
-    last: &mut Option<StallClass>,
-    before: CycleBreakdown,
-    after: CycleBreakdown,
+/// What a fast commit leaves behind for downstream ring threads.
+struct CommitEffects {
+    /// Word addresses the committed thread's SSB wrote back.
+    drained_addrs: Vec<u64>,
+    /// Fork-level registers the committed thread (or the main thread
+    /// during its lifetime) wrote — mark-based checking treats these as
+    /// post-fork writes for every downstream thread.
+    written: Vec<u32>,
+}
+
+/// Outcome of a dependence check, as seen by downstream ring threads.
+enum Recovered {
+    /// The thread's context was adopted; downstream threads stay live.
+    FastCommit(Option<CommitEffects>),
+    /// Replay, squash, or divergence kill: the architectural state was
+    /// rewritten, so every downstream thread is invalid.
+    Rollback,
+}
+
+/// Discard every live speculative thread (oldest first), attributing a
+/// kill to each.
+#[allow(clippy::too_many_arguments)]
+fn kill_all_threads(
+    spec: &mut Vec<SpecState<'_>>,
     cycle: u64,
+    kills: &mut u64,
+    spec_discarded: &mut u64,
+    per_loop: &mut [PerLoopStats],
+    per_core: &mut [PerCoreStats],
+    sink: &mut dyn TraceSink,
 ) {
-    let kind = if after.dcache_stall > before.dcache_stall {
-        Some(StallClass::DCache)
-    } else if after.pipe_stall > before.pipe_stall {
-        Some(StallClass::Pipeline)
-    } else {
-        None
-    };
-    if let Some(k) = kind {
-        if *last != Some(k) {
-            *last = Some(k);
-            sink.emit(cycle, TraceEvent::StallTransition { pipe, kind: k });
+    for sp in spec.drain(..) {
+        *kills += 1;
+        *spec_discarded += sp.srb.len() as u64;
+        if let Some(li) = sp.loop_idx {
+            per_loop[li].kills += 1;
+        }
+        per_core[sp.core].kills += 1;
+        if sink.enabled() {
+            sink.emit(
+                cycle,
+                TraceEvent::Kill {
+                    loop_id: sp.loop_idx,
+                    fork_cycle: sp.fork_cycle,
+                    srb_len: sp.srb.len(),
+                },
+            );
         }
     }
 }
@@ -183,16 +240,12 @@ impl<'p> SptSim<'p> {
     /// (the event's own `srcs` are capacity-limited for timing).
     fn static_srcs(&self, ev: &Event) -> Vec<Reg> {
         match ev.kind {
-            EvKind::Inst { func, sref } => {
-                self.prog.func(func).inst(sref).srcs_with_guard()
-            }
-            EvKind::Term { func, block } => {
-                match &self.prog.func(func).block(block).term {
-                    Terminator::Br { cond, .. } => vec![*cond],
-                    Terminator::Ret(Some(r)) => vec![*r],
-                    _ => vec![],
-                }
-            }
+            EvKind::Inst { func, sref } => self.prog.func(func).inst(sref).srcs_with_guard(),
+            EvKind::Term { func, block } => match &self.prog.func(func).block(block).term {
+                Terminator::Br { cond, .. } => vec![*cond],
+                Terminator::Ret(Some(r)) => vec![*r],
+                _ => vec![],
+            },
         }
     }
 
@@ -221,7 +274,7 @@ impl<'p> SptSim<'p> {
     }
 
     /// Run the program to completion (or until `max_steps` interpreter steps
-    /// across both pipelines).
+    /// across all pipelines).
     pub fn run(&self, max_steps: u64) -> SptReport {
         self.run_with_memory(max_steps).0
     }
@@ -252,13 +305,20 @@ impl<'p> SptSim<'p> {
         sink: &mut dyn TraceSink,
     ) -> (SptReport, Memory) {
         let cfg = &self.cfg;
+        let cores = cfg.cores.max(2);
         let mut mem = Memory::for_program(self.prog);
         let mut cache = CacheSim::new(cfg);
         let mut main = Cursor::at_entry(self.prog);
-        let mut main_eng = Engine::new(cfg);
-        let mut spec_eng = Engine::new(cfg);
+        let mut main_core = PipelineCore::new(cfg, Pipe::Main);
+        // Speculative cores are created once and reused across threads:
+        // `advance_to` + `reset_context` at each spawn model the RF copy,
+        // while the engine keeps accumulating its per-core statistics.
+        let mut spec_cores: Vec<PipelineCore> = (1..cores)
+            .map(|_| PipelineCore::new(cfg, Pipe::Spec))
+            .collect();
         let mut tracker = LoopCycleTracker::new(self.annots.clone());
-        let mut spec: Option<SpecState<'p>> = None;
+        // Live speculative threads, oldest (next to be checked) first.
+        let mut spec: Vec<SpecState<'p>> = Vec::new();
 
         let mut per_loop: Vec<PerLoopStats> = self
             .annots
@@ -266,6 +326,12 @@ impl<'p> SptSim<'p> {
             .iter()
             .map(|l| PerLoopStats {
                 id: l.id,
+                ..Default::default()
+            })
+            .collect();
+        let mut per_core: Vec<PerCoreStats> = (0..cores)
+            .map(|c| PerCoreStats {
+                core: c,
                 ..Default::default()
             })
             .collect();
@@ -282,92 +348,180 @@ impl<'p> SptSim<'p> {
         let mut spec_misspec = 0u64;
         // Trace-only state (untouched when the sink is disabled).
         let mut srb_high_water = 0usize;
-        let mut main_stall: Option<StallClass> = None;
-        let mut spec_stall: Option<StallClass> = None;
 
         'outer: while !main.is_halted() && steps < max_steps {
-            // Let the speculative pipeline catch up in time. It only steps
-            // when its next instruction could actually issue by now — an
-            // operand still in flight leaves the pipeline stalled, not
-            // running ahead of wall-clock.
-            if let Some(sp) = spec.as_mut() {
-                if !sp.stalled
-                    && spec_eng.cycle() <= main_eng.cycle()
-                    && self.spec_next_ready(sp, &spec_eng) <= main_eng.cycle()
+            // Let the speculative pipelines catch up in time, oldest thread
+            // first. A thread only steps when its next instruction could
+            // actually issue by now — an operand still in flight leaves the
+            // pipeline stalled, not running ahead of wall-clock.
+            let mut step_idx = None;
+            for i in 0..spec.len() {
+                if i + 1 < spec.len()
+                    && spec[i].cursor.position() == Some(spec[i + 1].start_pos)
+                    && spec[i].cursor.depth() == spec[i + 1].start_depth
                 {
-                    steps += 1;
-                    let before = spec_eng.breakdown();
-                    Self::step_spec(self.prog, sp, &mut spec_eng, &mut cache, &mut mem, cfg);
-                    if sink.enabled() {
-                        if sp.srb.len() > srb_high_water {
-                            srb_high_water = sp.srb.len();
+                    // The thread reached its successor's start-point: park
+                    // it rather than re-execute the successor's iteration.
+                    spec[i].stalled = true;
+                }
+                let sp = &spec[i];
+                let eng = &spec_cores[sp.core - 1].engine;
+                if !sp.stalled
+                    && eng.cycle() <= main_core.engine.cycle()
+                    && self.spec_next_ready(sp, eng) <= main_core.engine.cycle()
+                {
+                    step_idx = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = step_idx {
+                steps += 1;
+                let sp = &mut spec[i];
+                let core = &mut spec_cores[sp.core - 1];
+                let fork_req = Self::step_spec(self.prog, sp, core, &mut cache, &mut mem, cfg);
+                if sink.enabled() {
+                    if sp.srb.len() > srb_high_water {
+                        srb_high_water = sp.srb.len();
+                        sink.emit(
+                            core.engine.cycle(),
+                            TraceEvent::SrbHighWater {
+                                occupancy: srb_high_water,
+                            },
+                        );
+                    }
+                    core.note_stall(sink);
+                }
+                // A speculative thread's own `spt_fork`: the youngest
+                // thread spawns the next iteration on a free ring core;
+                // with no free core (always, at N=2) it is dropped
+                // silently.
+                if let Some((func, start)) = fork_req {
+                    if i + 1 == spec.len() && spec.len() + 1 < cores {
+                        let free = (1..cores)
+                            .find(|c| !spec.iter().any(|s| s.core == *c))
+                            .expect("thread count below cores-1 implies a free core");
+                        forks += 1;
+                        let parent = &spec[i];
+                        let loop_idx = self.annots.by_fork_start(func, start).or(parent.loop_idx);
+                        if let Some(li) = loop_idx {
+                            per_loop[li].forks += 1;
+                        }
+                        let parent_cycle = spec_cores[parent.core - 1].engine.cycle();
+                        if sink.enabled() {
                             sink.emit(
-                                spec_eng.cycle(),
-                                TraceEvent::SrbHighWater {
-                                    occupancy: srb_high_water,
+                                parent_cycle,
+                                TraceEvent::RingFork {
+                                    loop_id: loop_idx,
+                                    core: free,
+                                    func,
+                                    start_block: start,
                                 },
                             );
                         }
-                        note_stall(
-                            sink,
-                            Pipe::Spec,
-                            &mut spec_stall,
-                            before,
-                            spec_eng.breakdown(),
-                            spec_eng.cycle(),
-                        );
+                        let fork_level = parent.cursor.depth() - 1;
+                        let cursor = parent.cursor.fork_speculative(start);
+                        let fork_regs = parent.cursor.regs_at(fork_level).to_vec();
+                        let start_depth = parent.cursor.depth();
+                        let t = parent_cycle + cfg.rf_copy_overhead;
+                        let succ = &mut spec_cores[free - 1].engine;
+                        succ.advance_to(t);
+                        succ.reset_context(t);
+                        per_core[free].threads += 1;
+                        spec.push(SpecState {
+                            cursor,
+                            core: free,
+                            ssb: Ssb::new(),
+                            lab: HashSet::new(),
+                            srb: Vec::new(),
+                            live_in_reads: HashSet::new(),
+                            spec_written: HashSet::new(),
+                            post_fork_writes: HashSet::new(),
+                            violated_addrs: HashSet::new(),
+                            fork_level,
+                            start_depth,
+                            fork_regs,
+                            start_pos: self.position_of(func, start),
+                            stalled: false,
+                            loop_idx,
+                            fork_cycle: parent_cycle,
+                        });
                     }
-                    continue 'outer;
                 }
+                continue 'outer;
             }
 
-            // Arrival at the start-point?
-            if let Some(sp) = spec.as_ref() {
-                if main.position() == Some(sp.start_pos) && main.depth() == sp.start_depth {
-                    let sp = spec.take().expect("checked above");
-                    self.check_and_recover(
-                        sp,
-                        &mut main,
-                        &mut main_eng,
-                        &spec_eng,
-                        &mut cache,
-                        &mut mem,
-                        &mut tracker,
-                        &mut per_loop,
-                        &mut steps,
-                        max_steps,
-                        &mut fast_commits,
-                        &mut replays,
-                        &mut divergence_kills,
-                        &mut spec_checked,
-                        &mut spec_misspec,
-                        sink,
-                    );
-                    continue 'outer;
+            // Arrival at the oldest thread's start-point?
+            if !spec.is_empty()
+                && main.position() == Some(spec[0].start_pos)
+                && main.depth() == spec[0].start_depth
+            {
+                let sp = spec.remove(0);
+                let spec_core_idx = sp.core - 1;
+                let outcome = self.check_and_recover(
+                    sp,
+                    &mut main,
+                    &mut main_core,
+                    &spec_cores[spec_core_idx].engine,
+                    &mut cache,
+                    &mut mem,
+                    &mut tracker,
+                    &mut per_loop,
+                    &mut per_core,
+                    &mut steps,
+                    max_steps,
+                    &mut fast_commits,
+                    &mut replays,
+                    &mut divergence_kills,
+                    &mut spec_checked,
+                    &mut spec_misspec,
+                    !spec.is_empty(),
+                    sink,
+                );
+                match outcome {
+                    Recovered::FastCommit(effects) => {
+                        if let Some(fx) = effects {
+                            // The committed thread's stores just became
+                            // architectural: any downstream thread that
+                            // speculatively loaded one of those words read
+                            // a stale value.
+                            for sp2 in spec.iter_mut() {
+                                for &a in &fx.drained_addrs {
+                                    if sp2.lab.contains(&a) {
+                                        sp2.violated_addrs.insert(a);
+                                    }
+                                }
+                                if cfg.reg_check == RegCheckPolicy::MarkBased {
+                                    // Conservative: every register the
+                                    // committed thread wrote counts as a
+                                    // post-fork write for its successors.
+                                    sp2.post_fork_writes.extend(fx.written.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                    Recovered::Rollback => {
+                        kill_all_threads(
+                            &mut spec,
+                            main_core.engine.cycle(),
+                            &mut kills,
+                            &mut spec_discarded,
+                            &mut per_loop,
+                            &mut per_core,
+                            sink,
+                        );
+                    }
                 }
+                continue 'outer;
             }
 
             // Main pipeline executes one step.
             let Some(ev) = main.step(&mut mem) else { break };
             steps += 1;
-            let before = main_eng.cycle();
-            let before_bd = main_eng.breakdown();
-            main_eng.issue(&ev, &mut cache, cfg);
-            tracker.observe(&ev, main_eng.cycle() - before);
-            if sink.enabled() {
-                note_stall(
-                    sink,
-                    Pipe::Main,
-                    &mut main_stall,
-                    before_bd,
-                    main_eng.breakdown(),
-                    main_eng.cycle(),
-                );
-            }
+            main_core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
 
             // Fork?
             if let Some(start) = ev.fork {
-                if spec.is_none() {
+                if spec.is_empty() {
                     forks += 1;
                     let func = ev.kind.func();
                     let loop_idx = self.annots.by_fork_start(func, start).or_else(|| {
@@ -378,7 +532,7 @@ impl<'p> SptSim<'p> {
                     }
                     if sink.enabled() {
                         sink.emit(
-                            main_eng.cycle(),
+                            main_core.engine.cycle(),
                             TraceEvent::Fork {
                                 loop_id: loop_idx,
                                 func,
@@ -389,11 +543,15 @@ impl<'p> SptSim<'p> {
                     let fork_level = main.depth() - 1;
                     let cursor = main.fork_speculative(start);
                     let fork_regs = main.regs_at(fork_level).to_vec();
-                    // RF copy overhead: speculative pipeline starts after it.
-                    spec_eng.advance_to(main_eng.cycle() + cfg.rf_copy_overhead);
-                    spec_eng.reset_context(main_eng.cycle() + cfg.rf_copy_overhead);
-                    spec = Some(SpecState {
+                    // All ring cores are free: the thread goes to core 1.
+                    // RF copy overhead: the pipeline starts after it.
+                    let t = main_core.engine.cycle() + cfg.rf_copy_overhead;
+                    spec_cores[0].engine.advance_to(t);
+                    spec_cores[0].engine.reset_context(t);
+                    per_core[1].threads += 1;
+                    spec.push(SpecState {
                         cursor,
+                        core: 1,
                         ssb: Ssb::new(),
                         lab: HashSet::new(),
                         srb: Vec::new(),
@@ -407,13 +565,13 @@ impl<'p> SptSim<'p> {
                         start_pos: self.position_of(func, start),
                         stalled: false,
                         loop_idx,
-                        fork_cycle: main_eng.cycle(),
+                        fork_cycle: main_core.engine.cycle(),
                     });
                 } else {
                     forks_ignored += 1;
                     if sink.enabled() {
                         sink.emit(
-                            main_eng.cycle(),
+                            main_core.engine.cycle(),
                             TraceEvent::ForkIgnored {
                                 func: ev.kind.func(),
                                 start_block: start,
@@ -426,70 +584,61 @@ impl<'p> SptSim<'p> {
 
             // Kill?
             if ev.kill {
-                if let Some(sp) = spec.take() {
-                    kills += 1;
-                    spec_discarded += sp.srb.len() as u64;
-                    if let Some(li) = sp.loop_idx {
-                        per_loop[li].kills += 1;
-                    }
-                    if sink.enabled() {
-                        sink.emit(
-                            main_eng.cycle(),
-                            TraceEvent::Kill {
-                                loop_id: sp.loop_idx,
-                                fork_cycle: sp.fork_cycle,
-                                srb_len: sp.srb.len(),
-                            },
-                        );
-                    }
-                }
+                kill_all_threads(
+                    &mut spec,
+                    main_core.engine.cycle(),
+                    &mut kills,
+                    &mut spec_discarded,
+                    &mut per_loop,
+                    &mut per_core,
+                    sink,
+                );
                 continue 'outer;
             }
 
-            // Track main post-fork register writes and store-address checks.
-            if let Some(sp) = spec.as_mut() {
-                if let Some(dst) = ev.dst {
-                    if ev.dst_depth() as usize == sp.fork_level {
-                        sp.post_fork_writes.insert(dst.0);
+            // Track main post-fork register writes and store-address checks
+            // against every live thread.
+            if !spec.is_empty() {
+                for sp in spec.iter_mut() {
+                    if let Some(dst) = ev.dst {
+                        if ev.dst_depth() as usize == sp.fork_level {
+                            sp.post_fork_writes.insert(dst.0);
+                        }
+                    }
+                    if let Some(m) = ev.mem {
+                        if m.is_store && ev.executed && sp.lab.contains(&m.addr) {
+                            sp.violated_addrs.insert(m.addr);
+                        }
                     }
                 }
-                if let Some(m) = ev.mem {
-                    if m.is_store && ev.executed && sp.lab.contains(&m.addr) {
-                        sp.violated_addrs.insert(m.addr);
-                    }
-                }
-                // Safety: main left the fork frame without a kill.
-                if main.depth() < sp.start_depth {
-                    let sp = spec.take().expect("present");
-                    kills += 1;
-                    spec_discarded += sp.srb.len() as u64;
-                    if let Some(li) = sp.loop_idx {
-                        per_loop[li].kills += 1;
-                    }
-                    if sink.enabled() {
-                        sink.emit(
-                            main_eng.cycle(),
-                            TraceEvent::Kill {
-                                loop_id: sp.loop_idx,
-                                fork_cycle: sp.fork_cycle,
-                                srb_len: sp.srb.len(),
-                            },
-                        );
-                    }
+                // Safety: main left the fork frame without a kill. All ring
+                // threads speculate iterations of the same loop frame, so
+                // all of them are dead.
+                if main.depth() < spec[0].start_depth {
+                    kill_all_threads(
+                        &mut spec,
+                        main_core.engine.cycle(),
+                        &mut kills,
+                        &mut spec_discarded,
+                        &mut per_loop,
+                        &mut per_core,
+                        sink,
+                    );
                 }
             }
         }
 
         // Fold tracker cycles into per-loop stats.
-        for (i, pl) in per_loop.iter_mut().enumerate() {
-            pl.cycles = tracker.cycles()[i];
-            pl.instrs = tracker.instrs()[i];
+        tracker.fold_into(&mut per_loop);
+        per_core[0].instrs = main_core.engine.instrs();
+        for (i, core) in spec_cores.iter().enumerate() {
+            per_core[i + 1].instrs = core.engine.instrs();
         }
 
         let report = SptReport {
-            cycles: main_eng.cycle() + 1,
-            instrs: main_eng.instrs(),
-            breakdown: main_eng.breakdown(),
+            cycles: main_core.engine.cycle() + 1,
+            instrs: main_core.engine.instrs(),
+            breakdown: main_core.engine.breakdown(),
             cache: cache.stats(),
             forks,
             forks_ignored,
@@ -499,11 +648,12 @@ impl<'p> SptSim<'p> {
             divergence_kills,
             spec_instrs_checked: spec_checked,
             spec_instrs_discarded: spec_discarded
-                + spec.map_or(0, |s| s.srb.len() as u64),
+                + spec.iter().map(|s| s.srb.len() as u64).sum::<u64>(),
             spec_misspec,
             per_loop,
-            bp_mispredicts: main_eng.bp_mispredicts(),
-            bp_lookups: main_eng.bp_lookups(),
+            per_core,
+            bp_mispredicts: main_core.engine.bp_mispredicts(),
+            bp_lookups: main_core.engine.bp_lookups(),
             ret: main.return_value(),
             steps,
             out_of_fuel: !main.is_halted() && steps >= max_steps,
@@ -511,30 +661,29 @@ impl<'p> SptSim<'p> {
         (report, mem)
     }
 
-    /// One speculative-pipeline step.
+    /// One speculative-pipeline step. Returns the fork request (`spt_fork`
+    /// function and start block) if this step executed one.
     fn step_spec(
         prog: &Program,
         sp: &mut SpecState<'_>,
-        spec_eng: &mut Engine,
+        core: &mut PipelineCore,
         cache: &mut CacheSim,
         mem: &mut Memory,
         cfg: &MachineConfig,
-    ) {
+    ) -> Option<(FuncId, BlockId)> {
         let mut view = SpecMem {
             ssb: &mut sp.ssb,
             base: mem,
         };
         let Some(ev) = sp.cursor.step(&mut view) else {
             sp.stalled = true;
-            return;
+            return None;
         };
 
         // Precise live-in tracking at the fork level.
         if ev.depth as usize == sp.fork_level {
             let srcs: Vec<Reg> = match ev.kind {
-                EvKind::Inst { func, sref } => {
-                    prog.func(func).inst(sref).srcs_with_guard()
-                }
+                EvKind::Inst { func, sref } => prog.func(func).inst(sref).srcs_with_guard(),
                 EvKind::Term { func, block } => match &prog.func(func).block(block).term {
                     Terminator::Br { cond, .. } => vec![*cond],
                     Terminator::Ret(Some(r)) => vec![*r],
@@ -569,8 +718,9 @@ impl<'p> SptSim<'p> {
                 timing_ev.mem = None;
             }
         }
-        spec_eng.issue(&timing_ev, cache, cfg);
+        core.issue(&timing_ev, cache, cfg);
 
+        let fork_req = ev.fork.map(|start| (ev.kind.func(), start));
         sp.srb.push(ev);
         if sp.srb.len() >= cfg.srb_entries {
             sp.stalled = true;
@@ -583,21 +733,23 @@ impl<'p> SptSim<'p> {
         if sp.cursor.is_halted() {
             sp.stalled = true;
         }
+        fork_req
     }
 
     /// Dependence check at the start-point, then fast commit / replay /
-    /// squash.
+    /// squash according to the configured recovery policy.
     #[allow(clippy::too_many_arguments)]
     fn check_and_recover(
         &self,
         mut sp: SpecState<'p>,
         main: &mut Cursor<'p>,
-        main_eng: &mut Engine,
+        main_core: &mut PipelineCore,
         spec_eng: &Engine,
         cache: &mut CacheSim,
         mem: &mut Memory,
         tracker: &mut LoopCycleTracker,
         per_loop: &mut [PerLoopStats],
+        per_core: &mut [PerCoreStats],
         steps: &mut u64,
         max_steps: u64,
         fast_commits: &mut u64,
@@ -605,10 +757,12 @@ impl<'p> SptSim<'p> {
         divergence_kills: &mut u64,
         spec_checked: &mut u64,
         spec_misspec: &mut u64,
+        want_effects: bool,
         sink: &mut dyn TraceSink,
-    ) {
+    ) -> Recovered {
         let cfg = &self.cfg;
-        let check_cycle = main_eng.cycle();
+        let policy = policy_for(cfg.recovery);
+        let check_cycle = main_core.engine.cycle();
         *spec_checked += sp.srb.len() as u64;
         if let Some(li) = sp.loop_idx {
             per_loop[li].spec_instrs += sp.srb.len() as u64;
@@ -632,13 +786,27 @@ impl<'p> SptSim<'p> {
         };
         let violated = !violated_regs.is_empty() || !sp.violated_addrs.is_empty();
 
-        if !violated && cfg.recovery != RecoveryPolicy::SrxOnly {
+        if !violated && policy.allows_fast_commit() {
             // Fast commit: adopt the speculative context wholesale.
-            let t = main_eng.cycle().max(spec_eng.cycle()) + cfg.fast_commit_overhead;
-            let before = main_eng.cycle();
-            main_eng.advance_to(t);
-            main_eng.reset_context(t);
-            tracker.attribute_extra(main_eng.cycle() - before);
+            let t = main_core.engine.cycle().max(spec_eng.cycle()) + cfg.fast_commit_overhead;
+            let before = main_core.engine.cycle();
+            main_core.engine.advance_to(t);
+            main_core.engine.reset_context(t);
+            tracker.attribute_extra(main_core.engine.cycle() - before);
+            let effects = if want_effects {
+                let mut written: Vec<u32> = sp
+                    .spec_written
+                    .union(&sp.post_fork_writes)
+                    .copied()
+                    .collect();
+                written.sort_unstable();
+                Some(CommitEffects {
+                    drained_addrs: sp.ssb.addrs().collect(),
+                    written,
+                })
+            } else {
+                None
+            };
             sp.ssb.drain_to(mem);
             // Commit the speculative context. The register copy-back is a
             // *merge* at the fork-level frame: registers the speculative
@@ -660,9 +828,10 @@ impl<'p> SptSim<'p> {
             if let Some(li) = sp.loop_idx {
                 per_loop[li].fast_commits += 1;
             }
+            per_core[sp.core].fast_commits += 1;
             if sink.enabled() {
                 sink.emit(
-                    main_eng.cycle(),
+                    main_core.engine.cycle(),
                     TraceEvent::FastCommit {
                         loop_id: sp.loop_idx,
                         fork_cycle: sp.fork_cycle,
@@ -670,18 +839,21 @@ impl<'p> SptSim<'p> {
                     },
                 );
             }
-            return;
+            return Recovered::FastCommit(effects);
         }
 
-        if violated && cfg.recovery == RecoveryPolicy::Squash {
+        if violated && policy.squash_on_violation() {
             // Trash all speculative results; main re-executes normally.
             // Tearing down the speculative thread costs the same minimum
             // thread-management overhead as any other end-of-speculation
             // action.
-            main_eng.advance_to(main_eng.cycle() + cfg.fast_commit_overhead);
+            main_core
+                .engine
+                .advance_to(main_core.engine.cycle() + cfg.fast_commit_overhead);
             if let Some(li) = sp.loop_idx {
                 per_loop[li].kills += 1;
             }
+            per_core[sp.core].kills += 1;
             // Everything in the SRB was wasted.
             *spec_misspec += sp.srb.len() as u64;
             if let Some(li) = sp.loop_idx {
@@ -689,7 +861,7 @@ impl<'p> SptSim<'p> {
             }
             if sink.enabled() {
                 sink.emit(
-                    main_eng.cycle(),
+                    main_core.engine.cycle(),
                     TraceEvent::Squash {
                         loop_id: sp.loop_idx,
                         fork_cycle: sp.fork_cycle,
@@ -697,7 +869,7 @@ impl<'p> SptSim<'p> {
                     },
                 );
             }
-            return;
+            return Recovered::Rollback;
         }
 
         // Replay with selective re-execution. Switching the main pipeline
@@ -708,8 +880,11 @@ impl<'p> SptSim<'p> {
         if let Some(li) = sp.loop_idx {
             per_loop[li].replays += 1;
         }
-        main_eng.advance_to(main_eng.cycle() + cfg.fast_commit_overhead);
-        main_eng.set_width(cfg.replay_width);
+        per_core[sp.core].replays += 1;
+        main_core
+            .engine
+            .advance_to(main_core.engine.cycle() + cfg.fast_commit_overhead);
+        main_core.engine.set_width(cfg.replay_width);
 
         // Sorted violation lists for the trace (the sets drive recovery;
         // the trace needs a deterministic order).
@@ -743,9 +918,10 @@ impl<'p> SptSim<'p> {
                 if let Some(li) = sp.loop_idx {
                     per_loop[li].kills += 1;
                 }
+                per_core[sp.core].kills += 1;
                 if sink.enabled() {
                     sink.emit(
-                        main_eng.cycle(),
+                        main_core.engine.cycle(),
                         TraceEvent::DivergenceKill {
                             loop_id: sp.loop_idx,
                             committed: processed,
@@ -775,19 +951,19 @@ impl<'p> SptSim<'p> {
             }
 
             // Timing: commit correct results directly; re-execute the rest.
-            let before = main_eng.cycle();
-            if missp {
-                main_eng.issue(&cev, cache, cfg);
+            let delta = if missp {
+                let d = main_core.issue(&cev, cache, cfg);
                 *spec_misspec += 1;
                 reexec_n += 1;
                 if let Some(li) = sp.loop_idx {
                     per_loop[li].spec_misspec += 1;
                 }
+                d
             } else {
-                main_eng.commit_slot(&cev);
                 committed_n += 1;
-            }
-            tracker.observe(&cev, main_eng.cycle() - before);
+                main_core.commit_slot(&cev)
+            };
+            tracker.observe(&cev, delta);
 
             // Propagate "updated" marks.
             if let Some(dst) = cev.dst {
@@ -825,10 +1001,10 @@ impl<'p> SptSim<'p> {
             }
         }
 
-        main_eng.set_width(cfg.issue_width);
+        main_core.engine.set_width(cfg.issue_width);
         if sink.enabled() {
             sink.emit(
-                main_eng.cycle(),
+                main_core.engine.cycle(),
                 TraceEvent::Replay {
                     loop_id: sp.loop_idx,
                     fork_cycle: sp.fork_cycle,
@@ -843,6 +1019,7 @@ impl<'p> SptSim<'p> {
         }
         // SSB is discarded: replay wrote corrected values to memory
         // directly.
+        Recovered::Rollback
     }
 }
 
@@ -852,6 +1029,7 @@ mod tests {
     use crate::baseline::simulate_baseline;
     use crate::metrics::LoopAnnot;
     use spt_interp::run;
+    use spt_mach::RecoveryKind;
     use spt_sir::{BinOp, ProgramBuilder};
 
     const FUEL: u64 = 5_000_000;
@@ -947,6 +1125,13 @@ mod tests {
             }],
         };
         (prog, annots)
+    }
+
+    fn cfg_with_cores(cores: usize) -> MachineConfig {
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        }
     }
 
     #[test]
@@ -1092,7 +1277,7 @@ mod tests {
     fn squash_policy_still_correct_but_slower_than_srx() {
         let (prog, annots) = serial_loop(80, 6);
         let mut cfg_squash = MachineConfig::default();
-        cfg_squash.recovery = RecoveryPolicy::Squash;
+        cfg_squash.recovery = RecoveryKind::Squash;
         let rep_sq = SptSim::new(&prog, cfg_squash, annots.clone()).run(FUEL);
         let rep_srx = SptSim::new(&prog, MachineConfig::default(), annots).run(FUEL);
         assert_eq!(rep_sq.ret, rep_srx.ret);
@@ -1108,7 +1293,7 @@ mod tests {
     fn srx_only_policy_replays_everything() {
         let (prog, annots) = parallel_loop(30, 4);
         let mut cfg = MachineConfig::default();
-        cfg.recovery = RecoveryPolicy::SrxOnly;
+        cfg.recovery = RecoveryKind::SrxOnly;
         let rep = SptSim::new(&prog, cfg, annots).run(FUEL);
         assert_eq!(rep.fast_commits, 0);
         assert!(rep.replays > 0);
@@ -1232,5 +1417,168 @@ mod tests {
         assert_eq!(rep.per_loop.len(), 1);
         assert!(rep.per_loop[0].forks > 0);
         assert!(rep.per_loop[0].cycles > 0);
+    }
+
+    // ---- N-core fabric -----------------------------------------------------
+
+    #[test]
+    fn fabric_preserves_semantics_at_any_core_count() {
+        let (prog, annots) = parallel_loop(50, 8);
+        let (seq, seq_mem) = run(&prog, FUEL);
+        for cores in [2usize, 3, 4, 8] {
+            let sim = SptSim::new(&prog, cfg_with_cores(cores), annots.clone());
+            let (rep, mem) = sim.run_with_memory(FUEL);
+            assert!(!rep.out_of_fuel, "cores={cores}");
+            assert_eq!(rep.ret, seq.ret, "cores={cores}");
+            for a in 0..54 {
+                assert_eq!(mem.peek(a), seq_mem.peek(a), "cores={cores} addr={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_preserves_semantics_serial_loop_at_n4() {
+        // Every iteration violates; replays roll back all ring successors.
+        let (prog, annots) = serial_loop(60, 6);
+        let rep = SptSim::new(&prog, cfg_with_cores(4), annots).run(FUEL);
+        assert_eq!(rep.ret, Some(1 + 60 * 6));
+        assert!(rep.replays > 0);
+    }
+
+    #[test]
+    fn more_cores_do_not_degrade_parallel_loop() {
+        let (prog, annots) = parallel_loop(200, 16);
+        let rep2 = SptSim::new(&prog, cfg_with_cores(2), annots.clone()).run(FUEL);
+        let rep4 = SptSim::new(&prog, cfg_with_cores(4), annots.clone()).run(FUEL);
+        let rep8 = SptSim::new(&prog, cfg_with_cores(8), annots).run(FUEL);
+        assert_eq!(rep2.ret, rep4.ret);
+        assert_eq!(rep2.ret, rep8.ret);
+        assert!(
+            rep4.cycles <= rep2.cycles,
+            "N=4 ({}) must not be slower than N=2 ({})",
+            rep4.cycles,
+            rep2.cycles
+        );
+        assert!(
+            rep8.cycles <= rep4.cycles,
+            "N=8 ({}) must not be slower than N=4 ({})",
+            rep8.cycles,
+            rep4.cycles
+        );
+        // Ring forks actually happened.
+        assert!(rep4.forks > rep2.forks || rep4.fast_commits > rep2.fast_commits);
+    }
+
+    #[test]
+    fn ring_forks_traced_and_fold_oracle_holds_at_n4() {
+        let (prog, annots) = parallel_loop(80, 8);
+        let sim = SptSim::new(&prog, cfg_with_cores(4), annots);
+        let mut sink = spt_trace::RingBufferSink::unbounded();
+        let rep = sim.run_traced(FUEL, &mut sink);
+        let ring_forks = sink
+            .records()
+            .filter(|r| matches!(r.ev, TraceEvent::RingFork { .. }))
+            .count();
+        assert!(ring_forks > 0, "N=4 parallel loop must ring-fork");
+        // Every RingFork names a valid speculative core.
+        for r in sink.records() {
+            if let TraceEvent::RingFork { core, .. } = r.ev {
+                assert!((1..4).contains(&core));
+            }
+        }
+        // The fold-vs-report oracle holds with ring forks in the stream.
+        let fold = spt_trace::fold(sink.records());
+        assert_eq!(fold.forks, rep.forks);
+        assert_eq!(fold.fast_commits, rep.fast_commits);
+        assert_eq!(fold.replays, rep.replays);
+        assert_eq!(fold.kills, rep.kills);
+    }
+
+    #[test]
+    fn per_core_stats_populated() {
+        let (prog, annots) = parallel_loop(50, 8);
+        let rep2 = SptSim::new(&prog, cfg_with_cores(2), annots.clone()).run(FUEL);
+        assert_eq!(rep2.per_core.len(), 2);
+        assert_eq!(rep2.per_core[0].core, 0);
+        assert_eq!(rep2.per_core[0].instrs, rep2.instrs);
+        assert_eq!(rep2.per_core[0].threads, 0);
+        assert_eq!(rep2.per_core[1].threads, rep2.forks);
+        assert_eq!(rep2.per_core[1].fast_commits, rep2.fast_commits);
+        assert!(rep2.per_core[1].instrs > 0);
+        assert!(rep2.spec_core_instr_share() > 0.0);
+
+        let rep4 = SptSim::new(&prog, cfg_with_cores(4), annots).run(FUEL);
+        assert_eq!(rep4.per_core.len(), 4);
+        let threads: u64 = rep4.per_core.iter().map(|c| c.threads).sum();
+        assert_eq!(threads, rep4.forks);
+        let outcomes: u64 = rep4
+            .per_core
+            .iter()
+            .map(|c| c.fast_commits + c.replays + c.kills)
+            .sum();
+        // Every spawned thread is resolved exactly once (commit, replay,
+        // squash, divergence, or kill).
+        assert_eq!(outcomes, rep4.fast_commits + rep4.replays + rep4.kills);
+    }
+
+    #[test]
+    fn mark_based_checking_stays_correct_at_n4() {
+        let (prog, annots) = parallel_loop(40, 6);
+        let mut cfg = cfg_with_cores(4);
+        cfg.reg_check = RegCheckPolicy::MarkBased;
+        let rep = SptSim::new(&prog, cfg, annots).run(FUEL);
+        assert_eq!(rep.ret, Some(40));
+    }
+
+    #[test]
+    fn cross_thread_memory_dependence_detected_at_n4() {
+        // Same chained-store loop as memory_violation_detected_and_repaired:
+        // with 4 cores, downstream ring threads load words their
+        // predecessors store, exercising the drained-SSB vs LAB check.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, 40);
+        f.jmp(body);
+        f.switch_to(body);
+        let cur = f.reg();
+        f.mov(cur, i);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        let v = f.reg();
+        f.load(v, cur, 0);
+        let t = f.reg();
+        let one = f.const_reg(1);
+        f.bin(BinOp::Add, t, v, one);
+        f.store(t, cur, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        let out = f.reg();
+        let base40 = f.const_reg(40);
+        f.load(out, base40, 0);
+        f.ret(Some(out));
+        let id = f.finish();
+        let prog = pb.finish(id, 64);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        let rep = SptSim::new(&prog, cfg_with_cores(4), annots).run(FUEL);
+        assert_eq!(
+            rep.ret,
+            Some(40),
+            "cross-thread memory dependence must be honored"
+        );
     }
 }

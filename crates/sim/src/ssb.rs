@@ -47,6 +47,13 @@ impl Ssb {
         self.log.is_empty()
     }
 
+    /// Addresses of all outstanding stores, in program order (with
+    /// duplicates). The N-core fabric checks these against downstream
+    /// threads' load-address buffers when a thread's stores commit.
+    pub fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.log.iter().map(|&(a, _)| a)
+    }
+
     /// Write all outstanding stores back to memory in program order.
     pub fn drain_to(&mut self, mem: &mut Memory) {
         for &(addr, val) in &self.log {
@@ -127,6 +134,15 @@ mod tests {
         assert_eq!(mem.peek(4), 2);
         assert!(ssb.is_empty());
         assert!(!ssb.contains(2));
+    }
+
+    #[test]
+    fn addrs_lists_program_order_with_duplicates() {
+        let mut ssb = Ssb::new();
+        ssb.store(2, 1);
+        ssb.store(4, 2);
+        ssb.store(2, 3);
+        assert_eq!(ssb.addrs().collect::<Vec<_>>(), vec![2, 4, 2]);
     }
 
     #[test]

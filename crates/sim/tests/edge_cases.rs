@@ -60,7 +60,10 @@ fn double_fork_ignored() {
     let id = f.finish();
     let prog = pb.finish(id, 32);
     let rep = check(&prog);
-    assert!(rep.forks_ignored > 0, "second fork must be counted as ignored");
+    assert!(
+        rep.forks_ignored > 0,
+        "second fork must be counted as ignored"
+    );
 }
 
 /// `spt_kill` with no speculative thread active is a harmless no-op.

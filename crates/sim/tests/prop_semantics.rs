@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use spt_interp::run;
-use spt_mach::{MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_mach::{MachineConfig, RecoveryKind, RegCheckPolicy};
 use spt_sim::{LoopAnnot, LoopAnnotations, SptSim};
 use spt_sir::{BinOp, BlockId, Program, ProgramBuilder, Reg};
 
@@ -23,20 +23,45 @@ const MEM: usize = 32;
 /// One random statement of the loop body.
 #[derive(Clone, Debug)]
 enum Stmt {
-    Alu { op: u8, dst: u8, a: u8, b: u8 },
-    Load { dst: u8, base: u8, off: u8 },
-    Store { src: u8, base: u8, off: u8 },
-    GuardedAlu { g: u8, op: u8, dst: u8, a: u8, b: u8 },
+    Alu {
+        op: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Load {
+        dst: u8,
+        base: u8,
+        off: u8,
+    },
+    Store {
+        src: u8,
+        base: u8,
+        off: u8,
+    },
+    GuardedAlu {
+        g: u8,
+        op: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
 }
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     prop_oneof![
         (0..6u8, 0..N_REGS as u8, 0..N_REGS as u8, 0..N_REGS as u8)
             .prop_map(|(op, dst, a, b)| Stmt::Alu { op, dst, a, b }),
-        (0..N_REGS as u8, 0..N_REGS as u8, 0..8u8)
-            .prop_map(|(dst, base, off)| Stmt::Load { dst, base, off }),
-        (0..N_REGS as u8, 0..N_REGS as u8, 0..8u8)
-            .prop_map(|(src, base, off)| Stmt::Store { src, base, off }),
+        (0..N_REGS as u8, 0..N_REGS as u8, 0..8u8).prop_map(|(dst, base, off)| Stmt::Load {
+            dst,
+            base,
+            off
+        }),
+        (0..N_REGS as u8, 0..N_REGS as u8, 0..8u8).prop_map(|(src, base, off)| Stmt::Store {
+            src,
+            base,
+            off
+        }),
         (
             0..N_REGS as u8,
             0..6u8,
@@ -187,7 +212,7 @@ proptest! {
         let prog = build(&body, trip, fork_at, &[3, -1]);
         let (seq, _) = run(&prog, FUEL);
         prop_assume!(!seq.out_of_fuel);
-        for rec in [RecoveryPolicy::SrxFc, RecoveryPolicy::SrxOnly, RecoveryPolicy::Squash] {
+        for rec in [RecoveryKind::SrxFc, RecoveryKind::SrxOnly, RecoveryKind::Squash] {
             for chk in [RegCheckPolicy::ValueBased, RegCheckPolicy::MarkBased] {
                 let mut m = MachineConfig::default();
                 m.recovery = rec;
@@ -215,6 +240,38 @@ proptest! {
         let (got, oof) = spt_result(&prog, m);
         prop_assert!(!oof);
         prop_assert_eq!(got, seq.ret);
+    }
+
+    /// Widening the fabric never changes architectural state: for any
+    /// body/fork placement and N ∈ {2, 4, 8}, the final memory image and
+    /// return value match the sequential interpretation word for word.
+    #[test]
+    fn fabric_width_preserves_memory(
+        body in prop::collection::vec(stmt_strategy(), 1..10),
+        trip in 1..10u8,
+        fork_at in 0..10usize,
+    ) {
+        let prog = build(&body, trip, fork_at, &[3, -1]);
+        let (seq, seq_mem) = run(&prog, FUEL);
+        prop_assume!(!seq.out_of_fuel);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: prog.entry,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        for cores in [2usize, 4, 8] {
+            let mut m = MachineConfig::default();
+            m.cores = cores;
+            let (rep, mem) = SptSim::new(&prog, m, annots.clone()).run_with_memory(FUEL);
+            prop_assert!(!rep.out_of_fuel, "cores={}", cores);
+            prop_assert_eq!(rep.ret, seq.ret, "cores={}", cores);
+            for a in 0..MEM as u64 {
+                prop_assert_eq!(mem.peek(a), seq_mem.peek(a), "cores={} addr={}", cores, a);
+            }
+        }
     }
 
     /// The report's invariants hold on arbitrary runs.

@@ -177,10 +177,7 @@ mod tests {
 
     #[test]
     fn successors() {
-        assert_eq!(
-            Terminator::Jmp(BlockId(3)).successors(),
-            vec![BlockId(3)]
-        );
+        assert_eq!(Terminator::Jmp(BlockId(3)).successors(), vec![BlockId(3)]);
         let br = Terminator::Br {
             cond: Reg(0),
             taken: BlockId(1),

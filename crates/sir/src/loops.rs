@@ -300,10 +300,7 @@ mod tests {
         assert_eq!(outer.parent, None);
         assert_eq!(inner.depth, 2);
         assert_eq!(outer.depth, 1);
-        assert_eq!(
-            outer.blocks,
-            vec![BlockId(1), BlockId(2), BlockId(3)]
-        );
+        assert_eq!(outer.blocks, vec![BlockId(1), BlockId(2), BlockId(3)]);
         assert_eq!(forest.innermost_loops(), vec![inner.id]);
         assert_eq!(forest.innermost_at(BlockId(2)), Some(inner.id));
         assert_eq!(forest.innermost_at(BlockId(3)), Some(outer.id));

@@ -112,10 +112,7 @@ mod tests {
         assert_eq!(g.to_string(), "(!r3) store [r0-2] = r1");
 
         assert_eq!(
-            Inst::new(Op::SptFork {
-                start: BlockId(4)
-            })
-            .to_string(),
+            Inst::new(Op::SptFork { start: BlockId(4) }).to_string(),
             "spt_fork bb4"
         );
         assert_eq!(Inst::new(Op::SptKill).to_string(), "spt_kill");

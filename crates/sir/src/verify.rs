@@ -9,13 +9,39 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerifyError {
     BadEntryFunc(FuncId),
-    BadEntryBlock { func: String, entry: BlockId },
-    BadBlockTarget { func: String, from: BlockId, to: BlockId },
-    BadReg { func: String, block: BlockId, reg: Reg },
-    BadCallee { func: String, callee: FuncId },
-    CallArity { func: String, callee: String, expect: u32, got: usize },
-    BadForkTarget { func: String, block: BlockId, start: BlockId },
-    DataOutOfRange { addr: u64, mem_words: usize },
+    BadEntryBlock {
+        func: String,
+        entry: BlockId,
+    },
+    BadBlockTarget {
+        func: String,
+        from: BlockId,
+        to: BlockId,
+    },
+    BadReg {
+        func: String,
+        block: BlockId,
+        reg: Reg,
+    },
+    BadCallee {
+        func: String,
+        callee: FuncId,
+    },
+    CallArity {
+        func: String,
+        callee: String,
+        expect: u32,
+        got: usize,
+    },
+    BadForkTarget {
+        func: String,
+        block: BlockId,
+        start: BlockId,
+    },
+    DataOutOfRange {
+        addr: u64,
+        mem_words: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -44,10 +70,16 @@ impl fmt::Display for VerifyError {
                 "{func}: call to {callee} with {got} args, expected {expect}"
             ),
             VerifyError::BadForkTarget { func, block, start } => {
-                write!(f, "{func}: spt_fork in {block} targets nonexistent block {start}")
+                write!(
+                    f,
+                    "{func}: spt_fork in {block} targets nonexistent block {start}"
+                )
             }
             VerifyError::DataOutOfRange { addr, mem_words } => {
-                write!(f, "initial datum at word {addr} outside memory of {mem_words} words")
+                write!(
+                    f,
+                    "initial datum at word {addr} outside memory of {mem_words} words"
+                )
             }
         }
     }
@@ -126,14 +158,13 @@ impl Program {
                                 });
                             }
                         }
-                        Op::SptFork { start }
-                            if start.index() >= nb => {
-                                return Err(VerifyError::BadForkTarget {
-                                    func: func.name.clone(),
-                                    block: bid,
-                                    start: *start,
-                                });
-                            }
+                        Op::SptFork { start } if start.index() >= nb => {
+                            return Err(VerifyError::BadForkTarget {
+                                func: func.name.clone(),
+                                block: bid,
+                                start: *start,
+                            });
+                        }
                         _ => {}
                     }
                 }
@@ -188,13 +219,11 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let mut p = ok_program();
-        p.funcs[0].blocks[0]
-            .insts
-            .push(Inst::new(Op::Un {
-                op: crate::inst::UnOp::Mov,
-                dst: Reg(0),
-                src: Reg(99),
-            }));
+        p.funcs[0].blocks[0].insts.push(Inst::new(Op::Un {
+            op: crate::inst::UnOp::Mov,
+            dst: Reg(0),
+            src: Reg(99),
+        }));
         assert!(matches!(p.verify(), Err(VerifyError::BadReg { .. })));
     }
 
@@ -238,13 +267,10 @@ mod tests {
     #[test]
     fn rejects_bad_fork_target_and_datum() {
         let mut p = ok_program();
-        p.funcs[0].blocks[0].insts.push(Inst::new(Op::SptFork {
-            start: BlockId(3),
-        }));
-        assert!(matches!(
-            p.verify(),
-            Err(VerifyError::BadForkTarget { .. })
-        ));
+        p.funcs[0].blocks[0]
+            .insts
+            .push(Inst::new(Op::SptFork { start: BlockId(3) }));
+        assert!(matches!(p.verify(), Err(VerifyError::BadForkTarget { .. })));
 
         let mut p = ok_program();
         p.data.push((100, 1));

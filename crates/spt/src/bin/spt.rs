@@ -56,9 +56,9 @@ fn parse_args() -> Args {
             "--recovery" => {
                 i += 1;
                 cfg.machine.recovery = match argv.get(i).map(|s| s.as_str()) {
-                    Some("srxfc") => spt::RecoveryPolicy::SrxFc,
-                    Some("srx") => spt::RecoveryPolicy::SrxOnly,
-                    Some("squash") => spt::RecoveryPolicy::Squash,
+                    Some("srxfc") => spt::RecoveryKind::SrxFc,
+                    Some("srx") => spt::RecoveryKind::SrxOnly,
+                    Some("squash") => spt::RecoveryKind::Squash,
                     _ => usage(),
                 };
             }
@@ -136,7 +136,11 @@ fn main() {
                 .collect();
             println!(
                 "{}",
-                render_table("Machine configuration (Table 1)", &["parameter", "value"], &rows)
+                render_table(
+                    "Machine configuration (Table 1)",
+                    &["parameter", "value"],
+                    &rows
+                )
             );
         }
         "run" => {
@@ -162,14 +166,23 @@ fn main() {
                 "{}",
                 render_table(
                     "SPT evaluation",
-                    &["bench", "speedup", "fast-commit", "misspec", "loops", "forks"],
+                    &[
+                        "bench",
+                        "speedup",
+                        "fast-commit",
+                        "misspec",
+                        "loops",
+                        "forks"
+                    ],
                     &rows
                 )
             );
             println!("average speedup: {avg:.1}%");
         }
         "explain" => {
-            let Some(target) = args.target.clone() else { usage() };
+            let Some(target) = args.target.clone() else {
+                usage()
+            };
             if !BENCHMARK_NAMES.contains(&target.as_str()) {
                 usage();
             }
@@ -191,11 +204,7 @@ fn main() {
                 );
             }
             for (k, r) in &res.rejected {
-                println!(
-                    "  rejected {} — {:?}",
-                    w.program.func(k.func).name,
-                    r
-                );
+                println!("  rejected {} — {:?}", w.program.func(k.func).name, r);
             }
         }
         "kernels" => {

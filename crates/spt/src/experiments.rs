@@ -19,7 +19,7 @@ use crate::report::arithmetic_mean;
 use crate::solution::{EvalOutcome, RunConfig};
 use crate::sweep::{BenchRecord, PhaseTimings, RunReport, Sweep};
 use spt_compiler::CompileResult;
-use spt_mach::{MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_mach::{MachineConfig, RecoveryKind, RegCheckPolicy};
 use spt_profile::ProgramProfile;
 use spt_sim::{LoopAnnot, LoopAnnotations};
 use spt_workloads::{benchmark, kernels, suite, Scale, Workload};
@@ -27,6 +27,9 @@ use std::time::Instant;
 
 /// Ablation A1 output: per benchmark, a series of (SRB size, speedup).
 pub type SrbData = Vec<(String, Vec<(usize, f64)>)>;
+
+/// Core-count sweep output: per benchmark, a series of (cores, speedup).
+pub type ScaleData = Vec<(String, Vec<(usize, f64)>)>;
 
 /// Labeled-ablation output: per benchmark, rows of (variant label, speedup).
 pub type LabeledData = Vec<(String, Vec<(String, f64)>)>;
@@ -41,7 +44,15 @@ pub struct Fig6Series {
 
 /// The x-axis buckets of Figure 6 (log scale 1..1e6).
 pub const FIG6_LIMITS: [f64; 9] = [
-    10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+    10.0,
+    30.0,
+    100.0,
+    300.0,
+    1_000.0,
+    3_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
 ];
 
 /// Compute Figure 6 for every suite benchmark.
@@ -270,8 +281,12 @@ impl Sweep {
             let w = &ws[b];
             let (compiled, cstamp, pstamp) = self.compile(&w.program, &cfg.compile);
             let annots = annots_of(&compiled);
-            let (base, bstamp) =
-                self.baseline(&w.program, &cfg.machine, &LoopAnnotations::empty(), cfg.fuel);
+            let (base, bstamp) = self.baseline(
+                &w.program,
+                &cfg.machine,
+                &LoopAnnotations::empty(),
+                cfg.fuel,
+            );
             let mut m = cfg.machine.clone();
             m.srb_entries = s;
             let (rep, sstamp) = self.spt_sim(&compiled.program, &m, &annots, cfg.fuel);
@@ -311,6 +326,76 @@ impl Sweep {
         (data, self.report_since("ablation_srb", t0, before, records))
     }
 
+    /// Core-count scaling sweep (the `fig_scale` experiment): one item per
+    /// (benchmark, core count) pair. The compiler's cost model is told the
+    /// fabric width (its partition search targets the deeper iteration
+    /// pipeline) and the SPT machine gets the matching number of cores; the
+    /// baseline machine stays at the reference configuration so its
+    /// simulation is shared per benchmark through the memo cache.
+    pub fn fig_scale(
+        &self,
+        bench_names: &[&str],
+        core_counts: &[usize],
+        scale: Scale,
+        cfg: &RunConfig,
+    ) -> (ScaleData, RunReport) {
+        let t0 = Instant::now();
+        let before = self.memo_stats();
+        let ws: Vec<Workload> = bench_names.iter().map(|n| benchmark(n, scale)).collect();
+        let items: Vec<(usize, usize)> = (0..ws.len())
+            .flat_map(|b| core_counts.iter().map(move |&n| (b, n)))
+            .collect();
+        let results = self.map(&items, |_, &(b, n)| {
+            let w = &ws[b];
+            let mut copts = cfg.compile.clone();
+            copts.cost.cores = n;
+            let (compiled, cstamp, pstamp) = self.compile(&w.program, &copts);
+            let annots = annots_of(&compiled);
+            let (base, bstamp) = self.baseline(
+                &w.program,
+                &cfg.machine,
+                &LoopAnnotations::empty(),
+                cfg.fuel,
+            );
+            let mut m = cfg.machine.clone();
+            m.cores = n;
+            let (rep, sstamp) = self.spt_sim(&compiled.program, &m, &annots, cfg.fuel);
+            let speedup = base.cycles as f64 / rep.cycles as f64;
+            let record = BenchRecord {
+                name: format!("{}@cores{}", w.name, n),
+                timings: PhaseTimings {
+                    profile_ms: pstamp.ms,
+                    compile_ms: cstamp.ms,
+                    baseline_ms: bstamp.ms,
+                    spt_ms: sstamp.ms,
+                },
+                profile_hit: pstamp.hit,
+                compile_hit: cstamp.hit,
+                baseline_hit: bstamp.hit,
+                spt_hit: sstamp.hit,
+                baseline_cycles: Some(base.cycles),
+                spt_cycles: Some(rep.cycles),
+                speedup: Some(speedup),
+                semantics_ok: None,
+            };
+            (speedup, record)
+        });
+        let (speedups, records) = split(results);
+        let data = bench_names
+            .iter()
+            .enumerate()
+            .map(|(b, name)| {
+                let series = core_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &n)| (n, speedups[b * core_counts.len() + j]))
+                    .collect();
+                (name.to_string(), series)
+            })
+            .collect();
+        (data, self.report_since("fig_scale", t0, before, records))
+    }
+
     /// Ablations A2/A3 across the worker pool: one item per
     /// (benchmark, machine variant) pair.
     pub fn ablation_policies(
@@ -331,8 +416,12 @@ impl Sweep {
             let (label, m) = &variants[v];
             let (compiled, cstamp, pstamp) = self.compile(&w.program, &cfg.compile);
             let annots = annots_of(&compiled);
-            let (base, bstamp) =
-                self.baseline(&w.program, &cfg.machine, &LoopAnnotations::empty(), cfg.fuel);
+            let (base, bstamp) = self.baseline(
+                &w.program,
+                &cfg.machine,
+                &LoopAnnotations::empty(),
+                cfg.fuel,
+            );
             let (rep, sstamp) = self.spt_sim(&compiled.program, m, &annots, cfg.fuel);
             let speedup = base.cycles as f64 / rep.cycles as f64;
             let record = BenchRecord {
@@ -365,7 +454,10 @@ impl Sweep {
                 (name.to_string(), rows)
             })
             .collect();
-        (data, self.report_since("ablation_policies", t0, before, records))
+        (
+            data,
+            self.report_since("ablation_policies", t0, before, records),
+        )
     }
 
     /// Ablation A4 across the worker pool: one item per
@@ -401,7 +493,10 @@ impl Sweep {
                 (name.to_string(), rows)
             })
             .collect();
-        (data, self.report_since("ablation_compiler", t0, before, records))
+        (
+            data,
+            self.report_since("ablation_compiler", t0, before, records),
+        )
     }
 }
 
@@ -410,11 +505,7 @@ pub fn fig8_rows(outcomes: &[EvalOutcome]) -> Vec<Fig8Row> {
         .iter()
         .map(|o| {
             let speedups = o.loop_speedups();
-            let weights: Vec<f64> = o
-                .baseline_loop_cycles
-                .iter()
-                .map(|&c| c as f64)
-                .collect();
+            let weights: Vec<f64> = o.baseline_loop_cycles.iter().map(|&c| c as f64).collect();
             let wsum: f64 = weights.iter().sum();
             let avg = if wsum > 0.0 {
                 speedups
@@ -498,6 +589,18 @@ pub fn ablation_srb(
     Sweep::auto().ablation_srb(bench_names, sizes, scale, cfg).0
 }
 
+/// Core-count scaling sweep over the suite.
+pub fn fig_scale(
+    bench_names: &[&str],
+    core_counts: &[usize],
+    scale: Scale,
+    cfg: &RunConfig,
+) -> ScaleData {
+    Sweep::auto()
+        .fig_scale(bench_names, core_counts, scale, cfg)
+        .0
+}
+
 /// The machine variants of ablations A2/A3 (recovery × register checking).
 fn policy_variants(machine: &MachineConfig) -> Vec<(String, MachineConfig)> {
     vec![
@@ -512,14 +615,14 @@ fn policy_variants(machine: &MachineConfig) -> Vec<(String, MachineConfig)> {
         (
             "SRX only".into(),
             MachineConfig {
-                recovery: RecoveryPolicy::SrxOnly,
+                recovery: RecoveryKind::SrxOnly,
                 ..machine.clone()
             },
         ),
         (
             "Squash".into(),
             MachineConfig {
-                recovery: RecoveryPolicy::Squash,
+                recovery: RecoveryKind::Squash,
                 ..machine.clone()
             },
         ),
@@ -527,11 +630,7 @@ fn policy_variants(machine: &MachineConfig) -> Vec<(String, MachineConfig)> {
 }
 
 /// Ablation A2/A3: recovery mechanism and register checking policy.
-pub fn ablation_policies(
-    bench_names: &[&str],
-    scale: Scale,
-    cfg: &RunConfig,
-) -> LabeledData {
+pub fn ablation_policies(bench_names: &[&str], scale: Scale, cfg: &RunConfig) -> LabeledData {
     Sweep::auto().ablation_policies(bench_names, scale, cfg).0
 }
 
@@ -554,11 +653,7 @@ fn compiler_variants(cfg: &RunConfig) -> Vec<(String, RunConfig)> {
 }
 
 /// Ablation A4: compiler features (no SVP, no unroll, naive partition).
-pub fn ablation_compiler(
-    bench_names: &[&str],
-    scale: Scale,
-    cfg: &RunConfig,
-) -> LabeledData {
+pub fn ablation_compiler(bench_names: &[&str], scale: Scale, cfg: &RunConfig) -> LabeledData {
     Sweep::auto().ablation_compiler(bench_names, scale, cfg).0
 }
 
@@ -638,6 +733,30 @@ mod tests {
         assert!(parsers.spt_coverage <= parsers.max_coverage + 1e-9);
         let vortexs = rows.iter().find(|r| r.name == "vortexs").unwrap();
         assert!(vortexs.max_coverage < 0.5);
+    }
+
+    #[test]
+    fn fig_scale_shares_baseline_and_does_not_degrade() {
+        let sw = Sweep::new(2);
+        let mut cfg = quick_cfg();
+        cfg.fuel = 10_000_000;
+        let (data, report) = sw.fig_scale(&["parsers"], &[2, 4], Scale::Test, &cfg);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].1, {
+            let again = sw.fig_scale(&["parsers"], &[2, 4], Scale::Test, &cfg).0;
+            again[0].1.clone()
+        });
+        // One baseline simulation, shared across the two core counts.
+        assert_eq!(report.cache.baseline_misses, 1);
+        assert_eq!(report.cache.baseline_hits, 1);
+        // Two distinct compiles (the cost model sees the core count) and
+        // two distinct SPT simulations (the machine differs).
+        assert_eq!(report.cache.compile_misses, 2);
+        assert_eq!(report.cache.spt_misses, 2);
+        // Wider fabric must not degrade the loop-dominated parser bench.
+        let (_, s2) = data[0].1[0];
+        let (_, s4) = data[0].1[1];
+        assert!(s4 + 1e-9 >= s2, "cores=4 speedup {s4} < cores=2 {s2}");
     }
 
     #[test]

@@ -252,8 +252,7 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Copy one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.s[self.i..])
-                        .map_err(|e| e.to_string())?;
+                    let rest = std::str::from_utf8(&self.s[self.i..]).map_err(|e| e.to_string())?;
                     let c = rest.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.i += c.len_utf8();
@@ -283,13 +282,17 @@ impl Parser<'_> {
             return Err(format!("expected a value at offset {start}"));
         }
         if is_float {
-            text.parse::<f64>().map(Json::Float).map_err(|e| e.to_string())
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|e| e.to_string())
         } else if let Some(neg) = text.strip_prefix('-') {
             neg.parse::<i64>()
                 .map(|v| Json::Int(-v))
                 .map_err(|e| e.to_string())
         } else {
-            text.parse::<u64>().map(Json::UInt).map_err(|e| e.to_string())
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|e| e.to_string())
         }
     }
 }
@@ -506,6 +509,23 @@ impl ToJson for spt_sim::SptReport {
                         .collect(),
                 ),
             )
+            .with(
+                "per_core",
+                Json::Array(
+                    self.per_core
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .with("core", c.core)
+                                .with("instrs", c.instrs)
+                                .with("threads", c.threads)
+                                .with("fast_commits", c.fast_commits)
+                                .with("replays", c.replays)
+                                .with("kills", c.kills)
+                        })
+                        .collect(),
+                ),
+            )
             .with("bp_mispredicts", self.bp_mispredicts)
             .with("ret", self.ret)
             .with("steps", self.steps)
@@ -542,7 +562,10 @@ impl ToJson for crate::solution::EvalOutcome {
                 ),
             )
             .with("rejected", self.compiled.rejected.len())
-            .with("baseline_loop_cycles", Json::array(self.baseline_loop_cycles.clone()))
+            .with(
+                "baseline_loop_cycles",
+                Json::array(self.baseline_loop_cycles.clone()),
+            )
             .with("speedup", self.speedup())
             .with("semantics_ok", self.semantics_ok())
     }
@@ -619,7 +642,10 @@ mod tests {
     fn parse_accessors() {
         let j = Json::parse("{\"k\":3,\"xs\":[1,2],\"s\":\"v\",\"f\":2.5}").unwrap();
         assert_eq!(j.get("k").and_then(Json::as_u64), Some(3));
-        assert_eq!(j.get("xs").and_then(Json::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(
+            j.get("xs").and_then(Json::as_array).map(|a| a.len()),
+            Some(2)
+        );
         assert_eq!(j.get("s").and_then(Json::as_str), Some("v"));
         assert_eq!(j.get("f").and_then(Json::as_f64), Some(2.5));
         assert!(j.get("missing").is_none());

@@ -50,7 +50,7 @@ pub use spt_trace as tracing;
 // Re-export the component crates under one roof.
 pub use spt_compiler::{self as compiler, CompileOptions};
 pub use spt_interp as interp;
-pub use spt_mach::{self as mach, MachineConfig, RecoveryPolicy, RegCheckPolicy};
+pub use spt_mach::{self as mach, MachineConfig, RecoveryKind, RegCheckPolicy};
 pub use spt_profile as profile;
 pub use spt_sim::{self as sim, BaselineReport, SptReport};
 pub use spt_sir as sir;

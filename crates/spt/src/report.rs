@@ -4,9 +4,7 @@
 //! prints, so the golden-snapshot tests and the binaries cannot drift
 //! apart: both call the same renderer.
 
-use crate::experiments::{
-    fig8_rows, fig9_rows, CaseStudy, Fig6Series, Fig7Row, FIG6_LIMITS,
-};
+use crate::experiments::{fig8_rows, fig9_rows, CaseStudy, Fig6Series, Fig7Row, FIG6_LIMITS};
 use crate::solution::EvalOutcome;
 use spt_mach::MachineConfig;
 use spt_trace::{LoopHistograms, TraceFold};
@@ -115,7 +113,12 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
         .collect();
     let mut s = render_table(
         "Figure 7: SPT loop number and coverage",
-        &["bench", "max loop coverage", "SPT loop coverage", "# SPT loops"],
+        &[
+            "bench",
+            "max loop coverage",
+            "SPT loop coverage",
+            "# SPT loops",
+        ],
         &table,
     );
     let _ = writeln!(
@@ -184,7 +187,13 @@ pub fn render_fig9(outcomes: &[EvalOutcome]) -> String {
         .collect();
     let mut s = render_table(
         "Figure 9: program speedup (breakdown as fraction of baseline time)",
-        &["bench", "speedup", "execution", "pipeline stalls", "dcache stalls"],
+        &[
+            "bench",
+            "speedup",
+            "execution",
+            "pipeline stalls",
+            "dcache stalls",
+        ],
         &table,
     );
     let avg = crate::experiments::average_speedup(outcomes);
@@ -214,7 +223,11 @@ pub fn render_fig1(cs: &CaseStudy) -> String {
         "  perfectly parallel threads:  {:>8}   (paper: ~20%)",
         pct(cs.perfect_ratio)
     );
-    let _ = writeln!(s, "  semantics preserved:         {}", cs.outcome.semantics_ok());
+    let _ = writeln!(
+        s,
+        "  semantics preserved:         {}",
+        cs.outcome.semantics_ok()
+    );
     s
 }
 
@@ -243,7 +256,11 @@ pub fn render_table1(cfg: &MachineConfig) -> String {
         .into_iter()
         .map(|(k, v)| vec![k, v])
         .collect();
-    render_table("Table 1: machine configuration", &["parameter", "value"], &rows)
+    render_table(
+        "Table 1: machine configuration",
+        &["parameter", "value"],
+        &rows,
+    )
 }
 
 /// Ablation A1 block: SRB size sweep.
@@ -262,6 +279,34 @@ pub fn render_ablation_srb(sizes: &[usize], data: &[(String, Vec<(usize, f64)>)]
         s.push('\n');
     }
     s.push_str("(Table 1 default: 1024 entries)\n");
+    s
+}
+
+/// Core-count scaling block: fabric width vs program speedup.
+pub fn render_fig_scale(core_counts: &[usize], data: &[(String, Vec<(usize, f64)>)]) -> String {
+    let mut s = String::from("Core scaling: fabric width vs program speedup\n");
+    let _ = write!(s, "{:<10}", "bench");
+    for &n in core_counts {
+        let _ = write!(s, " {:>8}", format!("{n} cores"));
+    }
+    s.push('\n');
+    for (name, series) in data {
+        let _ = write!(s, "{:<10}", name);
+        for (_, sp) in series {
+            let _ = write!(s, " {:>7.1}%", (sp - 1.0) * 100.0);
+        }
+        s.push('\n');
+    }
+    if !core_counts.is_empty() {
+        let n_bench = data.len().max(1) as f64;
+        let _ = write!(s, "{:<10}", "average");
+        for j in 0..core_counts.len() {
+            let avg: f64 = data.iter().map(|(_, series)| series[j].1).sum::<f64>() / n_bench;
+            let _ = write!(s, " {:>7.1}%", (avg - 1.0) * 100.0);
+        }
+        s.push('\n');
+    }
+    s.push_str("(paper machine: 2 cores; cores 1..N-1 speculate successive iterations)\n");
     s
 }
 
@@ -365,7 +410,10 @@ fn explain_loop(s: &mut String, outcome: &EvalOutcome, l: &LoopHistograms) {
     let mut mems = l.mem_violations.clone();
     mems.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (addr, n) in mems.iter().take(3) {
-        let _ = writeln!(s, "  violating address word[{addr}] x{n}  (main-thread store hit the LAB)");
+        let _ = writeln!(
+            s,
+            "  violating address word[{addr}] x{n}  (main-thread store hit the LAB)"
+        );
     }
     if regs.is_empty() && mems.is_empty() && l.replay_lengths.count == 0 {
         s.push_str("  no misspeculation observed\n");

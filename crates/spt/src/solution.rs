@@ -3,9 +3,7 @@
 use spt_compiler::{compile, CompileOptions, CompileResult};
 use spt_mach::MachineConfig;
 use spt_profile::LoopKey;
-use spt_sim::{
-    simulate_baseline, BaselineReport, LoopAnnot, LoopAnnotations, SptReport, SptSim,
-};
+use spt_sim::{simulate_baseline, BaselineReport, LoopAnnot, LoopAnnotations, SptReport, SptSim};
 use spt_sir::{analyze_loops, Program};
 use spt_workloads::Workload;
 
@@ -172,7 +170,12 @@ mod tests {
     fn array_map_speeds_up_and_preserves_semantics() {
         let prog = array_map(300, 16);
         let out = evaluate_program("array_map", &prog, &cfg());
-        assert!(out.semantics_ok(), "{:?} vs {:?}", out.baseline.ret, out.spt.ret);
+        assert!(
+            out.semantics_ok(),
+            "{:?} vs {:?}",
+            out.baseline.ret,
+            out.spt.ret
+        );
         assert!(!out.spt.out_of_fuel);
         assert_eq!(out.compiled.loops.len(), 1);
         assert!(

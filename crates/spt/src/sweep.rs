@@ -172,7 +172,10 @@ impl ToJson for MemoStats {
         Json::obj()
             .with("profile", pair(self.profile_hits, self.profile_misses))
             .with("compile", pair(self.compile_hits, self.compile_misses))
-            .with("baseline_sim", pair(self.baseline_hits, self.baseline_misses))
+            .with(
+                "baseline_sim",
+                pair(self.baseline_hits, self.baseline_misses),
+            )
             .with("spt_sim", pair(self.spt_hits, self.spt_misses))
     }
 }
@@ -407,7 +410,8 @@ impl Sweep {
     /// Profile a program (memoized on program content + fuel).
     pub fn profile(&self, prog: &Program, fuel: u64) -> (Arc<ProgramProfile>, PhaseStamp) {
         let key = Key(program_fingerprint(prog), fuel, 0, 0);
-        self.profiles.get_or_compute(key, || profile_program(prog, fuel))
+        self.profiles
+            .get_or_compute(key, || profile_program(prog, fuel))
     }
 
     /// Compile a program (memoized on program content + options). The
@@ -472,7 +476,12 @@ impl Sweep {
     /// record. Does **not** assert semantics — callers running inside
     /// worker threads collect outcomes first and assert on their own
     /// thread.
-    pub fn evaluate(&self, name: &str, prog: &Program, cfg: &RunConfig) -> (EvalOutcome, BenchRecord) {
+    pub fn evaluate(
+        &self,
+        name: &str,
+        prog: &Program,
+        cfg: &RunConfig,
+    ) -> (EvalOutcome, BenchRecord) {
         let (compiled, cstamp, pstamp) = self.compile(prog, &cfg.compile);
 
         let base_annots = original_annotations(prog, &compiled);
@@ -548,7 +557,10 @@ mod tests {
         let a = array_map(64, 8);
         let b = array_map(65, 8);
         assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
-        assert_eq!(program_fingerprint(&a), program_fingerprint(&array_map(64, 8)));
+        assert_eq!(
+            program_fingerprint(&a),
+            program_fingerprint(&array_map(64, 8))
+        );
 
         let m1 = MachineConfig::default();
         let mut m2 = MachineConfig::default();

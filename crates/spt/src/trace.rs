@@ -130,7 +130,10 @@ impl ProgramTrace {
             ("baseline", &self.baseline),
             ("spt", &self.spt),
         ] {
-            out.push_str(&format!("{{\"stream\":\"{stream}\",\"events\":{}}}\n", recs.len()));
+            out.push_str(&format!(
+                "{{\"stream\":\"{stream}\",\"events\":{}}}\n",
+                recs.len()
+            ));
             for r in recs {
                 out.push_str(&spt_trace::jsonl(r));
                 out.push('\n');
@@ -172,11 +175,15 @@ fn meta(name: &str, pid: u64, tid: u64, value: &str) -> Json {
 }
 
 fn instant(name: &str, ts: u64, pid: u64, tid: u64, args: Json) -> Json {
-    ev_base(name, "I", ts, pid, tid).with("s", "t").with("args", args)
+    ev_base(name, "I", ts, pid, tid)
+        .with("s", "t")
+        .with("args", args)
 }
 
 fn span(name: &str, ts: u64, dur: u64, pid: u64, tid: u64, args: Json) -> Json {
-    ev_base(name, "X", ts, pid, tid).with("dur", dur).with("args", args)
+    ev_base(name, "X", ts, pid, tid)
+        .with("dur", dur)
+        .with("args", args)
 }
 
 fn counter(name: &str, ts: u64, pid: u64, args: Json) -> Json {
@@ -253,7 +260,9 @@ fn push_sim_events(out: &mut Vec<Json>, recs: &[TraceRecord], pid: u64) {
                 r.cycle,
                 pid,
                 TID_MAIN,
-                Json::obj().with("func", func.0).with("block", start_block.0),
+                Json::obj()
+                    .with("func", func.0)
+                    .with("block", start_block.0),
             )),
             TraceEvent::FastCommit {
                 loop_id,
@@ -294,7 +303,12 @@ fn push_sim_events(out: &mut Vec<Json>, recs: &[TraceRecord], pid: u64) {
                     .with("reexecuted", *reexecuted)
                     .with(
                         "reg_violations",
-                        Json::Array(reg_violations.iter().map(|&v| Json::UInt(v as u64)).collect()),
+                        Json::Array(
+                            reg_violations
+                                .iter()
+                                .map(|&v| Json::UInt(v as u64))
+                                .collect(),
+                        ),
                     )
                     .with(
                         "mem_violations",
@@ -384,9 +398,24 @@ pub fn chrome_trace(traces: &[ProgramTrace]) -> Json {
     for (i, t) in traces.iter().enumerate() {
         let base = (i as u64) * PIDS_PER_BENCH + 1;
         let (pid_compile, pid_spt, pid_base) = (base, base + 1, base + 2);
-        events.push(meta("process_name", pid_compile, 0, &format!("{}: compiler", t.name)));
-        events.push(meta("process_name", pid_spt, 0, &format!("{}: spt machine", t.name)));
-        events.push(meta("process_name", pid_base, 0, &format!("{}: baseline core", t.name)));
+        events.push(meta(
+            "process_name",
+            pid_compile,
+            0,
+            &format!("{}: compiler", t.name),
+        ));
+        events.push(meta(
+            "process_name",
+            pid_spt,
+            0,
+            &format!("{}: spt machine", t.name),
+        ));
+        events.push(meta(
+            "process_name",
+            pid_base,
+            0,
+            &format!("{}: baseline core", t.name),
+        ));
         events.push(meta("thread_name", pid_spt, TID_MAIN, "main pipe"));
         events.push(meta("thread_name", pid_spt, TID_SPEC, "spec pipe"));
         events.push(meta("thread_name", pid_base, TID_MAIN, "pipe"));
@@ -419,7 +448,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
             return Err(format!("event {i}: unknown phase {ph:?}"));
         }
         for key in ["name", "pid", "tid", "ts"] {
-            let field = e.get(key).ok_or_else(|| format!("event {i}: missing {key}"))?;
+            let field = e
+                .get(key)
+                .ok_or_else(|| format!("event {i}: missing {key}"))?;
             let ok = match key {
                 "name" => field.as_str().is_some(),
                 _ => field.as_u64().is_some(),
@@ -435,10 +466,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                     .ok_or_else(|| format!("event {i}: X event missing dur"))?;
             }
             "C" => {
-                let args = e.get("args").ok_or_else(|| format!("event {i}: C event missing args"))?;
+                let args = e
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: C event missing args"))?;
                 match args {
-                    Json::Object(pairs)
-                        if pairs.iter().any(|(_, v)| v.as_f64().is_some()) => {}
+                    Json::Object(pairs) if pairs.iter().any(|(_, v)| v.as_f64().is_some()) => {}
                     _ => return Err(format!("event {i}: C event needs a numeric arg")),
                 }
             }
@@ -452,8 +484,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 }
 
 /// Known event names — the JSONL schema's `"ev"` discriminants.
-pub const EVENT_NAMES: [&str; 12] = [
+pub const EVENT_NAMES: [&str; 13] = [
     "fork",
+    "ring_fork",
     "fork_ignored",
     "fast_commit",
     "replay",
@@ -505,7 +538,12 @@ impl Sweep {
     /// memo cache — the traced phases must run live to produce their
     /// event streams (reports are cached, events are not), so this is
     /// the `--trace` path, not the bulk-evaluation path.
-    pub fn trace_program(&self, name: &str, prog: &Program, cfg: &RunConfig) -> (TraceRun, BenchRecord) {
+    pub fn trace_program(
+        &self,
+        name: &str,
+        prog: &Program,
+        cfg: &RunConfig,
+    ) -> (TraceRun, BenchRecord) {
         let (profile, pstamp) = self.profile(prog, cfg.compile.profile_fuel);
 
         let mut csink = RingBufferSink::unbounded();
@@ -559,7 +597,14 @@ impl Sweep {
             speedup: Some(outcome.speedup()),
             semantics_ok: Some(outcome.semantics_ok()),
         };
-        (TraceRun { outcome, trace, fold }, record)
+        (
+            TraceRun {
+                outcome,
+                trace,
+                fold,
+            },
+            record,
+        )
     }
 
     /// Trace the whole suite at `scale`. Runs fan out across the worker
@@ -646,7 +691,12 @@ mod tests {
     fn fold_json_has_per_loop_histograms() {
         let (run, _) = traced(200);
         let j = run.fold.to_json().dump();
-        for key in ["\"per_loop\"", "\"replay_lengths\"", "\"inter_fork_distance\"", "\"srb_occupancy\""] {
+        for key in [
+            "\"per_loop\"",
+            "\"replay_lengths\"",
+            "\"inter_fork_distance\"",
+            "\"srb_occupancy\"",
+        ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
     }

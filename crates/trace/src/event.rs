@@ -44,7 +44,21 @@ pub enum TraceEvent {
         func: FuncId,
         start_block: BlockId,
     },
-    /// `spt_fork` while a speculative thread was already running.
+    /// A *speculative* thread executed `spt_fork` and a successor thread
+    /// started on a free ring core (N-core fabric only; never emitted at
+    /// the paper's N=2, where the lone speculative core has no successor).
+    RingFork {
+        loop_id: Option<usize>,
+        /// Core index the successor thread was placed on (1-based; core 0
+        /// is the architectural pipeline).
+        core: usize,
+        func: FuncId,
+        start_block: BlockId,
+    },
+    /// The main thread executed `spt_fork` while speculation was already
+    /// active, so nothing was spawned. (A speculative thread's own fork
+    /// with no free ring core is dropped silently, exactly as the
+    /// two-core machine drops it.)
     ForkIgnored { func: FuncId, start_block: BlockId },
     /// Dependence check passed: speculative context adopted wholesale.
     FastCommit {
@@ -129,6 +143,7 @@ impl TraceEvent {
     pub fn name(&self) -> &'static str {
         match self {
             TraceEvent::Fork { .. } => "fork",
+            TraceEvent::RingFork { .. } => "ring_fork",
             TraceEvent::ForkIgnored { .. } => "fork_ignored",
             TraceEvent::FastCommit { .. } => "fast_commit",
             TraceEvent::Replay { .. } => "replay",
@@ -147,6 +162,7 @@ impl TraceEvent {
     pub fn loop_idx(&self) -> Option<usize> {
         match self {
             TraceEvent::Fork { loop_id, .. }
+            | TraceEvent::RingFork { loop_id, .. }
             | TraceEvent::FastCommit { loop_id, .. }
             | TraceEvent::Replay { loop_id, .. }
             | TraceEvent::Kill { loop_id, .. }

@@ -142,6 +142,12 @@ pub fn fold<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceFold
                     }
                 }
             }
+            // Successor forks on the N-core ring count as forks — the
+            // simulator's `forks` counter increments for them too, so the
+            // fold-vs-report oracle holds at any core count. They don't
+            // update inter-fork distances: those track the main thread's
+            // fork cadence per loop.
+            TraceEvent::RingFork { .. } => f.forks += 1,
             TraceEvent::ForkIgnored { .. } => f.forks_ignored += 1,
             TraceEvent::FastCommit {
                 loop_id, srb_len, ..
@@ -262,7 +268,13 @@ mod tests {
                     mem_violations: vec![17, 18],
                 },
             ),
-            rec(95, TraceEvent::ForkIgnored { func: f0, start_block: BlockId(1) }),
+            rec(
+                95,
+                TraceEvent::ForkIgnored {
+                    func: f0,
+                    start_block: BlockId(1),
+                },
+            ),
             rec(
                 99,
                 TraceEvent::Kill {

@@ -170,6 +170,17 @@ pub fn jsonl(rec: &TraceRecord) -> String {
             kv_u(&mut s, "func", func.0 as u64);
             kv_u(&mut s, "start_block", start_block.0 as u64);
         }
+        TraceEvent::RingFork {
+            loop_id,
+            core,
+            func,
+            start_block,
+        } => {
+            kv_loop(&mut s, loop_id);
+            kv_u(&mut s, "core", *core as u64);
+            kv_u(&mut s, "func", func.0 as u64);
+            kv_u(&mut s, "start_block", start_block.0 as u64);
+        }
         TraceEvent::ForkIgnored { func, start_block } => {
             kv_u(&mut s, "func", func.0 as u64);
             kv_u(&mut s, "start_block", start_block.0 as u64);
@@ -341,10 +352,7 @@ mod tests {
         let mut s = StreamSink::new(Vec::<u8>::new());
         let (c, e) = fork(7);
         s.emit(c, e);
-        s.emit(
-            9,
-            TraceEvent::SrbHighWater { occupancy: 12 },
-        );
+        s.emit(9, TraceEvent::SrbHighWater { occupancy: 12 });
         assert_eq!(s.lines(), 2);
         let out = String::from_utf8(s.into_inner()).unwrap();
         let lines: Vec<&str> = out.lines().collect();

@@ -175,14 +175,21 @@ pub fn emit_loop_func(
     f.jmp(body);
     f.switch_to(body);
 
-    emit_body(&mut f, spec, helper, bulk_base, bulk_words, BodyRegs {
-        i,
-        acc,
-        x,
-        p,
-        trip,
-        seed,
-    });
+    emit_body(
+        &mut f,
+        spec,
+        helper,
+        bulk_base,
+        bulk_words,
+        BodyRegs {
+            i,
+            acc,
+            x,
+            p,
+            trip,
+            seed,
+        },
+    );
 
     // Latch.
     let cond = f.reg();

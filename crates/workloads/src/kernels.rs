@@ -117,8 +117,7 @@ pub fn svp_loop(iters: usize) -> Program {
             g.bin(BinOp::Add, x, t, p);
             t = x;
         }
-        g.ret(Some(t))
-            ;
+        g.ret(Some(t));
         g.finish()
     };
     // bar(x): x + 2, with an occasional +4 hiccup (weak misprediction).

@@ -122,7 +122,11 @@ fn bench_spec(name: &str) -> BenchSpec {
                     512,
                 ),
                 // A hot-but-huge loop: profiled, rejected for body size.
-                seg(spec("bz_block", 8, 1, 0, 3200, 40, Induction, Array, None), 1, 512),
+                seg(
+                    spec("bz_block", 8, 1, 0, 3200, 40, Induction, Array, None),
+                    1,
+                    512,
+                ),
             ],
             filler_calls: 40,
         },
@@ -130,10 +134,22 @@ fn bench_spec(name: &str) -> BenchSpec {
             name: "craftys",
             segments: vec![
                 // Short-trip loops dominate: rejected by the trip criterion.
-                seg(spec("cr_gen", 16, 1, 1, 0, 2, Induction, Array, None), 160, 256),
-                seg(spec("cr_eval", 20, 2, 0, 0, 2, ReductionCheap, Array, None), 110, 256),
+                seg(
+                    spec("cr_gen", 16, 1, 1, 0, 2, Induction, Array, None),
+                    160,
+                    256,
+                ),
+                seg(
+                    spec("cr_eval", 20, 2, 0, 0, 2, ReductionCheap, Array, None),
+                    110,
+                    256,
+                ),
                 // One acceptable but modest loop.
-                seg(spec("cr_hash", 10, 1, 1, 0, 30, ReductionCheap, Random, None), 4, 512),
+                seg(
+                    spec("cr_hash", 10, 1, 1, 0, 30, ReductionCheap, Random, None),
+                    4,
+                    512,
+                ),
             ],
             filler_calls: 110,
         },
@@ -148,54 +164,152 @@ fn bench_spec(name: &str) -> BenchSpec {
                     2,
                     2048,
                 ),
-                seg(spec("gap_small", 8, 1, 0, 0, 40, ReductionCheap, Array, None), 3, 256),
+                seg(
+                    spec("gap_small", 8, 1, 0, 0, 40, ReductionCheap, Array, None),
+                    3,
+                    256,
+                ),
             ],
             filler_calls: 140,
         },
         "gccs" => BenchSpec {
             name: "gccs",
             segments: vec![
-                seg(spec("gcc_rtl", 14, 2, 1, 0, 90, RareUpdate(0.10), Array, None), 2, 1024),
-                seg(spec("gcc_df", 12, 2, 1, 0, 70, ReductionCheap, Stride(3), None), 2, 1024),
                 seg(
-                    spec("gcc_alias", 16, 2, 1, 14, 60, RareUpdate(0.15), Random, Some(0.6)),
+                    spec("gcc_rtl", 14, 2, 1, 0, 90, RareUpdate(0.10), Array, None),
+                    2,
+                    1024,
+                ),
+                seg(
+                    spec("gcc_df", 12, 2, 1, 0, 70, ReductionCheap, Stride(3), None),
+                    2,
+                    1024,
+                ),
+                seg(
+                    spec(
+                        "gcc_alias",
+                        16,
+                        2,
+                        1,
+                        14,
+                        60,
+                        RareUpdate(0.15),
+                        Random,
+                        Some(0.6),
+                    ),
                     2,
                     768,
                 ),
-                seg(spec("gcc_cse", 10, 1, 1, 0, 110, Induction, Array, Some(0.4)), 2, 1024),
-                seg(spec("gcc_live", 22, 3, 1, 0, 50, ReductionDeep, Array, None), 2, 512),
-                seg(spec("gcc_walk", 8, 1, 0, 0, 140, Chase, Array, None), 2, 1024),
+                seg(
+                    spec("gcc_cse", 10, 1, 1, 0, 110, Induction, Array, Some(0.4)),
+                    2,
+                    1024,
+                ),
+                seg(
+                    spec("gcc_live", 22, 3, 1, 0, 50, ReductionDeep, Array, None),
+                    2,
+                    512,
+                ),
+                seg(
+                    spec("gcc_walk", 8, 1, 0, 0, 140, Chase, Array, None),
+                    2,
+                    1024,
+                ),
                 // Big-bodied pass driver: profiled, rejected for size.
-                seg(spec("gcc_expand", 10, 1, 0, 3200, 30, Induction, Array, None), 1, 512),
+                seg(
+                    spec("gcc_expand", 10, 1, 0, 3200, 30, Induction, Array, None),
+                    1,
+                    512,
+                ),
             ],
             filler_calls: 60,
         },
         "gzips" => BenchSpec {
             name: "gzips",
             segments: vec![
-                seg(spec("gz_deflate", 12, 2, 1, 0, 150, Induction, Array, None), 2, 2048),
-                seg(spec("gz_window", 10, 2, 1, 0, 110, ReductionCheap, Stride(2), None), 2, 2048),
-                seg(spec("gz_crc", 6, 1, 0, 0, 170, ReductionCheap, Array, None), 2, 1024),
+                seg(
+                    spec("gz_deflate", 12, 2, 1, 0, 150, Induction, Array, None),
+                    2,
+                    2048,
+                ),
+                seg(
+                    spec(
+                        "gz_window",
+                        10,
+                        2,
+                        1,
+                        0,
+                        110,
+                        ReductionCheap,
+                        Stride(2),
+                        None,
+                    ),
+                    2,
+                    2048,
+                ),
+                seg(
+                    spec("gz_crc", 6, 1, 0, 0, 170, ReductionCheap, Array, None),
+                    2,
+                    1024,
+                ),
                 // Short-trip literal loop, rejected.
-                seg(spec("gz_lit", 10, 1, 0, 0, 2, Induction, Array, None), 60, 256),
+                seg(
+                    spec("gz_lit", 10, 1, 0, 0, 2, Induction, Array, None),
+                    60,
+                    256,
+                ),
             ],
             filler_calls: 45,
         },
         "mcfs" => BenchSpec {
             name: "mcfs",
             segments: vec![
-                seg(spec("mcf_arcs", 8, 3, 1, 0, 0, Chase, Random, None), 2, 2048),
-                seg(spec("mcf_nodes", 10, 4, 1, 0, 80, Induction, Random, None), 2, 4096),
-                seg(spec("mcf_price", 10, 3, 0, 0, 60, ReductionCheap, Stride(7), None), 2, 4096),
+                seg(
+                    spec("mcf_arcs", 8, 3, 1, 0, 0, Chase, Random, None),
+                    2,
+                    2048,
+                ),
+                seg(
+                    spec("mcf_nodes", 10, 4, 1, 0, 80, Induction, Random, None),
+                    2,
+                    4096,
+                ),
+                seg(
+                    spec(
+                        "mcf_price",
+                        10,
+                        3,
+                        0,
+                        0,
+                        60,
+                        ReductionCheap,
+                        Stride(7),
+                        None,
+                    ),
+                    2,
+                    4096,
+                ),
             ],
             filler_calls: 260,
         },
         "parsers" => BenchSpec {
             name: "parsers",
             segments: vec![
-                seg(spec("par_free", 8, 2, 1, 14, 0, Chase, Array, None), 2, 1024),
-                seg(spec("par_match", 12, 2, 1, 0, 110, Induction, Array, Some(0.5)), 2, 1024),
-                seg(spec("par_count", 8, 1, 0, 0, 180, ReductionCheap, Array, None), 2, 1024),
+                seg(
+                    spec("par_free", 8, 2, 1, 14, 0, Chase, Array, None),
+                    2,
+                    1024,
+                ),
+                seg(
+                    spec("par_match", 12, 2, 1, 0, 110, Induction, Array, Some(0.5)),
+                    2,
+                    1024,
+                ),
+                seg(
+                    spec("par_count", 8, 1, 0, 0, 180, ReductionCheap, Array, None),
+                    2,
+                    1024,
+                ),
             ],
             filler_calls: 135,
         },
@@ -208,11 +322,25 @@ fn bench_spec(name: &str) -> BenchSpec {
                     2048,
                 ),
                 seg(
-                    spec("tw_cost", 12, 2, 0, 0, 100, ReductionCheap, Array, Some(0.5)),
+                    spec(
+                        "tw_cost",
+                        12,
+                        2,
+                        0,
+                        0,
+                        100,
+                        ReductionCheap,
+                        Array,
+                        Some(0.5),
+                    ),
                     2,
                     1024,
                 ),
-                seg(spec("tw_net", 14, 2, 1, 0, 70, ReductionDeep, Stride(5), None), 2, 1024),
+                seg(
+                    spec("tw_net", 14, 2, 1, 0, 70, ReductionDeep, Stride(5), None),
+                    2,
+                    1024,
+                ),
             ],
             filler_calls: 60,
         },
@@ -220,21 +348,47 @@ fn bench_spec(name: &str) -> BenchSpec {
             name: "vortexs",
             segments: vec![
                 // Tiny, short-trip loops: negligible coverage.
-                seg(spec("vx_obj", 10, 1, 1, 0, 2, Induction, Array, None), 40, 256),
-                seg(spec("vx_hash", 8, 1, 0, 0, 3, ReductionCheap, Random, None), 30, 256),
+                seg(
+                    spec("vx_obj", 10, 1, 1, 0, 2, Induction, Array, None),
+                    40,
+                    256,
+                ),
+                seg(
+                    spec("vx_hash", 8, 1, 0, 0, 3, ReductionCheap, Random, None),
+                    30,
+                    256,
+                ),
             ],
             filler_calls: 150,
         },
         "vprs" => BenchSpec {
             name: "vprs",
             segments: vec![
-                seg(spec("vpr_route", 12, 2, 1, 0, 130, Induction, Stride(2), None), 2, 2048),
+                seg(
+                    spec("vpr_route", 12, 2, 1, 0, 130, Induction, Stride(2), None),
+                    2,
+                    2048,
+                ),
                 seg(
                     spec("vpr_timing", 10, 2, 0, 16, 90, Predictable(3), Array, None),
                     2,
                     1024,
                 ),
-                seg(spec("vpr_swap", 14, 2, 1, 0, 80, ReductionCheap, Random, Some(0.45)), 2, 1024),
+                seg(
+                    spec(
+                        "vpr_swap",
+                        14,
+                        2,
+                        1,
+                        0,
+                        80,
+                        ReductionCheap,
+                        Random,
+                        Some(0.45),
+                    ),
+                    2,
+                    1024,
+                ),
             ],
             filler_calls: 90,
         },
@@ -357,11 +511,7 @@ mod tests {
             let (res, _) = run(&w.program, 50_000_000);
             assert!(!res.out_of_fuel, "{name} did not terminate");
             assert!(res.ret.is_some(), "{name} returns a checksum");
-            assert!(
-                res.steps > 5_000,
-                "{name} too small: {} steps",
-                res.steps
-            );
+            assert!(res.steps > 5_000, "{name} too small: {} steps", res.steps);
         }
     }
 

@@ -51,7 +51,12 @@ fn main() {
     // Show the transformed loop body, Figure 1(b) style.
     if let Some(info) = cs.outcome.compiled.loops.first() {
         println!("\nTransformed loop body (SPT_FORK marks the partition):");
-        let body = cs.outcome.compiled.program.func(info.func).block(info.body_block);
+        let body = cs
+            .outcome
+            .compiled
+            .program
+            .func(info.func)
+            .block(info.body_block);
         for inst in &body.insts {
             println!("    {inst}");
         }

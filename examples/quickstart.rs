@@ -88,7 +88,10 @@ fn main() {
             out.compiled.loops.len().to_string(),
         ],
     ];
-    println!("{}", render_table("Speculation", &["metric", "value"], &rows));
+    println!(
+        "{}",
+        render_table("Speculation", &["metric", "value"], &rows)
+    );
 
     for (k, l) in out.compiled.loops.iter().enumerate() {
         println!(

@@ -94,8 +94,8 @@ fn main() {
         &HashMap::new(),
     );
     spec.verify().unwrap();
-    let rep = SptSim::new(&spec, MachineConfig::default(), LoopAnnotations::empty())
-        .run(10_000_000);
+    let rep =
+        SptSim::new(&spec, MachineConfig::default(), LoopAnnotations::empty()).run(10_000_000);
 
     println!(
         "\nbaseline {} cycles -> SPT {} cycles: measured speedup {}",

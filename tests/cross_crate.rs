@@ -4,7 +4,7 @@
 
 use spt::RunConfig;
 use spt_compiler::{compile, CompileOptions};
-use spt_mach::{MachineConfig, RecoveryPolicy, RegCheckPolicy};
+use spt_mach::{MachineConfig, RecoveryKind, RegCheckPolicy};
 use spt_sim::{simulate_baseline, LoopAnnot, LoopAnnotations, SptSim};
 use spt_workloads::kernels::array_map;
 use spt_workloads::{benchmark, Scale};
@@ -39,9 +39,9 @@ fn recovery_policies_all_preserve_semantics() {
         FUEL,
     );
     for rec in [
-        RecoveryPolicy::SrxFc,
-        RecoveryPolicy::SrxOnly,
-        RecoveryPolicy::Squash,
+        RecoveryKind::SrxFc,
+        RecoveryKind::SrxOnly,
+        RecoveryKind::Squash,
     ] {
         let mut m = MachineConfig::default();
         m.recovery = rec;
@@ -58,14 +58,9 @@ fn selective_reexecution_beats_squash_on_the_suite_shape() {
     let w = benchmark("gccs", Scale::Test);
     let compiled = compile(&w.program, &CompileOptions::default());
     let an = annots(&compiled);
-    let srx = SptSim::new(
-        &compiled.program,
-        MachineConfig::default(),
-        an.clone(),
-    )
-    .run(FUEL);
+    let srx = SptSim::new(&compiled.program, MachineConfig::default(), an.clone()).run(FUEL);
     let mut m = MachineConfig::default();
-    m.recovery = RecoveryPolicy::Squash;
+    m.recovery = RecoveryKind::Squash;
     let squash = SptSim::new(&compiled.program, m, an).run(FUEL);
     assert!(
         srx.cycles <= squash.cycles,
@@ -80,12 +75,7 @@ fn value_based_checking_fast_commits_at_least_as_often_as_mark_based() {
     let w = benchmark("twolfs", Scale::Test);
     let compiled = compile(&w.program, &CompileOptions::default());
     let an = annots(&compiled);
-    let val = SptSim::new(
-        &compiled.program,
-        MachineConfig::default(),
-        an.clone(),
-    )
-    .run(FUEL);
+    let val = SptSim::new(&compiled.program, MachineConfig::default(), an.clone()).run(FUEL);
     let mut m = MachineConfig::default();
     m.reg_check = RegCheckPolicy::MarkBased;
     let mark = SptSim::new(&compiled.program, m, an).run(FUEL);

@@ -7,9 +7,12 @@
 //! 1. the transformed program, on the plain interpreter, produces the same
 //!    return value, the same final memory image, and the same stream of
 //!    architecturally-executed store events (addr, value) as the original;
-//! 2. the 2-core SPT machine running the transformed program commits the
-//!    same return value and final memory image (speculative stores drain
-//!    through the SRB, so any mis-commit shows up here);
+//! 2. the SPT fabric running the transformed program at N ∈ {2, 4, 8}
+//!    cores commits the same return value and final memory image
+//!    (speculative stores drain through the SRB, so any mis-commit shows
+//!    up here), and the N=2 machine is bit-deterministic: traced and
+//!    untraced runs agree on cycles and counters, and trace bytes are
+//!    stable across runs with no ring-fork events;
 //! 3. the baseline single-core simulator running the original program also
 //!    matches (its timing model must not perturb architectural state).
 //!
@@ -180,19 +183,61 @@ fn check_differential(body: &[Stmt], trip: u8) {
     assert_eq!(t_mem, ref_mem, "transformed final memory diverged");
     assert_eq!(t_stores, ref_stores, "transformed store stream diverged");
 
-    // Stage 2: the 2-core SPT machine on the transformed program.
+    // Stage 2: the SPT fabric on the transformed program, at every fabric
+    // width. N=2 is the paper machine; wider rings must commit the same
+    // architectural state.
     let machine = MachineConfig::default();
     let annots = spt_annotations(&compiled);
-    let (spt_rep, spt_mem) = SptSim::new(&compiled.program, machine.clone(), annots)
-        .run_with_memory(FUEL);
-    assert!(!spt_rep.out_of_fuel, "SPT simulation must terminate");
-    assert_eq!(spt_rep.ret, ref_ret, "SPT-committed return value diverged");
-    assert_eq!(words(&spt_mem), ref_mem, "SPT-committed memory diverged");
+    for cores in [2usize, 4, 8] {
+        let mut m = machine.clone();
+        m.cores = cores;
+        let (spt_rep, spt_mem) =
+            SptSim::new(&compiled.program, m, annots.clone()).run_with_memory(FUEL);
+        assert!(
+            !spt_rep.out_of_fuel,
+            "SPT simulation must terminate (cores={cores})"
+        );
+        assert_eq!(
+            spt_rep.ret, ref_ret,
+            "SPT-committed return value diverged (cores={cores})"
+        );
+        assert_eq!(
+            words(&spt_mem),
+            ref_mem,
+            "SPT-committed memory diverged (cores={cores})"
+        );
+    }
+
+    // Stage 2b: the N=2 fabric is bit-identical to the default machine —
+    // same cycles, same counters, same trace bytes. (MachineConfig's
+    // default IS two cores, so this pins the fabric generalization to the
+    // dual-pipeline behaviour the goldens were recorded against.)
+    let sim = SptSim::new(&compiled.program, machine.clone(), annots.clone());
+    let untraced = sim.run(FUEL);
+    let mut sink_a = spt_trace::RingBufferSink::unbounded();
+    let traced = sim.run_traced(FUEL, &mut sink_a);
+    assert_eq!(traced.cycles, untraced.cycles, "tracing perturbed timing");
+    assert_eq!(traced.instrs, untraced.instrs);
+    assert_eq!(traced.forks, untraced.forks);
+    assert_eq!(traced.fast_commits, untraced.fast_commits);
+    assert_eq!(traced.replays, untraced.replays);
+    assert_eq!(traced.kills, untraced.kills);
+    assert_eq!(traced.divergence_kills, untraced.divergence_kills);
+    assert_eq!(traced.spec_misspec, untraced.spec_misspec);
+    let mut sink_b = spt_trace::RingBufferSink::unbounded();
+    let _ = sim.run_traced(FUEL, &mut sink_b);
+    let bytes_a: String = sink_a.records().map(spt_trace::jsonl).collect();
+    let bytes_b: String = sink_b.records().map(spt_trace::jsonl).collect();
+    assert_eq!(bytes_a, bytes_b, "N=2 trace bytes must be deterministic");
+    // No ring-fork events may ever appear on the two-core machine.
+    assert!(
+        !bytes_a.contains("ring_fork"),
+        "N=2 must never emit ring forks"
+    );
 
     // Stage 3: the baseline timing model on the original program.
     let base_annots = original_annotations(&prog, &compiled);
-    let (base_rep, base_mem) =
-        simulate_baseline_with_memory(&prog, &machine, &base_annots, FUEL);
+    let (base_rep, base_mem) = simulate_baseline_with_memory(&prog, &machine, &base_annots, FUEL);
     assert!(!base_rep.out_of_fuel, "baseline simulation must terminate");
     assert_eq!(base_rep.ret, ref_ret, "baseline return value diverged");
     assert_eq!(words(&base_mem), ref_mem, "baseline final memory diverged");

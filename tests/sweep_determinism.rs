@@ -56,7 +56,10 @@ fn warm_cache_does_not_change_results() {
     // The second pass must be served entirely from the memo cache (each
     // report's `cache` field counts only its own run).
     assert_eq!(warm.report.cache.misses(), 0, "warm run recomputed a phase");
-    assert!(warm.report.cache.hits() > 0, "warm run did not hit the cache");
+    assert!(
+        warm.report.cache.hits() > 0,
+        "warm run did not hit the cache"
+    );
     assert!(cold.report.cache.misses() > 0, "cold run should miss");
     for rec in &warm.report.records {
         assert!(
@@ -64,7 +67,12 @@ fn warm_cache_does_not_change_results() {
             "{}: phase recomputed on warm cache",
             rec.name
         );
-        assert_eq!(rec.timings.total_ms(), 0.0, "{}: cached phase billed time", rec.name);
+        assert_eq!(
+            rec.timings.total_ms(),
+            0.0,
+            "{}: cached phase billed time",
+            rec.name
+        );
     }
 }
 

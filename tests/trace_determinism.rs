@@ -27,7 +27,10 @@ fn traces_are_byte_identical_across_worker_counts() {
         let traces: Vec<_> = runs.iter().map(|r| r.trace.clone()).collect();
         exports.push(chrome_trace(&traces).pretty());
         assert_eq!(report.workers, workers);
-        assert!(report.histograms.is_some(), "traced report carries histograms");
+        assert!(
+            report.histograms.is_some(),
+            "traced report carries histograms"
+        );
     }
     assert_eq!(exports[0], exports[1], "1 vs 2 workers");
     assert_eq!(exports[1], exports[2], "2 vs 8 workers");
