@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spt_compiler::{compile, CompileOptions};
-use spt_interp::{run, Cursor, Memory};
+use spt_interp::{run, Cursor, DecodedProgram, Memory};
 use spt_mach::{CacheSim, MachineConfig};
 use spt_sim::{simulate_baseline, LoopAnnotations, SptSim};
 use spt_workloads::kernels::{array_map, parser_free_loop};
@@ -23,10 +23,13 @@ fn bench_interpreter(c: &mut Criterion) {
 
 fn bench_cursor_step(c: &mut Criterion) {
     let prog = array_map(64, 8);
+    // Decode outside the loop: programs are decoded once per run, stepped
+    // millions of times — this times the steady-state stepping cost.
+    let dec = DecodedProgram::new(&prog);
     c.bench_function("interp/cursor_steps", |b| {
         b.iter(|| {
             let mut mem = Memory::for_program(&prog);
-            let mut cur = Cursor::at_entry(&prog);
+            let mut cur = Cursor::at_entry(&dec);
             let mut n = 0u64;
             while cur.step(&mut mem).is_some() {
                 n += 1;

@@ -1,0 +1,222 @@
+//! Wall-clock performance harness for the simulators themselves.
+//!
+//! Unlike the figure binaries — which measure the *simulated* machine —
+//! this one measures the *simulator*: how long the full `fig_scale`
+//! core-count sweep (every suite benchmark × cores ∈ {2, 4, 8}) takes in
+//! host wall-clock time, and how many simulated cycles per second the
+//! hot path sustains. Its output is `BENCH_simperf.json`, a small
+//! append/replace-by-label ledger so before/after entries of an
+//! optimization can live side by side in the repository.
+//!
+//! Flags:
+//!
+//! * `--scale test|small|full` (default `full`) — sweep fidelity;
+//! * `--workers N` (default 1) — single-threaded by default so entries
+//!   measure the hot path, not the thread pool;
+//! * `--label NAME` (default `current`) — ledger entry to write; an
+//!   existing entry with the same label is replaced, others are kept;
+//! * `--out PATH` (default `BENCH_simperf.json`) — the ledger file;
+//! * `--smoke` — CI mode: force `test` scale, do not touch the ledger,
+//!   just build an entry in memory and schema-validate it. Exits
+//!   non-zero on schema violations only — there is **no** timing
+//!   threshold, so CI stays deterministic on shared runners.
+
+use spt::{Json, RunConfig, RunReport, Sweep};
+use spt_bench::arg_value;
+use spt_workloads::{suite, Scale};
+use std::process::exit;
+
+const CORES: [usize; 3] = [2, 4, 8];
+const DEFAULT_OUT: &str = "BENCH_simperf.json";
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// One ledger entry from a finished sweep.
+fn entry_json(label: &str, scale: Scale, report: &RunReport) -> Json {
+    let sum = |f: fn(&spt::PhaseTimings) -> f64| -> f64 {
+        report.records.iter().map(|r| f(&r.timings)).sum()
+    };
+    Json::obj()
+        .with("label", label)
+        .with("experiment", report.experiment.as_str())
+        .with("scale", scale_name(scale))
+        .with("workers", report.workers)
+        .with("items", report.records.len())
+        .with("wall_ms", report.wall_ms)
+        .with("compute_ms", report.compute_ms())
+        .with(
+            "phase_ms",
+            Json::obj()
+                .with("profile_ms", sum(|t| t.profile_ms))
+                .with("compile_ms", sum(|t| t.compile_ms))
+                .with("baseline_sim_ms", sum(|t| t.baseline_ms))
+                .with("spt_sim_ms", sum(|t| t.spt_ms)),
+        )
+        .with("total_sim_cycles", report.total_sim_cycles())
+        .with("sim_cycles_per_sec", report.sim_cycles_per_sec())
+        .with(
+            "cache",
+            Json::obj()
+                .with("hits", report.cache.hits())
+                .with("misses", report.cache.misses()),
+        )
+}
+
+/// Schema check for one ledger entry; returns the first problem found.
+fn validate_entry(e: &Json) -> Result<(), String> {
+    let str_key = |k: &str| -> Result<(), String> {
+        e.get(k)
+            .and_then(Json::as_str)
+            .map(|_| ())
+            .ok_or_else(|| format!("entry missing string key {k:?}"))
+    };
+    let num_key = |j: &Json, k: &str| -> Result<f64, String> {
+        j.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry missing numeric key {k:?}"))
+    };
+    str_key("label")?;
+    str_key("experiment")?;
+    str_key("scale")?;
+    for k in ["workers", "items", "total_sim_cycles"] {
+        e.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("entry missing unsigned key {k:?}"))?;
+    }
+    let wall = num_key(e, "wall_ms")?;
+    num_key(e, "compute_ms")?;
+    let cps = num_key(e, "sim_cycles_per_sec")?;
+    if wall < 0.0 || cps < 0.0 {
+        return Err("negative timing/throughput value".into());
+    }
+    let phases = e
+        .get("phase_ms")
+        .ok_or_else(|| "entry missing \"phase_ms\"".to_string())?;
+    for k in ["profile_ms", "compile_ms", "baseline_sim_ms", "spt_sim_ms"] {
+        num_key(phases, k)?;
+    }
+    let cache = e
+        .get("cache")
+        .ok_or_else(|| "entry missing \"cache\"".to_string())?;
+    for k in ["hits", "misses"] {
+        cache
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cache missing unsigned key {k:?}"))?;
+    }
+    Ok(())
+}
+
+/// Schema check for the whole ledger document.
+fn validate_ledger(doc: &Json) -> Result<usize, String> {
+    doc.get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "ledger missing string key \"benchmark\"".to_string())?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "ledger missing array key \"entries\"".to_string())?;
+    if entries.is_empty() {
+        return Err("ledger has no entries".into());
+    }
+    for e in entries {
+        validate_entry(e)?;
+    }
+    Ok(entries.len())
+}
+
+/// Merge `entry` into the ledger at `path`: replace the entry with the
+/// same label, keep all others, append otherwise.
+fn merge_into_ledger(path: &str, entry: Json, label: &str) -> Json {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => doc
+                .get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!("existing {path} is not valid JSON: {e}");
+                exit(1);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    match entries
+        .iter()
+        .position(|e| e.get("label").and_then(Json::as_str) == Some(label))
+    {
+        Some(i) => entries[i] = entry,
+        None => entries.push(entry),
+    }
+    Json::obj()
+        .with("benchmark", "simulator wall-clock: full fig_scale sweep")
+        .with("entries", Json::Array(entries))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        match arg_value("--scale").as_deref() {
+            Some("test") => Scale::Test,
+            Some("small") => Scale::Small,
+            _ => Scale::Full,
+        }
+    };
+    let workers = arg_value("--workers")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1));
+    let label = arg_value("--label").unwrap_or_else(|| "current".to_string());
+    let out = arg_value("--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
+
+    let names: Vec<&str> = suite(scale).iter().map(|w| w.name).collect();
+    let sweep = Sweep::new(workers);
+    let (_, report) = sweep.fig_scale(&names, &CORES, scale, &RunConfig::default());
+    println!("{}", report.summary());
+    println!(
+        "[perf_bench] {:.0} ms wall, {} sim cycles, {:.0} sim cycles/sec",
+        report.wall_ms,
+        report.total_sim_cycles(),
+        report.sim_cycles_per_sec()
+    );
+
+    let entry = entry_json(&label, scale, &report);
+    if smoke {
+        // CI: validate the schema of a fresh single-entry ledger; never
+        // touch the committed file, never gate on timing.
+        let doc = Json::obj()
+            .with("benchmark", "simulator wall-clock: full fig_scale sweep")
+            .with("entries", Json::Array(vec![entry]));
+        let parsed = Json::parse(&doc.pretty()).unwrap_or_else(|e| {
+            eprintln!("perf_bench smoke: emitted JSON does not re-parse: {e}");
+            exit(1);
+        });
+        match validate_ledger(&parsed) {
+            Ok(n) => println!("perf_bench smoke: schema ok ({n} entry)"),
+            Err(e) => {
+                eprintln!("perf_bench smoke: schema violation: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let doc = merge_into_ledger(&out, entry, &label);
+    if let Err(e) = validate_ledger(&doc) {
+        eprintln!("refusing to write {out}: {e}");
+        exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    println!("wrote entry {label:?} to {out}");
+}

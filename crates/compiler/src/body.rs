@@ -434,12 +434,13 @@ fn topo_order(f: &Func, cfg: &Cfg, l: &Loop) -> Option<Vec<BlockId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spt_interp::{Cursor, Memory};
+    use spt_interp::{Cursor, DecodedProgram, Memory};
     use spt_sir::{analyze_loops, BinOp, Program, ProgramBuilder};
 
     fn run_ret(prog: &Program) -> i64 {
         let mut mem = Memory::for_program(prog);
-        let mut cur = Cursor::at_entry(prog);
+        let dec = DecodedProgram::new(prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut fuel = 0;
         while cur.step(&mut mem).is_some() {
             fuel += 1;

@@ -1,11 +1,12 @@
 //! The steppable interpreter.
 
+use crate::decode::{DecOp, DecodedProgram};
 use crate::event::{Branch, EvKind, Event, MemRef};
 use crate::mem::{wrap_addr, MemView};
-use spt_sir::{BlockId, FuncId, LatClass, Op, Program, Reg, StmtRef, Terminator};
+use spt_sir::{BlockId, FuncId, LatClass, Program, Reg, StmtRef, Terminator};
 
 /// One activation record.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Frame {
     pub func: FuncId,
     pub block: BlockId,
@@ -17,28 +18,76 @@ pub struct Frame {
     pub ret_dst: Option<Reg>,
 }
 
+impl Clone for Frame {
+    fn clone(&self) -> Self {
+        Frame {
+            func: self.func,
+            block: self.block,
+            idx: self.idx,
+            regs: self.regs.clone(),
+            ret_dst: self.ret_dst,
+        }
+    }
+
+    /// Reuse the destination's register-file allocation. Fork/adopt on the
+    /// SPT hot path clone cursors millions of times; `Vec::clone_from`
+    /// turns each of those into a memcpy into existing capacity.
+    fn clone_from(&mut self, src: &Self) {
+        self.func = src.func;
+        self.block = src.block;
+        self.idx = src.idx;
+        self.regs.clone_from(&src.regs);
+        self.ret_dst = src.ret_dst;
+    }
+}
+
 /// A steppable interpreter with an explicit call stack.
 ///
 /// `step` executes exactly one statement or terminator and describes it as
 /// an [`Event`]. Cloning a cursor clones the whole execution context (all
 /// frames and register files) — that is precisely the register-context copy
 /// the SPT architecture performs at `spt_fork`.
-#[derive(Clone, Debug)]
+///
+/// The cursor runs over a [`DecodedProgram`] — pre-flattened instruction
+/// streams with operands, latency classes and callee metadata resolved at
+/// decode time — so each step is array indexing, never tree traversal.
+#[derive(Debug)]
 pub struct Cursor<'p> {
-    pub prog: &'p Program,
+    dec: &'p DecodedProgram<'p>,
     pub frames: Vec<Frame>,
     halted: bool,
     ret_val: Option<i64>,
 }
 
+impl<'p> Clone for Cursor<'p> {
+    fn clone(&self) -> Self {
+        Cursor {
+            dec: self.dec,
+            frames: self.frames.clone(),
+            halted: self.halted,
+            ret_val: self.ret_val,
+        }
+    }
+
+    /// Frame-reusing clone: existing frames keep their register-file
+    /// allocations (see [`Frame::clone_from`]).
+    fn clone_from(&mut self, src: &Self) {
+        self.dec = src.dec;
+        self.frames.clone_from(&src.frames);
+        self.halted = src.halted;
+        self.ret_val = src.ret_val;
+    }
+}
+
 impl<'p> Cursor<'p> {
     /// A cursor positioned at the program's entry function.
-    pub fn at_entry(prog: &'p Program) -> Self {
-        let f = prog.func(prog.entry);
+    pub fn at_entry(dec: &'p DecodedProgram<'p>) -> Self {
+        let entry = dec.prog().entry;
+        let f = dec.func(entry);
         Cursor {
-            prog,
+            dec,
             frames: vec![Frame {
-                func: prog.entry,
+                func: entry,
                 block: f.entry,
                 idx: 0,
                 regs: vec![0; f.n_regs as usize],
@@ -51,14 +100,15 @@ impl<'p> Cursor<'p> {
 
     /// A cursor positioned at an arbitrary function (used by tests and by
     /// loop-region simulation).
-    pub fn at_func(prog: &'p Program, func: FuncId, args: &[i64]) -> Self {
-        let f = prog.func(func);
+    pub fn at_func(dec: &'p DecodedProgram<'p>, func: FuncId, args: &[i64]) -> Self {
+        let f = dec.func(func);
+        let n_params = dec.prog().func(func).n_params;
         let mut regs = vec![0; f.n_regs as usize];
-        for (i, &a) in args.iter().enumerate().take(f.n_params as usize) {
+        for (i, &a) in args.iter().enumerate().take(n_params as usize) {
             regs[i] = a;
         }
         Cursor {
-            prog,
+            dec,
             frames: vec![Frame {
                 func,
                 block: f.entry,
@@ -71,24 +121,45 @@ impl<'p> Cursor<'p> {
         }
     }
 
+    /// The underlying (tree-form) program.
+    pub fn prog(&self) -> &'p Program {
+        self.dec.prog()
+    }
+
+    /// The decoded program this cursor executes.
+    pub fn decoded(&self) -> &'p DecodedProgram<'p> {
+        self.dec
+    }
+
     /// Clone this execution context and reposition the top frame at `start`
     /// — the hardware fork: copy the register context, begin at the
     /// start-point.
     pub fn fork_speculative(&self, start: BlockId) -> Cursor<'p> {
         let mut c = self.clone();
-        let top = c.frames.last_mut().expect("fork from live cursor");
+        c.repoint(start);
+        c
+    }
+
+    /// [`Cursor::fork_speculative`] into an existing cursor, reusing its
+    /// frame and register-file allocations.
+    pub fn fork_speculative_into(&self, start: BlockId, dst: &mut Cursor<'p>) {
+        dst.clone_from(self);
+        dst.repoint(start);
+    }
+
+    fn repoint(&mut self, start: BlockId) {
+        let top = self.frames.last_mut().expect("fork from live cursor");
         top.block = start;
         top.idx = 0;
-        c.halted = false;
-        c.ret_val = None;
-        c
+        self.halted = false;
+        self.ret_val = None;
     }
 
     /// Replace this cursor's execution context with `other`'s (the commit of
     /// a speculative thread: the speculative register context becomes
     /// architectural).
     pub fn adopt(&mut self, other: &Cursor<'p>) {
-        self.frames = other.frames.clone();
+        self.frames.clone_from(&other.frames);
         self.halted = other.halted;
         self.ret_val = other.ret_val;
     }
@@ -122,9 +193,8 @@ impl<'p> Cursor<'p> {
             return None;
         }
         let fr = self.top();
-        let f = self.prog.func(fr.func);
-        let blk = f.block(fr.block);
-        Some(if fr.idx < blk.insts.len() {
+        let df = self.dec.func(fr.func);
+        Some(if fr.idx < df.block_len(fr.block) {
             EvKind::Inst {
                 func: fr.func,
                 sref: StmtRef::new(fr.block, fr.idx),
@@ -142,21 +212,21 @@ impl<'p> Cursor<'p> {
         if self.halted {
             return None;
         }
+        let dec = self.dec;
         let depth = (self.frames.len() - 1) as u32;
         let fr = self.frames.last_mut().expect("live cursor has a frame");
         let func_id = fr.func;
-        let f = self.prog.func(func_id);
-        let blk = f.block(fr.block);
+        let df = dec.func(func_id);
 
-        if fr.idx < blk.insts.len() {
+        if fr.idx < df.block_len(fr.block) {
             let sref = StmtRef::new(fr.block, fr.idx);
-            let inst = &blk.insts[fr.idx];
+            let inst = *df.inst_at(fr.block, fr.idx);
             fr.idx += 1;
             let kind = EvKind::Inst {
                 func: func_id,
                 sref,
             };
-            let mut ev = Event::blank(kind, inst.lat_class(), depth);
+            let mut ev = Event::blank(kind, inst.lat, depth);
 
             // Guard evaluation.
             if let Some(g) = inst.guard {
@@ -167,33 +237,33 @@ impl<'p> Cursor<'p> {
                 }
             }
 
-            match &inst.op {
-                Op::Const { dst, imm } => {
-                    fr.regs[dst.index()] = *imm;
-                    ev.dst = Some(*dst);
-                    ev.dst_val = *imm;
+            match inst.op {
+                DecOp::Const { dst, imm } => {
+                    fr.regs[dst.index()] = imm;
+                    ev.dst = Some(dst);
+                    ev.dst_val = imm;
                 }
-                Op::Un { op, dst, src } => {
-                    ev.srcs.push(*src);
+                DecOp::Un { op, dst, src } => {
+                    ev.srcs.push(src);
                     let v = op.eval(fr.regs[src.index()]);
                     fr.regs[dst.index()] = v;
-                    ev.dst = Some(*dst);
+                    ev.dst = Some(dst);
                     ev.dst_val = v;
                 }
-                Op::Bin { op, dst, a, b } => {
-                    ev.srcs.push(*a);
-                    ev.srcs.push(*b);
+                DecOp::Bin { op, dst, a, b } => {
+                    ev.srcs.push(a);
+                    ev.srcs.push(b);
                     let v = op.eval(fr.regs[a.index()], fr.regs[b.index()]);
                     fr.regs[dst.index()] = v;
-                    ev.dst = Some(*dst);
+                    ev.dst = Some(dst);
                     ev.dst_val = v;
                 }
-                Op::Load { dst, base, off } => {
-                    ev.srcs.push(*base);
-                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(*off), mem.words());
+                DecOp::Load { dst, base, off } => {
+                    ev.srcs.push(base);
+                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(off), mem.words());
                     let v = mem.load(addr);
                     fr.regs[dst.index()] = v;
-                    ev.dst = Some(*dst);
+                    ev.dst = Some(dst);
                     ev.dst_val = v;
                     ev.mem = Some(MemRef {
                         addr,
@@ -201,10 +271,10 @@ impl<'p> Cursor<'p> {
                         value: v,
                     });
                 }
-                Op::Store { src, base, off } => {
-                    ev.srcs.push(*src);
-                    ev.srcs.push(*base);
-                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(*off), mem.words());
+                DecOp::Store { src, base, off } => {
+                    ev.srcs.push(src);
+                    ev.srcs.push(base);
+                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(off), mem.words());
                     let v = fr.regs[src.index()];
                     mem.store(addr, v);
                     ev.mem = Some(MemRef {
@@ -213,29 +283,35 @@ impl<'p> Cursor<'p> {
                         value: v,
                     });
                 }
-                Op::Call { callee, args, ret } => {
+                DecOp::Call {
+                    args,
+                    ret,
+                    callee,
+                    callee_entry,
+                    callee_n_regs,
+                } => {
+                    let args = df.operands(args);
                     ev.srcs = args.iter().copied().collect();
-                    let cf = self.prog.func(*callee);
-                    let mut regs = vec![0i64; cf.n_regs as usize];
+                    let mut regs = vec![0i64; callee_n_regs as usize];
                     for (i, a) in args.iter().enumerate() {
                         regs[i] = fr.regs[a.index()];
                     }
                     let new_frame = Frame {
-                        func: *callee,
-                        block: cf.entry,
+                        func: callee,
+                        block: callee_entry,
                         idx: 0,
                         regs,
-                        ret_dst: *ret,
+                        ret_dst: ret,
                     };
                     self.frames.push(new_frame);
                 }
-                Op::SptFork { start } => {
-                    ev.fork = Some(*start);
+                DecOp::SptFork { start } => {
+                    ev.fork = Some(start);
                 }
-                Op::SptKill => {
+                DecOp::SptKill => {
                     ev.kill = true;
                 }
-                Op::Nop { units } => {
+                DecOp::Nop { units } => {
                     ev.extra_slots = units.saturating_sub(1);
                 }
             }
@@ -247,7 +323,7 @@ impl<'p> Cursor<'p> {
                 block: fr.block,
             };
             let mut ev = Event::blank(kind, LatClass::Alu, depth);
-            match blk.term.clone() {
+            match df.term(fr.block) {
                 Terminator::Jmp(t) => {
                     fr.block = t;
                     fr.idx = 0;
@@ -338,7 +414,8 @@ mod tests {
 
     fn run_to_halt(prog: &Program) -> (Memory, Option<i64>, usize) {
         let mut mem = Memory::for_program(prog);
-        let mut cur = Cursor::at_entry(prog);
+        let dec = DecodedProgram::new(prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut steps = 0;
         while cur.step(&mut mem).is_some() {
             steps += 1;
@@ -361,7 +438,8 @@ mod tests {
     fn events_report_branch_outcomes() {
         let prog = sum_loop_program();
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut taken = 0;
         let mut not_taken = 0;
         while let Some(ev) = cur.step(&mut mem) {
@@ -417,7 +495,8 @@ mod tests {
         g.finish();
         let prog = pb.finish(main, 0);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut max_depth = 0;
         while let Some(ev) = cur.step(&mut mem) {
             max_depth = max_depth.max(ev.depth);
@@ -441,7 +520,8 @@ mod tests {
         let id = f.finish();
         let prog = pb.finish(id, 0);
         let mut mem = Memory::new(1);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut suppressed = 0;
         while let Some(ev) = cur.step(&mut mem) {
             if !ev.executed {
@@ -457,7 +537,8 @@ mod tests {
     fn fork_speculative_copies_context() {
         let prog = sum_loop_program();
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         // Execute the 4 consts + jmp (5 steps: 4 insts include addi's const..)
         for _ in 0..4 {
             cur.step(&mut mem);
@@ -470,11 +551,32 @@ mod tests {
     }
 
     #[test]
+    fn fork_into_reuses_and_matches_fork() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        for _ in 0..4 {
+            cur.step(&mut mem);
+        }
+        let fresh = cur.fork_speculative(BlockId(1));
+        // Recycle a dead cursor from elsewhere in the program's execution.
+        let mut recycled = Cursor::at_entry(&dec);
+        recycled.step(&mut mem);
+        cur.fork_speculative_into(BlockId(1), &mut recycled);
+        assert_eq!(recycled.position(), fresh.position());
+        assert_eq!(recycled.top().regs, fresh.top().regs);
+        assert_eq!(recycled.depth(), fresh.depth());
+        assert!(!recycled.is_halted());
+    }
+
+    #[test]
     fn adopt_transfers_state() {
         let prog = sum_loop_program();
         let mut mem = Memory::for_program(&prog);
-        let mut a = Cursor::at_entry(&prog);
-        let mut b = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut a = Cursor::at_entry(&dec);
+        let mut b = Cursor::at_entry(&dec);
         for _ in 0..6 {
             b.step(&mut mem);
         }
@@ -487,7 +589,8 @@ mod tests {
     fn position_tracks_next_step() {
         let prog = sum_loop_program();
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let pos = cur.position().unwrap();
         assert!(matches!(pos, EvKind::Inst { sref, .. } if sref == StmtRef::new(BlockId(0), 0)));
         // Step through all four consts; next is the jmp terminator.
@@ -512,7 +615,8 @@ mod tests {
         let id = f.finish();
         let prog = pb.finish(id, 0);
         let mut mem = Memory::new(1);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let e1 = cur.step(&mut mem).unwrap();
         assert_eq!(e1.fork, Some(BlockId(1)));
         let e2 = cur.step(&mut mem).unwrap();
@@ -532,7 +636,8 @@ mod tests {
         let id = f.finish();
         let prog = pb.finish(id, 8);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut seen = vec![];
         while let Some(ev) = cur.step(&mut mem) {
             if let Some(m) = ev.mem {
@@ -554,7 +659,8 @@ mod tests {
         let id = f.finish();
         let prog = pb.finish(id, 8);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         while cur.step(&mut mem).is_some() {}
         assert_eq!(mem.peek(7), 5);
     }

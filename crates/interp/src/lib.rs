@@ -19,11 +19,13 @@
 //! speculative wrong-path execution well defined.
 
 pub mod cursor;
+pub mod decode;
 pub mod event;
 pub mod mem;
 pub mod run;
 
 pub use cursor::{Cursor, Frame};
+pub use decode::{DecOp, DecodedFunc, DecodedInst, DecodedProgram, OpRange};
 pub use event::{Branch, EvKind, Event, MemRef, SrcSet};
 pub use mem::{MemView, Memory};
 pub use run::{run, run_with, RunResult};

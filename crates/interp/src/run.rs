@@ -1,6 +1,7 @@
 //! Whole-program execution helpers.
 
 use crate::cursor::Cursor;
+use crate::decode::DecodedProgram;
 use crate::event::Event;
 use crate::mem::{MemView, Memory};
 use spt_sir::Program;
@@ -42,7 +43,8 @@ pub fn run_on(
     max_steps: u64,
     mut obs: impl FnMut(&Event),
 ) -> RunResult {
-    let mut cur = Cursor::at_entry(prog);
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
     let mut steps = 0u64;
     while steps < max_steps {
         match cur.step(mem) {

@@ -3,7 +3,7 @@
 //! by the SPT simulator.
 
 use proptest::prelude::*;
-use spt_interp::{run, run_with, Cursor, Memory};
+use spt_interp::{run, run_with, Cursor, DecodedProgram, Memory};
 use spt_sir::{BinOp, Program, ProgramBuilder, Reg, UnOp};
 
 const FUEL: u64 = 200_000;
@@ -120,7 +120,8 @@ proptest! {
     ) {
         let prog = straightline(&body, 16);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         for _ in 0..split.min(body.len()) {
             cur.step(&mut mem);
         }
@@ -128,7 +129,7 @@ proptest! {
         let spec = cur.fork_speculative(cur.top().block);
         prop_assert_eq!(spec.top().regs.clone(), cur.top().regs.clone());
         prop_assert_eq!(spec.top().idx, 0);
-        let mut adopted = Cursor::at_entry(&prog);
+        let mut adopted = Cursor::at_entry(&dec);
         adopted.adopt(&cur);
         prop_assert_eq!(adopted.position(), cur.position());
         prop_assert_eq!(adopted.depth(), cur.depth());

@@ -4,8 +4,16 @@
 //! becomes available and what kind of instruction produced it — the latter
 //! is what lets the simulators attribute operand-wait stalls to D-cache
 //! misses vs. pipeline latency (the Figure 9 breakdown).
-
-use std::collections::HashMap;
+//!
+//! The scoreboard sits on the per-issue hot path of both simulators, so a
+//! frame is a generation-stamped flat array indexed by register number
+//! rather than a hash map: `ready_at`/`set_ready` are one indexed load or
+//! store, and clearing a frame (`enter_frame`, `reset_all`,
+//! `truncate_below`) is a generation bump — O(1), no rehash. A slot is
+//! live only when its stamp equals the frame's current generation; stamp 0
+//! is never a valid generation, and when the 32-bit counter would wrap the
+//! slot array is hard-reset so a stamp from 2^32 clears ago cannot alias a
+//! fresh one.
 
 /// What produced a register value (for stall attribution).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +24,61 @@ pub enum ProducerKind {
     Other,
 }
 
+/// One call-depth's register readiness: stamped slots plus the
+/// frame-entry baseline.
+#[derive(Debug)]
+struct FrameSlots {
+    /// slots[reg] = (stamp, ready_cycle, producer); live iff stamp == gen.
+    slots: Vec<(u32, u64, ProducerKind)>,
+    gen: u32,
+    /// Frame-entry baseline (call-argument copy time), live iff
+    /// `baseline_gen == gen`.
+    baseline: u64,
+    baseline_gen: u32,
+}
+
+impl FrameSlots {
+    fn new() -> Self {
+        FrameSlots {
+            slots: Vec::new(),
+            gen: 1,
+            baseline: 0,
+            baseline_gen: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, reg: u32) -> Option<(u64, ProducerKind)> {
+        match self.slots.get(reg as usize) {
+            Some(&(stamp, t, k)) if stamp == self.gen => Some((t, k)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, reg: u32, cycle: u64, kind: ProducerKind) {
+        let r = reg as usize;
+        if r >= self.slots.len() {
+            self.slots.resize(r + 1, (0, 0, ProducerKind::Other));
+        }
+        self.slots[r] = (self.gen, cycle, kind);
+    }
+
+    /// Drop all register entries and the baseline: one generation bump.
+    /// On 32-bit wrap the slot array is hard-reset so ancient stamps can
+    /// never read as live again.
+    fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.slots
+                .iter_mut()
+                .for_each(|s| *s = (0, 0, ProducerKind::Other));
+            self.baseline_gen = 0;
+            self.gen = 1;
+        }
+    }
+}
+
 /// Per-frame-depth register readiness.
 ///
 /// Registers with no entry are ready at the *floor*: the time of the most
@@ -23,8 +86,7 @@ pub enum ProducerKind {
 /// 0 initially.
 #[derive(Default)]
 pub struct Scoreboard {
-    /// frames[depth][reg] = (ready_cycle, producer)
-    frames: Vec<HashMap<u32, (u64, ProducerKind)>>,
+    frames: Vec<FrameSlots>,
     floor: u64,
 }
 
@@ -33,10 +95,10 @@ impl Scoreboard {
         Self::default()
     }
 
-    fn frame_mut(&mut self, depth: u32) -> &mut HashMap<u32, (u64, ProducerKind)> {
+    fn frame_mut(&mut self, depth: u32) -> &mut FrameSlots {
         let d = depth as usize;
         if self.frames.len() <= d {
-            self.frames.resize_with(d + 1, HashMap::new);
+            self.frames.resize_with(d + 1, FrameSlots::new);
         }
         &mut self.frames[d]
     }
@@ -47,7 +109,7 @@ impl Scoreboard {
         let (t, k) = self
             .frames
             .get(depth as usize)
-            .and_then(|m| m.get(&reg).copied())
+            .and_then(|f| f.get(reg))
             .unwrap_or((0, ProducerKind::Other));
         if t >= self.floor {
             (t, k)
@@ -58,7 +120,7 @@ impl Scoreboard {
 
     /// Record that `reg` at `depth` becomes ready at `cycle`.
     pub fn set_ready(&mut self, depth: u32, reg: u32, cycle: u64, kind: ProducerKind) {
-        self.frame_mut(depth).insert(reg, (cycle, kind));
+        self.frame_mut(depth).set(reg, cycle, kind);
     }
 
     /// A new frame is entered at `depth`: its registers are fresh, written
@@ -68,10 +130,11 @@ impl Scoreboard {
         let f = self.frame_mut(depth);
         f.clear();
         // The frame's registers are available once the call issues; encode
-        // that by leaving the map empty (fall back to floor) unless the call
-        // time is later than the floor — then record a per-frame baseline.
+        // that by leaving the slots empty (fall back to floor) unless the
+        // call time is later than the floor — then record the baseline.
         if cycle > floor {
-            f.insert(u32::MAX, (cycle, ProducerKind::Other));
+            f.baseline = cycle;
+            f.baseline_gen = f.gen;
         }
     }
 
@@ -88,16 +151,17 @@ impl Scoreboard {
     pub fn frame_baseline(&self, depth: u32) -> u64 {
         self.frames
             .get(depth as usize)
-            .and_then(|m| m.get(&u32::MAX).copied())
-            .map(|(t, _)| t)
+            .filter(|f| f.baseline_gen == f.gen)
+            .map(|f| f.baseline)
             .unwrap_or(self.floor)
     }
 
-    /// Drop state for frames deeper than `depth` (after returns).
+    /// Drop state for frames deeper than `depth` (after returns). The frame
+    /// storage itself is kept for reuse; only the generations advance.
     pub fn truncate_below(&mut self, depth: u32) {
         let keep = depth as usize + 1;
-        if self.frames.len() > keep {
-            self.frames.truncate(keep);
+        for f in self.frames.iter_mut().skip(keep) {
+            f.clear();
         }
     }
 
@@ -158,5 +222,27 @@ mod tests {
         sb.set_ready(3, 0, 9, ProducerKind::Other);
         sb.truncate_below(1);
         assert_eq!(sb.ready_at(3, 0), (0, ProducerKind::Other));
+    }
+
+    #[test]
+    fn enter_frame_at_floor_keeps_floor_baseline() {
+        let mut sb = Scoreboard::new();
+        sb.reset_all(40);
+        sb.enter_frame(2, 40); // not later than the floor: no baseline entry
+        assert_eq!(sb.frame_baseline(2), 40);
+        sb.reset_all(60); // floor moves; stale baseline must not resurface
+        assert_eq!(sb.frame_baseline(2), 60);
+    }
+
+    #[test]
+    fn stale_entries_do_not_survive_clears() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(0, 1, 5, ProducerKind::Load);
+        sb.enter_frame(0, 7);
+        sb.enter_frame(0, 0); // clears again, baseline not re-armed
+        assert_eq!(sb.ready_at(0, 1), (0, ProducerKind::Other));
+        assert_eq!(sb.frame_baseline(0), 0);
+        sb.set_ready(0, 1, 9, ProducerKind::Other);
+        assert_eq!(sb.ready_at(0, 1), (9, ProducerKind::Other));
     }
 }

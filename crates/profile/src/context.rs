@@ -151,7 +151,7 @@ impl LoopContextTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spt_interp::{Cursor, Memory};
+    use spt_interp::{Cursor, DecodedProgram, Memory};
     use spt_sir::{BinOp, ProgramBuilder};
 
     fn counted_loop(n: i64) -> Program {
@@ -178,7 +178,8 @@ mod tests {
     fn drive(prog: &Program) -> (u64, Vec<(LoopKey, u64)>) {
         let mut tracker = LoopContextTracker::new(prog);
         let mut mem = Memory::for_program(prog);
-        let mut cur = Cursor::at_entry(prog);
+        let dec = DecodedProgram::new(prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut iters = 0;
         let mut exits = Vec::new();
         while let Some(ev) = cur.step(&mut mem) {
@@ -288,7 +289,8 @@ mod tests {
         let prog = pb.finish(main, 0);
         let mut tracker = LoopContextTracker::new(&prog);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let mut deepest_in_loop = 0u32;
         while let Some(ev) = cur.step(&mut mem) {
             tracker.observe(&ev);

@@ -18,7 +18,7 @@
 //! prediction (§4.4).
 
 use crate::context::{LoopContextTracker, LoopKey};
-use spt_interp::{Cursor, EvKind, Event, Memory};
+use spt_interp::{Cursor, DecodedProgram, EvKind, Event, Memory};
 use spt_sir::{Program, Reg, StmtRef, Terminator};
 use std::collections::{HashMap, HashSet};
 
@@ -179,7 +179,8 @@ pub fn profile_loops(prog: &Program, selection: &[LoopKey], max_steps: u64) -> D
     let selected: HashSet<LoopKey> = selection.iter().copied().collect();
     let mut tracker = LoopContextTracker::new(prog);
     let mut mem = Memory::for_program(prog);
-    let mut cur = Cursor::at_entry(prog);
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
     let mut out = DepProfile::default();
     for k in &selected {
         out.loops.entry(*k).or_default();

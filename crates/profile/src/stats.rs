@@ -1,7 +1,7 @@
 //! Whole-program profiling: loop statistics and reach probabilities.
 
 use crate::context::{LoopContextTracker, LoopKey};
-use spt_interp::{Cursor, EvKind, Memory};
+use spt_interp::{Cursor, DecodedProgram, EvKind, Memory};
 use spt_sir::{BlockId, FuncId, Program, StmtRef};
 use std::collections::HashMap;
 
@@ -117,7 +117,8 @@ impl ProgramProfile {
 pub fn profile_program(prog: &Program, max_steps: u64) -> ProgramProfile {
     let mut tracker = LoopContextTracker::new(prog);
     let mut mem = Memory::for_program(prog);
-    let mut cur = Cursor::at_entry(prog);
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
     let mut p = ProgramProfile::default();
 
     // Function-cost attribution: the stack of active functions.

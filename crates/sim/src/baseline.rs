@@ -4,7 +4,7 @@
 use crate::engine::CycleBreakdown;
 use crate::metrics::{LoopAnnotations, LoopCycleTracker};
 use crate::pipeline::PipelineCore;
-use spt_interp::{Cursor, Memory};
+use spt_interp::{Cursor, DecodedProgram, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig};
 use spt_sir::Program;
 use spt_trace::{NullSink, Pipe, TraceSink};
@@ -70,8 +70,9 @@ pub fn simulate_baseline_traced(
     let mut core = PipelineCore::new(cfg, Pipe::Main);
     let mut cache = CacheSim::new(cfg);
     let mut mem = Memory::for_program(prog);
-    let mut cur = Cursor::at_entry(prog);
-    let mut tracker = LoopCycleTracker::new(annots.clone());
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
+    let mut tracker = LoopCycleTracker::new(annots);
 
     let mut steps = 0u64;
     while steps < max_steps {

@@ -307,7 +307,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spt_interp::{Cursor, Memory};
+    use spt_interp::{Cursor, DecodedProgram, Memory};
     use spt_sir::{BinOp, Program, ProgramBuilder};
 
     fn cfg() -> MachineConfig {
@@ -320,7 +320,8 @@ mod tests {
         let mut eng = Engine::new(&c);
         let mut cache = CacheSim::new(&c);
         let mut mem = Memory::for_program(prog);
-        let mut cur = Cursor::at_entry(prog);
+        let dec = DecodedProgram::new(prog);
+        let mut cur = Cursor::at_entry(&dec);
         while let Some(ev) = cur.step(&mut mem) {
             eng.issue(&ev, &mut cache, &c);
         }
@@ -432,7 +433,8 @@ mod tests {
         eng.set_width(12);
         let prog = straightline(1);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let ev = cur.step(&mut mem).unwrap();
         // 24 commits at width 12 -> 2 cycles of bandwidth.
         for _ in 0..24 {
@@ -472,7 +474,8 @@ mod tests {
         let mut eng = Engine::new(&c);
         let mut cache = CacheSim::new(&c);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         while let Some(ev) = cur.step(&mut mem) {
             eng.issue(&ev, &mut cache, &c);
         }

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod metrics;
 pub mod pipeline;
 pub mod recovery;
+pub mod specset;
 pub mod spt;
 pub mod ssb;
 
@@ -35,5 +36,6 @@ pub use engine::{CycleBreakdown, Engine, StallBreakdown, StallKind};
 pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};
 pub use pipeline::PipelineCore;
 pub use recovery::{policy_for, FullSquash, RecoveryPolicy, SrxFastCommit, SrxOnly};
+pub use specset::{AddrList, AddrMembers, DepthRegSet, RegSet};
 pub use spt::{SptReport, SptSim};
 pub use ssb::{SpecMem, Ssb};

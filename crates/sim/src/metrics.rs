@@ -50,8 +50,8 @@ impl LoopAnnotations {
 /// Attributes main-pipeline cycle deltas to the annotated loop currently
 /// executing. Calls made from inside a loop are attributed to the loop;
 /// leaving the loop's blocks at the loop's frame depth ends the region.
-pub struct LoopCycleTracker {
-    annots: LoopAnnotations,
+pub struct LoopCycleTracker<'a> {
+    annots: &'a LoopAnnotations,
     /// (annot index, frame depth at entry)
     active: Option<(usize, u32)>,
     /// Cycles attributed per annot index.
@@ -60,8 +60,8 @@ pub struct LoopCycleTracker {
     instrs: Vec<u64>,
 }
 
-impl LoopCycleTracker {
-    pub fn new(annots: LoopAnnotations) -> Self {
+impl<'a> LoopCycleTracker<'a> {
+    pub fn new(annots: &'a LoopAnnotations) -> Self {
         let n = annots.loops.len();
         LoopCycleTracker {
             annots,
@@ -116,8 +116,8 @@ impl LoopCycleTracker {
         &self.instrs
     }
 
-    pub fn annotations(&self) -> &LoopAnnotations {
-        &self.annots
+    pub fn annotations(&self) -> &'a LoopAnnotations {
+        self.annots
     }
 
     /// Fold the attributed cycles and instructions into per-loop stat
@@ -242,7 +242,8 @@ mod tests {
 
     #[test]
     fn attributes_cycles_inside_loop_blocks() {
-        let mut t = LoopCycleTracker::new(annots());
+        let a = annots();
+        let mut t = LoopCycleTracker::new(&a);
         t.observe(&ev(0, 1, 0), 5); // outside
         assert_eq!(t.current(), None);
         t.observe(&ev(0, 2, 0), 3); // enter loop
@@ -256,7 +257,8 @@ mod tests {
 
     #[test]
     fn callee_events_attributed_to_loop() {
-        let mut t = LoopCycleTracker::new(annots());
+        let a = annots();
+        let mut t = LoopCycleTracker::new(&a);
         t.observe(&ev(0, 2, 0), 1); // enter loop at depth 0
         t.observe(&ev(1, 0, 1), 9); // inside a callee (deeper)
         assert_eq!(t.current(), Some(0));
@@ -268,7 +270,8 @@ mod tests {
 
     #[test]
     fn returning_below_entry_depth_exits_loop() {
-        let mut t = LoopCycleTracker::new(annots());
+        let a = annots();
+        let mut t = LoopCycleTracker::new(&a);
         t.observe(&ev(0, 2, 3), 1); // loop entered at depth 3
         t.observe(&ev(0, 0, 2), 1); // shallower: left the frame
         assert_eq!(t.current(), None);
@@ -322,7 +325,8 @@ mod tests {
 
     #[test]
     fn fold_into_copies_attribution() {
-        let mut t = LoopCycleTracker::new(annots());
+        let a = annots();
+        let mut t = LoopCycleTracker::new(&a);
         t.observe(&ev(0, 2, 0), 3);
         t.observe(&ev(0, 3, 0), 2);
         let mut per_loop = vec![PerLoopStats {

@@ -88,7 +88,7 @@ impl PipelineCore {
         ev: &Event,
         cache: &mut CacheSim,
         cfg: &MachineConfig,
-        tracker: &mut LoopCycleTracker,
+        tracker: &mut LoopCycleTracker<'_>,
         sink: &mut dyn TraceSink,
     ) {
         let delta = self.issue(ev, cache, cfg);
@@ -103,7 +103,7 @@ impl PipelineCore {
 mod tests {
     use super::*;
     use crate::metrics::LoopAnnotations;
-    use spt_interp::{Cursor, Memory};
+    use spt_interp::{Cursor, DecodedProgram, Memory};
     use spt_sir::{BinOp, Program, ProgramBuilder};
     use spt_trace::RingBufferSink;
 
@@ -127,14 +127,16 @@ mod tests {
         let mut core = PipelineCore::new(&cfg, Pipe::Main);
         let mut cache = CacheSim::new(&cfg);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
-        let mut tracker = LoopCycleTracker::new(LoopAnnotations::empty());
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        let annots = LoopAnnotations::empty();
+        let mut tracker = LoopCycleTracker::new(&annots);
         let mut sink = RingBufferSink::unbounded();
 
         let mut manual = Engine::new(&cfg);
         let mut manual_cache = CacheSim::new(&cfg);
         let mut manual_mem = Memory::for_program(&prog);
-        let mut manual_cur = Cursor::at_entry(&prog);
+        let mut manual_cur = Cursor::at_entry(&dec);
 
         while let Some(ev) = cur.step(&mut mem) {
             core.step_issue(&ev, &mut cache, &cfg, &mut tracker, &mut sink);
@@ -153,8 +155,10 @@ mod tests {
         let mut core = PipelineCore::new(&cfg, Pipe::Spec);
         let mut cache = CacheSim::new(&cfg);
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
-        let mut tracker = LoopCycleTracker::new(LoopAnnotations::empty());
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        let annots = LoopAnnotations::empty();
+        let mut tracker = LoopCycleTracker::new(&annots);
         let mut sink = RingBufferSink::unbounded();
         while let Some(ev) = cur.step(&mut mem) {
             core.step_issue(&ev, &mut cache, &cfg, &mut tracker, &mut sink);

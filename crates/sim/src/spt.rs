@@ -44,12 +44,12 @@ use crate::engine::{CycleBreakdown, Engine};
 use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};
 use crate::pipeline::PipelineCore;
 use crate::recovery::policy_for;
+use crate::specset::{AddrList, AddrMembers, DepthRegSet, RegSet};
 use crate::ssb::{SpecMem, Ssb};
-use spt_interp::{Cursor, EvKind, Event, Memory};
+use spt_interp::{Cursor, DecodedProgram, EvKind, Event, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy};
-use spt_sir::{BlockId, FuncId, Op, Program, Reg, StmtRef, Terminator};
+use spt_sir::{BlockId, FuncId, Op, Program, Reg};
 use spt_trace::{NullSink, Pipe, StderrSink, TraceEvent, TraceSink};
-use std::collections::HashSet;
 
 /// Result of an SPT run.
 #[derive(Clone, Debug)]
@@ -135,17 +135,17 @@ struct SpecState<'p> {
     core: usize,
     ssb: Ssb,
     /// Load address buffer: speculative loads that went to cache/memory.
-    lab: HashSet<u64>,
+    lab: AddrMembers,
     srb: Vec<Event>,
     /// Fork-level registers read by the speculative thread before writing.
-    live_in_reads: HashSet<u32>,
+    live_in_reads: RegSet,
     /// Fork-level registers written by the speculative thread.
-    spec_written: HashSet<u32>,
+    spec_written: RegSet,
     /// Fork-level registers written by the main thread post-fork (plus,
     /// for downstream ring threads, by committed predecessors).
-    post_fork_writes: HashSet<u32>,
+    post_fork_writes: RegSet,
     /// Memory words where a post-fork store hit the LAB.
-    violated_addrs: HashSet<u64>,
+    violated_addrs: AddrList,
     /// Index of the frame that was live at the fork.
     fork_level: usize,
     /// `frames.len()` at fork (start-point depth).
@@ -159,6 +159,67 @@ struct SpecState<'p> {
     loop_idx: Option<usize>,
     /// Cycle at which the fork issued (trace attribution).
     fork_cycle: u64,
+}
+
+impl<'a> SpecState<'a> {
+    /// Fork a new thread state from `parent`, recycling a finished
+    /// thread's buffers from `pool` when one is available so the hot
+    /// fork path reuses register files, store-buffer slots and stamp
+    /// tables instead of allocating.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire(
+        pool: &mut Vec<SpecState<'a>>,
+        parent: &Cursor<'a>,
+        start: BlockId,
+        mem_words: usize,
+        core: usize,
+        start_pos: EvKind,
+        loop_idx: Option<usize>,
+        fork_cycle: u64,
+    ) -> SpecState<'a> {
+        let fork_level = parent.depth() - 1;
+        let start_depth = parent.depth();
+        match pool.pop() {
+            Some(mut st) => {
+                parent.fork_speculative_into(start, &mut st.cursor);
+                st.ssb.clear();
+                st.lab.clear();
+                st.srb.clear();
+                st.live_in_reads.clear();
+                st.spec_written.clear();
+                st.post_fork_writes.clear();
+                st.violated_addrs.clear();
+                st.fork_regs.clear();
+                st.fork_regs.extend_from_slice(parent.regs_at(fork_level));
+                st.core = core;
+                st.fork_level = fork_level;
+                st.start_depth = start_depth;
+                st.start_pos = start_pos;
+                st.stalled = false;
+                st.loop_idx = loop_idx;
+                st.fork_cycle = fork_cycle;
+                st
+            }
+            None => SpecState {
+                cursor: parent.fork_speculative(start),
+                core,
+                ssb: Ssb::with_words(mem_words),
+                lab: AddrMembers::new(),
+                srb: Vec::new(),
+                live_in_reads: RegSet::new(),
+                spec_written: RegSet::new(),
+                post_fork_writes: RegSet::new(),
+                violated_addrs: AddrList::new(),
+                fork_level,
+                start_depth,
+                fork_regs: parent.regs_at(fork_level).to_vec(),
+                start_pos,
+                stalled: false,
+                loop_idx,
+                fork_cycle,
+            },
+        }
+    }
 }
 
 /// What a fast commit leaves behind for downstream ring threads.
@@ -183,8 +244,9 @@ enum Recovered {
 /// Discard every live speculative thread (oldest first), attributing a
 /// kill to each.
 #[allow(clippy::too_many_arguments)]
-fn kill_all_threads(
-    spec: &mut Vec<SpecState<'_>>,
+fn kill_all_threads<'a>(
+    spec: &mut Vec<SpecState<'a>>,
+    pool: &mut Vec<SpecState<'a>>,
     cycle: u64,
     kills: &mut u64,
     spec_discarded: &mut u64,
@@ -209,44 +271,38 @@ fn kill_all_threads(
                 },
             );
         }
+        pool.push(sp);
     }
 }
 
 /// The SPT machine.
 pub struct SptSim<'p> {
     prog: &'p Program,
+    /// Pre-decoded instruction streams — the form the hot loops execute.
+    dec: DecodedProgram<'p>,
     cfg: MachineConfig,
     annots: LoopAnnotations,
 }
 
 impl<'p> SptSim<'p> {
     pub fn new(prog: &'p Program, cfg: MachineConfig, annots: LoopAnnotations) -> Self {
-        SptSim { prog, cfg, annots }
+        SptSim {
+            prog,
+            dec: DecodedProgram::new(prog),
+            cfg,
+            annots,
+        }
     }
 
     /// Static position of the first thing executed in `block` of `func`.
     fn position_of(&self, func: FuncId, block: BlockId) -> EvKind {
-        if self.prog.func(func).block(block).insts.is_empty() {
-            EvKind::Term { func, block }
-        } else {
-            EvKind::Inst {
-                func,
-                sref: StmtRef::new(block, 0),
-            }
-        }
+        self.dec.position_of(func, block)
     }
 
     /// Precise operand registers of the statement behind an event
     /// (the event's own `srcs` are capacity-limited for timing).
-    fn static_srcs(&self, ev: &Event) -> Vec<Reg> {
-        match ev.kind {
-            EvKind::Inst { func, sref } => self.prog.func(func).inst(sref).srcs_with_guard(),
-            EvKind::Term { func, block } => match &self.prog.func(func).block(block).term {
-                Terminator::Br { cond, .. } => vec![*cond],
-                Terminator::Ret(Some(r)) => vec![*r],
-                _ => vec![],
-            },
-        }
+    fn static_srcs(&self, ev: &Event) -> &[Reg] {
+        self.dec.srcs_of(ev.kind)
     }
 
     /// Earliest cycle the speculative thread's next instruction can issue.
@@ -255,21 +311,7 @@ impl<'p> SptSim<'p> {
             return u64::MAX;
         };
         let depth = (sp.cursor.depth() - 1) as u32;
-        let srcs: Vec<u32> = match pos {
-            EvKind::Inst { func, sref } => self
-                .prog
-                .func(func)
-                .inst(sref)
-                .srcs_with_guard()
-                .iter()
-                .map(|r| r.0)
-                .collect(),
-            EvKind::Term { func, block } => match &self.prog.func(func).block(block).term {
-                Terminator::Br { cond, .. } => vec![cond.0],
-                Terminator::Ret(Some(r)) => vec![r.0],
-                _ => vec![],
-            },
-        };
+        let srcs = self.dec.srcs_of(pos).iter().map(|r| r.0);
         spec_eng.ready_time(depth, srcs)
     }
 
@@ -308,7 +350,7 @@ impl<'p> SptSim<'p> {
         let cores = cfg.cores.max(2);
         let mut mem = Memory::for_program(self.prog);
         let mut cache = CacheSim::new(cfg);
-        let mut main = Cursor::at_entry(self.prog);
+        let mut main = Cursor::at_entry(&self.dec);
         let mut main_core = PipelineCore::new(cfg, Pipe::Main);
         // Speculative cores are created once and reused across threads:
         // `advance_to` + `reset_context` at each spawn model the RF copy,
@@ -316,9 +358,11 @@ impl<'p> SptSim<'p> {
         let mut spec_cores: Vec<PipelineCore> = (1..cores)
             .map(|_| PipelineCore::new(cfg, Pipe::Spec))
             .collect();
-        let mut tracker = LoopCycleTracker::new(self.annots.clone());
+        let mut tracker = LoopCycleTracker::new(&self.annots);
         // Live speculative threads, oldest (next to be checked) first.
-        let mut spec: Vec<SpecState<'p>> = Vec::new();
+        let mut spec: Vec<SpecState<'_>> = Vec::new();
+        // Finished thread states, retained so forks reuse their buffers.
+        let mut pool: Vec<SpecState<'_>> = Vec::new();
 
         let mut per_loop: Vec<PerLoopStats> = self
             .annots
@@ -378,7 +422,7 @@ impl<'p> SptSim<'p> {
                 steps += 1;
                 let sp = &mut spec[i];
                 let core = &mut spec_cores[sp.core - 1];
-                let fork_req = Self::step_spec(self.prog, sp, core, &mut cache, &mut mem, cfg);
+                let fork_req = Self::step_spec(&self.dec, sp, core, &mut cache, &mut mem, cfg);
                 if sink.enabled() {
                     if sp.srb.len() > srb_high_water {
                         srb_high_water = sp.srb.len();
@@ -418,33 +462,22 @@ impl<'p> SptSim<'p> {
                                 },
                             );
                         }
-                        let fork_level = parent.cursor.depth() - 1;
-                        let cursor = parent.cursor.fork_speculative(start);
-                        let fork_regs = parent.cursor.regs_at(fork_level).to_vec();
-                        let start_depth = parent.cursor.depth();
                         let t = parent_cycle + cfg.rf_copy_overhead;
                         let succ = &mut spec_cores[free - 1].engine;
                         succ.advance_to(t);
                         succ.reset_context(t);
                         per_core[free].threads += 1;
-                        spec.push(SpecState {
-                            cursor,
-                            core: free,
-                            ssb: Ssb::new(),
-                            lab: HashSet::new(),
-                            srb: Vec::new(),
-                            live_in_reads: HashSet::new(),
-                            spec_written: HashSet::new(),
-                            post_fork_writes: HashSet::new(),
-                            violated_addrs: HashSet::new(),
-                            fork_level,
-                            start_depth,
-                            fork_regs,
-                            start_pos: self.position_of(func, start),
-                            stalled: false,
+                        let st = SpecState::acquire(
+                            &mut pool,
+                            &spec[i].cursor,
+                            start,
+                            mem.len(),
+                            free,
+                            self.position_of(func, start),
                             loop_idx,
-                            fork_cycle: parent_cycle,
-                        });
+                            parent_cycle,
+                        );
+                        spec.push(st);
                     }
                 }
                 continue 'outer;
@@ -459,6 +492,7 @@ impl<'p> SptSim<'p> {
                 let spec_core_idx = sp.core - 1;
                 let outcome = self.check_and_recover(
                     sp,
+                    &mut pool,
                     &mut main,
                     &mut main_core,
                     &spec_cores[spec_core_idx].engine,
@@ -486,7 +520,7 @@ impl<'p> SptSim<'p> {
                             // a stale value.
                             for sp2 in spec.iter_mut() {
                                 for &a in &fx.drained_addrs {
-                                    if sp2.lab.contains(&a) {
+                                    if sp2.lab.contains(a) {
                                         sp2.violated_addrs.insert(a);
                                     }
                                 }
@@ -494,7 +528,7 @@ impl<'p> SptSim<'p> {
                                     // Conservative: every register the
                                     // committed thread wrote counts as a
                                     // post-fork write for its successors.
-                                    sp2.post_fork_writes.extend(fx.written.iter().copied());
+                                    sp2.post_fork_writes.extend_from_slice(&fx.written);
                                 }
                             }
                         }
@@ -502,6 +536,7 @@ impl<'p> SptSim<'p> {
                     Recovered::Rollback => {
                         kill_all_threads(
                             &mut spec,
+                            &mut pool,
                             main_core.engine.cycle(),
                             &mut kills,
                             &mut spec_discarded,
@@ -540,33 +575,23 @@ impl<'p> SptSim<'p> {
                             },
                         );
                     }
-                    let fork_level = main.depth() - 1;
-                    let cursor = main.fork_speculative(start);
-                    let fork_regs = main.regs_at(fork_level).to_vec();
                     // All ring cores are free: the thread goes to core 1.
                     // RF copy overhead: the pipeline starts after it.
                     let t = main_core.engine.cycle() + cfg.rf_copy_overhead;
                     spec_cores[0].engine.advance_to(t);
                     spec_cores[0].engine.reset_context(t);
                     per_core[1].threads += 1;
-                    spec.push(SpecState {
-                        cursor,
-                        core: 1,
-                        ssb: Ssb::new(),
-                        lab: HashSet::new(),
-                        srb: Vec::new(),
-                        live_in_reads: HashSet::new(),
-                        spec_written: HashSet::new(),
-                        post_fork_writes: HashSet::new(),
-                        violated_addrs: HashSet::new(),
-                        fork_level,
-                        start_depth: main.depth(),
-                        fork_regs,
-                        start_pos: self.position_of(func, start),
-                        stalled: false,
+                    let st = SpecState::acquire(
+                        &mut pool,
+                        &main,
+                        start,
+                        mem.len(),
+                        1,
+                        self.position_of(func, start),
                         loop_idx,
-                        fork_cycle: main_core.engine.cycle(),
-                    });
+                        main_core.engine.cycle(),
+                    );
+                    spec.push(st);
                 } else {
                     forks_ignored += 1;
                     if sink.enabled() {
@@ -586,6 +611,7 @@ impl<'p> SptSim<'p> {
             if ev.kill {
                 kill_all_threads(
                     &mut spec,
+                    &mut pool,
                     main_core.engine.cycle(),
                     &mut kills,
                     &mut spec_discarded,
@@ -606,7 +632,7 @@ impl<'p> SptSim<'p> {
                         }
                     }
                     if let Some(m) = ev.mem {
-                        if m.is_store && ev.executed && sp.lab.contains(&m.addr) {
+                        if m.is_store && ev.executed && sp.lab.contains(m.addr) {
                             sp.violated_addrs.insert(m.addr);
                         }
                     }
@@ -617,6 +643,7 @@ impl<'p> SptSim<'p> {
                 if main.depth() < spec[0].start_depth {
                     kill_all_threads(
                         &mut spec,
+                        &mut pool,
                         main_core.engine.cycle(),
                         &mut kills,
                         &mut spec_discarded,
@@ -664,7 +691,7 @@ impl<'p> SptSim<'p> {
     /// One speculative-pipeline step. Returns the fork request (`spt_fork`
     /// function and start block) if this step executed one.
     fn step_spec(
-        prog: &Program,
+        dec: &DecodedProgram<'_>,
         sp: &mut SpecState<'_>,
         core: &mut PipelineCore,
         cache: &mut CacheSim,
@@ -682,16 +709,8 @@ impl<'p> SptSim<'p> {
 
         // Precise live-in tracking at the fork level.
         if ev.depth as usize == sp.fork_level {
-            let srcs: Vec<Reg> = match ev.kind {
-                EvKind::Inst { func, sref } => prog.func(func).inst(sref).srcs_with_guard(),
-                EvKind::Term { func, block } => match &prog.func(func).block(block).term {
-                    Terminator::Br { cond, .. } => vec![*cond],
-                    Terminator::Ret(Some(r)) => vec![*r],
-                    _ => vec![],
-                },
-            };
-            for r in srcs {
-                if !sp.spec_written.contains(&r.0) {
+            for r in dec.srcs_of(ev.kind) {
+                if !sp.spec_written.contains(r.0) {
                     sp.live_in_reads.insert(r.0);
                 }
             }
@@ -739,15 +758,16 @@ impl<'p> SptSim<'p> {
     /// Dependence check at the start-point, then fast commit / replay /
     /// squash according to the configured recovery policy.
     #[allow(clippy::too_many_arguments)]
-    fn check_and_recover(
+    fn check_and_recover<'a>(
         &self,
-        mut sp: SpecState<'p>,
-        main: &mut Cursor<'p>,
+        mut sp: SpecState<'a>,
+        pool: &mut Vec<SpecState<'a>>,
+        main: &mut Cursor<'a>,
         main_core: &mut PipelineCore,
         spec_eng: &Engine,
         cache: &mut CacheSim,
         mem: &mut Memory,
-        tracker: &mut LoopCycleTracker,
+        tracker: &mut LoopCycleTracker<'_>,
         per_loop: &mut [PerLoopStats],
         per_core: &mut [PerCoreStats],
         steps: &mut u64,
@@ -769,19 +789,17 @@ impl<'p> SptSim<'p> {
         }
 
         // Register dependence check.
-        let violated_regs: HashSet<u32> = match cfg.reg_check {
-            RegCheckPolicy::MarkBased => sp
-                .live_in_reads
-                .intersection(&sp.post_fork_writes)
-                .copied()
-                .collect(),
+        let violated_regs: RegSet = match cfg.reg_check {
+            RegCheckPolicy::MarkBased => sp.live_in_reads.intersection(&sp.post_fork_writes),
             RegCheckPolicy::ValueBased => {
                 let now = main.regs_at(sp.fork_level);
-                sp.live_in_reads
-                    .iter()
-                    .copied()
-                    .filter(|&r| sp.fork_regs[r as usize] != now[r as usize])
-                    .collect()
+                let mut v = RegSet::new();
+                for r in sp.live_in_reads.iter() {
+                    if sp.fork_regs[r as usize] != now[r as usize] {
+                        v.insert(r);
+                    }
+                }
+                v
             }
         };
         let violated = !violated_regs.is_empty() || !sp.violated_addrs.is_empty();
@@ -794,15 +812,9 @@ impl<'p> SptSim<'p> {
             main_core.engine.reset_context(t);
             tracker.attribute_extra(main_core.engine.cycle() - before);
             let effects = if want_effects {
-                let mut written: Vec<u32> = sp
-                    .spec_written
-                    .union(&sp.post_fork_writes)
-                    .copied()
-                    .collect();
-                written.sort_unstable();
                 Some(CommitEffects {
                     drained_addrs: sp.ssb.addrs().collect(),
-                    written,
+                    written: sp.spec_written.union_sorted(&sp.post_fork_writes),
                 })
             } else {
                 None
@@ -819,7 +831,7 @@ impl<'p> SptSim<'p> {
             main.adopt(&sp.cursor);
             if let Some(frame) = main.frames.get_mut(sp.fork_level) {
                 for (r, v) in main_regs.iter().enumerate() {
-                    if !sp.spec_written.contains(&(r as u32)) {
+                    if !sp.spec_written.contains(r as u32) {
                         frame.regs[r] = *v;
                     }
                 }
@@ -839,6 +851,7 @@ impl<'p> SptSim<'p> {
                     },
                 );
             }
+            pool.push(sp);
             return Recovered::FastCommit(effects);
         }
 
@@ -869,6 +882,7 @@ impl<'p> SptSim<'p> {
                     },
                 );
             }
+            pool.push(sp);
             return Recovered::Rollback;
         }
 
@@ -889,22 +903,21 @@ impl<'p> SptSim<'p> {
         // Sorted violation lists for the trace (the sets drive recovery;
         // the trace needs a deterministic order).
         let (trace_regs, trace_addrs) = if sink.enabled() {
-            let mut rs: Vec<u32> = violated_regs.iter().copied().collect();
-            rs.sort_unstable();
-            let mut addrs: Vec<u64> = sp.violated_addrs.iter().copied().collect();
+            let mut addrs: Vec<u64> = sp.violated_addrs.iter().collect();
             addrs.sort_unstable();
-            (rs, addrs)
+            (violated_regs.iter().collect::<Vec<u32>>(), addrs)
         } else {
             (Vec::new(), Vec::new())
         };
         let mut committed_n = 0usize;
         let mut reexec_n = 0usize;
 
-        let mut updated: HashSet<(u32, u32)> = violated_regs
-            .into_iter()
-            .map(|r| (sp.fork_level as u32, r))
-            .collect();
-        let mut updated_addrs: HashSet<u64> = sp.violated_addrs.clone();
+        let mut updated = DepthRegSet::new();
+        updated.seed_level(sp.fork_level as u32, violated_regs);
+        let mut updated_addrs = AddrMembers::new();
+        for a in sp.violated_addrs.iter() {
+            updated_addrs.insert(a);
+        }
 
         // `processed` = SRB entries fully replayed before this iteration.
         for (processed, entry) in sp.srb.iter().enumerate() {
@@ -938,13 +951,13 @@ impl<'p> SptSim<'p> {
             let mut missp = entry.executed != cev.executed;
             if !missp && cev.executed {
                 for r in self.static_srcs(&cev) {
-                    if updated.contains(&(cev.depth, r.0)) {
+                    if updated.contains(cev.depth, r.0) {
                         missp = true;
                         break;
                     }
                 }
                 if let Some(m) = entry.mem {
-                    if !m.is_store && updated_addrs.contains(&m.addr) {
+                    if !m.is_store && updated_addrs.contains(m.addr) {
                         missp = true;
                     }
                 }
@@ -967,14 +980,13 @@ impl<'p> SptSim<'p> {
 
             // Propagate "updated" marks.
             if let Some(dst) = cev.dst {
-                let key = (cev.dst_depth(), dst.0);
                 let converged = cfg.reg_check == RegCheckPolicy::ValueBased
                     && cev.dst_val == entry.dst_val
                     && cev.executed == entry.executed;
                 if missp && !converged {
-                    updated.insert(key);
+                    updated.insert(cev.dst_depth(), dst.0);
                 } else {
-                    updated.remove(&key);
+                    updated.remove(cev.dst_depth(), dst.0);
                 }
             }
             if let Some(m) = cev.mem {
@@ -983,7 +995,7 @@ impl<'p> SptSim<'p> {
                     if missp && spec_val != Some(m.value) {
                         updated_addrs.insert(m.addr);
                     } else {
-                        updated_addrs.remove(&m.addr);
+                        updated_addrs.remove(m.addr);
                     }
                 }
             }
@@ -992,8 +1004,8 @@ impl<'p> SptSim<'p> {
                 if let EvKind::Inst { func, sref } = cev.kind {
                     if let Op::Call { args, .. } = &self.prog.func(func).inst(sref).op {
                         for (i, a) in args.iter().enumerate() {
-                            if updated.contains(&(cev.depth, a.0)) {
-                                updated.insert((cev.depth + 1, i as u32));
+                            if updated.contains(cev.depth, a.0) {
+                                updated.insert(cev.depth + 1, i as u32);
                             }
                         }
                     }
@@ -1019,6 +1031,7 @@ impl<'p> SptSim<'p> {
         }
         // SSB is discarded: replay wrote corrected values to memory
         // directly.
+        pool.push(sp);
         Recovered::Rollback
     }
 }

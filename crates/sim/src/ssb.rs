@@ -6,36 +6,81 @@
 //! the buffered stores are written back in program order; on kill or replay
 //! they are discarded (replay re-executes stores against architectural
 //! memory directly).
+//!
+//! The buffer is a generation-stamped direct-mapped array over the
+//! word-addressed memory: slot `a` holds the latest speculative value for
+//! address `a` plus the epoch it was written in. `clear` is a single epoch
+//! bump — O(1), no rehash, no realloc — which matters because the SPT
+//! machine clears an SSB on every fork, kill and commit. Stamps only
+//! compare equal within one epoch; when the 32-bit epoch counter would
+//! wrap, the whole array is hard-reset so stale stamps from 2^32 epochs
+//! ago can never alias a fresh one.
 
 use spt_interp::{MemView, Memory};
-use std::collections::HashMap;
 
 /// The speculative store buffer.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct Ssb {
-    map: HashMap<u64, i64>,
+    /// Per-word-address (epoch stamp, value). A slot is live iff its stamp
+    /// equals the current epoch. Stamp 0 is never a valid epoch.
+    slots: Vec<(u32, i64)>,
+    epoch: u32,
     /// Program-order log for write-back.
     log: Vec<(u64, i64)>,
 }
 
+impl Default for Ssb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Ssb {
     pub fn new() -> Self {
-        Self::default()
+        Ssb {
+            slots: Vec::new(),
+            epoch: 1,
+            log: Vec::new(),
+        }
+    }
+
+    /// A buffer pre-sized for a memory of `words` words, so no growth
+    /// happens on the store path (cursor addresses are already wrapped to
+    /// the memory size).
+    pub fn with_words(words: usize) -> Self {
+        Ssb {
+            slots: vec![(0, 0); words],
+            epoch: 1,
+            log: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn grow_for(&mut self, addr: u64) {
+        if addr as usize >= self.slots.len() {
+            self.slots.resize(addr as usize + 1, (0, 0));
+        }
     }
 
     pub fn store(&mut self, addr: u64, val: i64) {
-        self.map.insert(addr, val);
+        self.grow_for(addr);
+        self.slots[addr as usize] = (self.epoch, val);
         self.log.push((addr, val));
     }
 
     /// Latest speculative value for `addr`, if any (store-to-load
     /// forwarding).
+    #[inline]
     pub fn lookup(&self, addr: u64) -> Option<i64> {
-        self.map.get(&addr).copied()
+        match self.slots.get(addr as usize) {
+            Some(&(stamp, val)) if stamp == self.epoch => Some(val),
+            _ => None,
+        }
     }
 
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
-        self.map.contains_key(&addr)
+        matches!(self.slots.get(addr as usize), Some(&(stamp, _)) if stamp == self.epoch)
     }
 
     /// Number of buffered stores (dynamic, incl. overwrites).
@@ -62,9 +107,28 @@ impl Ssb {
         self.clear();
     }
 
+    /// Discard all buffered stores: one epoch bump. On epoch wrap the slot
+    /// array is hard-reset, so a stamp written 2^32 epochs ago can never
+    /// read as live again.
     pub fn clear(&mut self) {
-        self.map.clear();
         self.log.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slots.iter_mut().for_each(|s| *s = (0, 0));
+            self.epoch = 1;
+        }
+    }
+
+    /// Current epoch (exposed for the wrap test).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Jump the epoch counter — test hook to exercise the 2^32-epoch wrap
+    /// without 2^32 `clear` calls.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 }
 
@@ -163,5 +227,42 @@ mod tests {
             base: &mut mem,
         };
         assert_eq!(view.words(), 16);
+    }
+
+    #[test]
+    fn presized_buffer_covers_word_range() {
+        let mut ssb = Ssb::with_words(8);
+        for a in 0..8u64 {
+            assert_eq!(ssb.lookup(a), None);
+            ssb.store(a, a as i64 + 100);
+        }
+        // Wrap boundary: the last word of the memory is a valid slot.
+        assert_eq!(ssb.lookup(7), Some(107));
+        assert_eq!(ssb.lookup(0), Some(100));
+        ssb.clear();
+        for a in 0..8u64 {
+            assert_eq!(ssb.lookup(a), None);
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stale_stamps() {
+        let mut ssb = Ssb::with_words(4);
+        ssb.store(2, 42);
+        assert_eq!(ssb.lookup(2), Some(42));
+        // Pretend 2^32 - 1 epochs of clears happened since that store.
+        ssb.force_epoch(u32::MAX);
+        ssb.store(1, 7);
+        assert_eq!(ssb.lookup(1), Some(7));
+        ssb.clear(); // wraps: hard reset, epoch restarts at 1
+        assert_eq!(ssb.epoch(), 1);
+        // Slot 2's ancient stamp (old epoch 1) must NOT read as live even
+        // though the current epoch is 1 again.
+        assert_eq!(ssb.lookup(2), None);
+        assert_eq!(ssb.lookup(1), None);
+        // And the buffer still works after the wrap.
+        ssb.store(3, 9);
+        assert_eq!(ssb.lookup(3), Some(9));
+        assert!(ssb.contains(3));
     }
 }

@@ -3,8 +3,10 @@
 use crate::inst::Inst;
 use crate::types::{BlockId, FuncId, Reg, StmtRef};
 
-/// How control leaves a basic block.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// How control leaves a basic block. Plain-old-data (`Copy`), so the
+/// interpreter can read a terminator out of a block without cloning heap
+/// state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Terminator {
     /// Unconditional jump.
     Jmp(BlockId),

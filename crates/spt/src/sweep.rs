@@ -276,6 +276,38 @@ impl RunReport {
         self.records.iter().map(|r| r.timings.total_ms()).sum()
     }
 
+    /// Simulated cycles actually executed during this run: baseline and
+    /// SPT cycles of records whose simulation phase was a cache *miss*
+    /// (hits replay a memoized result and simulate nothing).
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| {
+                let b = if r.baseline_hit {
+                    0
+                } else {
+                    r.baseline_cycles.unwrap_or(0)
+                };
+                let s = if r.spt_hit {
+                    0
+                } else {
+                    r.spt_cycles.unwrap_or(0)
+                };
+                b + s
+            })
+            .sum()
+    }
+
+    /// Simulator throughput: executed simulated cycles per wall-clock
+    /// second (0.0 for an instantaneous or simulation-free run).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.total_sim_cycles() as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
     /// One-line human summary (printed by the bench binaries).
     pub fn summary(&self) -> String {
         format!(
@@ -298,6 +330,8 @@ impl ToJson for RunReport {
             .with("workers", self.workers)
             .with("wall_ms", self.wall_ms)
             .with("compute_ms", self.compute_ms())
+            .with("total_sim_cycles", self.total_sim_cycles())
+            .with("sim_cycles_per_sec", self.sim_cycles_per_sec())
             .with("cache", self.cache.to_json())
             .with(
                 "records",
@@ -624,6 +658,8 @@ mod tests {
             records: vec![BenchRecord {
                 name: "b".into(),
                 speedup: Some(1.25),
+                baseline_cycles: Some(3000),
+                spt_cycles: Some(1500),
                 ..Default::default()
             }],
             cache: MemoStats::default(),
@@ -633,6 +669,9 @@ mod tests {
         for key in [
             "\"experiment\":\"demo\"",
             "\"workers\":2",
+            "\"wall_ms\":1.5",
+            "\"total_sim_cycles\":4500",
+            "\"sim_cycles_per_sec\":3000000",
             "\"cache\":",
             "\"profile\":{\"hits\":0,\"misses\":0}",
             "\"records\":",
@@ -641,5 +680,37 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn sim_cycle_throughput_counts_only_executed_phases() {
+        let mut rep = RunReport {
+            experiment: "demo".into(),
+            workers: 1,
+            wall_ms: 2000.0,
+            records: vec![
+                BenchRecord {
+                    name: "ran".into(),
+                    baseline_cycles: Some(100),
+                    spt_cycles: Some(60),
+                    ..Default::default()
+                },
+                BenchRecord {
+                    name: "cached".into(),
+                    baseline_hit: true,
+                    spt_hit: true,
+                    baseline_cycles: Some(100),
+                    spt_cycles: Some(60),
+                    ..Default::default()
+                },
+            ],
+            cache: MemoStats::default(),
+            histograms: None,
+        };
+        // Only the executed record's cycles count toward throughput.
+        assert_eq!(rep.total_sim_cycles(), 160);
+        assert_eq!(rep.sim_cycles_per_sec(), 80.0);
+        rep.wall_ms = 0.0;
+        assert_eq!(rep.sim_cycles_per_sec(), 0.0);
     }
 }

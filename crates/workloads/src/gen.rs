@@ -420,7 +420,7 @@ fn emit_body(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spt_interp::{run, Cursor, Memory};
+    use spt_interp::{run, Cursor, DecodedProgram, Memory};
     use spt_sir::Program;
 
     fn run_loop(spec: &LoopSpec, trip: i64) -> (Program, i64) {
@@ -500,7 +500,8 @@ mod tests {
         let (prog, _) = run_loop(&s, 200);
         // Count suppressed events in a fresh run.
         let mut mem = Memory::for_program(&prog);
-        let mut cur = Cursor::at_entry(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
         let (mut pass, mut fail) = (0u64, 0u64);
         while let Some(ev) = cur.step(&mut mem) {
             if matches!(ev.kind, spt_interp::EvKind::Inst { .. }) {
