@@ -1,21 +1,4 @@
 //! Ablation A4: compiler feature ablation (SVP, unrolling, code motion).
-use spt::report::render_ablation_compiler;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_trace};
-use spt_workloads::benchmark;
-
-const BENCHES: [&str; 3] = ["parsers", "vprs", "gzips"];
-
 fn main() {
-    let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_compiler(&BENCHES, scale_from_args(), &run_config());
-    print!("{}", render_ablation_compiler(&data));
-    finish(&report);
-    let traced: Vec<_> = BENCHES
-        .iter()
-        .map(|n| {
-            let w = benchmark(n, scale_from_args());
-            (w.name.to_string(), w.program)
-        })
-        .collect();
-    write_trace(&sweep, &traced, &run_config());
+    spt_bench::run_figure("ablation_compiler");
 }

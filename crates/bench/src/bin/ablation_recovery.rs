@@ -1,21 +1,4 @@
 //! Ablations A2/A3: recovery mechanism and register dependence checking.
-use spt::report::render_ablation_policies;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_trace};
-use spt_workloads::benchmark;
-
-const BENCHES: [&str; 3] = ["parsers", "gccs", "twolfs"];
-
 fn main() {
-    let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_policies(&BENCHES, scale_from_args(), &run_config());
-    print!("{}", render_ablation_policies(&data));
-    finish(&report);
-    let traced: Vec<_> = BENCHES
-        .iter()
-        .map(|n| {
-            let w = benchmark(n, scale_from_args());
-            (w.name.to_string(), w.program)
-        })
-        .collect();
-    write_trace(&sweep, &traced, &run_config());
+    spt_bench::run_figure("ablation_recovery");
 }

@@ -1,22 +1,4 @@
 //! Ablation A1: speculation result buffer size sweep.
-use spt::report::render_ablation_srb;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_trace};
-use spt_workloads::benchmark;
-
-const BENCHES: [&str; 3] = ["parsers", "gccs", "mcfs"];
-
 fn main() {
-    let sizes = [16usize, 64, 256, 1024, 4096];
-    let sweep = sweep_from_args();
-    let (data, report) = sweep.ablation_srb(&BENCHES, &sizes, scale_from_args(), &run_config());
-    print!("{}", render_ablation_srb(&sizes, &data));
-    finish(&report);
-    let traced: Vec<_> = BENCHES
-        .iter()
-        .map(|n| {
-            let w = benchmark(n, scale_from_args());
-            (w.name.to_string(), w.program)
-        })
-        .collect();
-    write_trace(&sweep, &traced, &run_config());
+    spt_bench::run_figure("ablation_srb");
 }

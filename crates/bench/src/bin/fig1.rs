@@ -1,16 +1,4 @@
 //! Regenerate the Figure 1 case study: parser's list-free loop.
-use spt::report::render_fig1;
-use spt_bench::{finish, run_config, sweep_from_args, write_trace};
-use spt_workloads::kernels::parser_free_loop;
-
 fn main() {
-    let sweep = sweep_from_args();
-    let (cs, report) = sweep.fig1_case_study(2000, &run_config());
-    print!("{}", render_fig1(&cs));
-    finish(&report);
-    write_trace(
-        &sweep,
-        &[("parser_free".to_string(), parser_free_loop(2000))],
-        &run_config(),
-    );
+    spt_bench::run_figure("fig1");
 }

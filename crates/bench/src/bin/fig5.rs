@@ -1,33 +1,5 @@
 //! Regenerate Figure 5's experiment: software value prediction on the
 //! x = bar(x) loop, with and without SVP.
-use spt::report::render_fig5;
-use spt::RunConfig;
-use spt_bench::{finish, sweep_from_args, write_trace};
-use spt_workloads::kernels::svp_loop;
-use std::time::Instant;
-
 fn main() {
-    let sweep = sweep_from_args();
-    let t0 = Instant::now();
-    let prog = svp_loop(3000);
-    let on_cfg = RunConfig::default();
-    let mut off_cfg = RunConfig::default();
-    off_cfg.compile.enable_svp = false;
-    let configs = [("svp-off", off_cfg), ("svp-on", on_cfg)];
-    let results = sweep.map(&configs, |_, (name, cfg)| sweep.evaluate(name, &prog, cfg));
-    let records = results.iter().map(|(_, r)| r.clone()).collect();
-    print!("{}", render_fig5(&results[0].0, &results[1].0));
-    finish(&spt::RunReport {
-        experiment: "fig5".into(),
-        workers: sweep.workers(),
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        records,
-        cache: sweep.memo_stats(),
-        histograms: None,
-    });
-    write_trace(
-        &sweep,
-        &[("svp_loop".to_string(), prog.clone())],
-        &configs[1].1,
-    );
+    spt_bench::run_figure("fig5");
 }

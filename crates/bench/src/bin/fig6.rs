@@ -1,11 +1,4 @@
 //! Regenerate Figure 6: accumulative loop coverage vs loop body size.
-use spt::report::render_fig6;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_suite_trace};
-
 fn main() {
-    let sweep = sweep_from_args();
-    let (series, report) = sweep.fig6(scale_from_args(), 500_000_000);
-    print!("{}", render_fig6(&series));
-    finish(&report);
-    write_suite_trace(&sweep, scale_from_args(), &run_config());
+    spt_bench::run_figure("fig6");
 }

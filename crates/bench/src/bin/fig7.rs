@@ -1,11 +1,4 @@
 //! Regenerate Figure 7: SPT loop number and coverage.
-use spt::report::render_fig7;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_suite_trace};
-
 fn main() {
-    let sweep = sweep_from_args();
-    let (rows, report) = sweep.fig7(scale_from_args(), &run_config());
-    print!("{}", render_fig7(&rows));
-    finish(&report);
-    write_suite_trace(&sweep, scale_from_args(), &run_config());
+    spt_bench::run_figure("fig7");
 }

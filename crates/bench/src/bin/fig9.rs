@@ -1,11 +1,4 @@
 //! Regenerate Figure 9: overall program speedup with breakdown.
-use spt::report::render_fig9;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_suite_trace};
-
 fn main() {
-    let sweep = sweep_from_args();
-    let run = sweep.eval_suite(scale_from_args(), &run_config());
-    print!("{}", render_fig9(&run.outcomes));
-    finish(&run.report);
-    write_suite_trace(&sweep, scale_from_args(), &run_config());
+    spt_bench::run_figure("fig9");
 }

@@ -1,17 +1,5 @@
 //! Core-count scaling sweep: program speedup of the N-core speculation
 //! fabric (cores ∈ {2, 4, 8}) over the full benchmark suite.
-use spt::report::render_fig_scale;
-use spt_bench::{finish, run_config, scale_from_args, sweep_from_args, write_suite_trace};
-use spt_workloads::suite;
-
-const CORES: [usize; 3] = [2, 4, 8];
-
 fn main() {
-    let scale = scale_from_args();
-    let names: Vec<&str> = suite(scale).iter().map(|w| w.name).collect();
-    let sweep = sweep_from_args();
-    let (data, report) = sweep.fig_scale(&names, &CORES, scale, &run_config());
-    print!("{}", render_fig_scale(&CORES, &data));
-    finish(&report);
-    write_suite_trace(&sweep, scale, &run_config());
+    spt_bench::run_figure("fig_scale");
 }

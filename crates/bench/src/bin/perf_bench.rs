@@ -21,21 +21,14 @@
 //!   non-zero on schema violations only — there is **no** timing
 //!   threshold, so CI stays deterministic on shared runners.
 
+use spt::service::scale_name;
 use spt::{Json, RunConfig, RunReport, Sweep};
-use spt_bench::arg_value;
+use spt_bench::Flags;
 use spt_workloads::{suite, Scale};
 use std::process::exit;
 
 const CORES: [usize; 3] = [2, 4, 8];
 const DEFAULT_OUT: &str = "BENCH_simperf.json";
-
-fn scale_name(s: Scale) -> &'static str {
-    match s {
-        Scale::Test => "test",
-        Scale::Small => "small",
-        Scale::Full => "full",
-    }
-}
 
 /// One ledger entry from a finished sweep.
 fn entry_json(label: &str, scale: Scale, report: &RunReport) -> Json {
@@ -161,21 +154,18 @@ fn merge_into_ledger(path: &str, entry: Json, label: &str) -> Json {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let flags = Flags::parse(&["--scale", "--workers", "--label", "--out"], &["--smoke"]);
+    let smoke = flags.get("--smoke").is_some();
     let scale = if smoke {
         Scale::Test
     } else {
-        match arg_value("--scale").as_deref() {
-            Some("test") => Scale::Test,
-            Some("small") => Scale::Small,
-            _ => Scale::Full,
-        }
+        flags.scale(Scale::Full)
     };
-    let workers = arg_value("--workers")
-        .and_then(|v| v.parse::<usize>().ok())
-        .map_or(1, |n| n.max(1));
-    let label = arg_value("--label").unwrap_or_else(|| "current".to_string());
-    let out = arg_value("--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
+    // Single-threaded by default so ledger entries measure the hot path,
+    // not the thread pool.
+    let workers = flags.workers(Some(1));
+    let label = flags.get("--label").unwrap_or("current").to_string();
+    let out = flags.get("--out").unwrap_or(DEFAULT_OUT).to_string();
 
     let names: Vec<&str> = suite(scale).iter().map(|w| w.name).collect();
     let sweep = Sweep::new(workers);

@@ -8,64 +8,9 @@
 //! addresses, next to the compiler's predicted speedup and misspeculation
 //! cost — so a wrong cost-model prediction is visible at a glance.
 //!
-//! Flags: common `--scale` / `--workers` / `--json` / `--trace` (see the
-//! crate docs), plus `--bench NAME` to restrict to one benchmark.
-
-use spt::report::render_explain;
-use spt::ToJson;
-use spt_bench::{arg_value, finish, run_config, scale_from_args, sweep_from_args, write_trace};
-use spt_sir::Program;
-use spt_workloads::suite;
-use std::time::Instant;
-
+//! Flags: common `--scale` / `--workers` / `--json` / `--trace` /
+//! `--server` (see the crate docs), plus `--bench NAME` to restrict to
+//! one benchmark.
 fn main() {
-    let sweep = sweep_from_args();
-    let scale = scale_from_args();
-    let cfg = run_config();
-    let filter = arg_value("--bench");
-
-    let workloads: Vec<_> = suite(scale)
-        .into_iter()
-        .filter(|w| filter.as_deref().is_none_or(|f| w.name == f))
-        .collect();
-    if workloads.is_empty() {
-        eprintln!(
-            "no benchmark named {:?}; known: {:?}",
-            filter.as_deref().unwrap_or("<none>"),
-            spt_workloads::BENCHMARK_NAMES
-        );
-        std::process::exit(1);
-    }
-
-    let t0 = Instant::now();
-    let before = sweep.memo_stats();
-    let pairs = sweep.map(&workloads, |_, w| {
-        sweep.trace_program(w.name, &w.program, &cfg)
-    });
-
-    let mut records = Vec::with_capacity(pairs.len());
-    let mut hists = spt::Json::obj();
-    for (run, rec) in &pairs {
-        print!("{}", render_explain(&run.outcome, &run.fold));
-        println!();
-        hists = hists.with(&run.trace.name, run.fold.to_json());
-        records.push(rec.clone());
-    }
-
-    let mut report = spt::RunReport {
-        experiment: "spt_explain".into(),
-        workers: sweep.workers(),
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        records,
-        cache: sweep.memo_stats().since(&before),
-        histograms: None,
-    };
-    report.histograms = Some(hists);
-    finish(&report);
-
-    let programs: Vec<(String, Program)> = workloads
-        .into_iter()
-        .map(|w| (w.name.to_string(), w.program))
-        .collect();
-    write_trace(&sweep, &programs, &cfg);
+    spt_bench::run_figure("spt_explain");
 }

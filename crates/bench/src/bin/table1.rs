@@ -1,24 +1,4 @@
 //! Regenerate Table 1: the default machine configuration.
-use spt::report::render_table1;
-use spt::{MachineConfig, MemoStats, RunReport};
-use spt_bench::{finish, run_config, scale_from_args, write_suite_trace};
-use std::time::Instant;
-
 fn main() {
-    let t0 = Instant::now();
-    let cfg = MachineConfig::default();
-    print!("{}", render_table1(&cfg));
-    // No simulation happens here; the report still gives every binary a
-    // uniform machine-readable footer.
-    finish(&RunReport {
-        experiment: "table1".into(),
-        workers: 1,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        records: Vec::new(),
-        cache: MemoStats::default(),
-        histograms: None,
-    });
-    // No workload of its own: `--trace` captures the suite at the
-    // requested scale so the flag behaves uniformly across binaries.
-    write_suite_trace(&spt::Sweep::auto(), scale_from_args(), &run_config());
+    spt_bench::run_figure("table1");
 }

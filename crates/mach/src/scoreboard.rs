@@ -168,6 +168,19 @@ impl Scoreboard {
     pub fn floor(&self) -> u64 {
         self.floor
     }
+
+    /// Current generation of `depth`'s frame (exposed for the wrap test).
+    #[doc(hidden)]
+    pub fn generation(&self, depth: u32) -> Option<u32> {
+        self.frames.get(depth as usize).map(|f| f.gen)
+    }
+
+    /// Jump `depth`'s generation counter — test hook for the 2^32-clear
+    /// wrap (parity with `Ssb::force_epoch` / `AddrMembers::force_epoch`).
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, depth: u32, gen: u32) {
+        self.frame_mut(depth).gen = gen;
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +245,40 @@ mod tests {
         assert_eq!(sb.frame_baseline(2), 40);
         sb.reset_all(60); // floor moves; stale baseline must not resurface
         assert_eq!(sb.frame_baseline(2), 60);
+    }
+
+    #[test]
+    fn generation_wrap_hard_resets_slots() {
+        let mut sb = Scoreboard::new();
+        // Stamped with generation 1 — the value a wrapped counter lands
+        // back on, so without the hard reset this entry would alias.
+        sb.set_ready(0, 3, 17, ProducerKind::Load);
+        assert_eq!(sb.generation(0), Some(1));
+        sb.force_generation(0, u32::MAX);
+        sb.enter_frame(0, 0); // clear wraps the counter
+        assert_eq!(sb.generation(0), Some(1));
+        assert_eq!(
+            sb.ready_at(0, 3),
+            (0, ProducerKind::Other),
+            "ancient stamp must not alias a new generation"
+        );
+        sb.set_ready(0, 3, 9, ProducerKind::Other);
+        assert_eq!(sb.ready_at(0, 3), (9, ProducerKind::Other));
+    }
+
+    #[test]
+    fn generation_wrap_drops_frame_baseline() {
+        let mut sb = Scoreboard::new();
+        sb.enter_frame(2, 30); // baseline stamped with the current gen
+        assert_eq!(sb.frame_baseline(2), 30);
+        sb.force_generation(2, u32::MAX);
+        sb.truncate_below(1); // clears depth 2, wrapping its counter
+        assert_eq!(sb.generation(2), Some(1));
+        assert_eq!(
+            sb.frame_baseline(2),
+            0,
+            "stale baseline must not resurface after the wrap"
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! `spt-serve` — run the SPT pipeline daemon, or poke one.
+//!
+//! Daemon mode (default):
+//!
+//! ```text
+//! spt-serve --listen 127.0.0.1:4650 --cache-dir .spt-cache --workers 4
+//! ```
+//!
+//! * `--listen ADDR` — `host:port`, or a Unix socket path (contains `/`).
+//!   TCP port 0 picks a free port; the bound address is printed on the
+//!   first line of output as `spt-serve listening on ADDR`.
+//! * `--cache-dir DIR` — on-disk result store (omit for memory-only).
+//! * `--workers N` — sweep worker threads (default 1).
+//! * `--timeout-secs N` — per-connection read timeout (default 300).
+//!
+//! Client mode:
+//!
+//! ```text
+//! spt-serve --connect 127.0.0.1:4650 --op ping|stats|shutdown
+//! ```
+
+use spt::Json;
+use spt_serve::{client, ServeConfig, Server};
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spt-serve [--listen ADDR] [--cache-dir DIR] [--workers N] [--timeout-secs N]\n\
+                spt-serve --connect ADDR --op ping|stats|shutdown"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig {
+        listen: "127.0.0.1:4650".into(),
+        ..ServeConfig::default()
+    };
+    let mut connect: Option<String> = None;
+    let mut op: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            match args.get(*i) {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("flag {} needs a value", args[*i - 1]);
+                    usage();
+                }
+            }
+        };
+        match args[i].as_str() {
+            "--listen" => cfg.listen = value(&mut i),
+            "--cache-dir" => cfg.cache_dir = Some(value(&mut i).into()),
+            "--workers" => match value(&mut i).parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    usage();
+                }
+            },
+            "--timeout-secs" => match value(&mut i).parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.read_timeout = Duration::from_secs(n),
+                _ => {
+                    eprintln!("--timeout-secs needs a positive integer");
+                    usage();
+                }
+            },
+            "--connect" => connect = Some(value(&mut i)),
+            "--op" => op = Some(value(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(addr) = connect {
+        let op = op.unwrap_or_else(|| "ping".to_string());
+        if !["ping", "stats", "shutdown"].contains(&op.as_str()) {
+            eprintln!("unknown --op {op:?}; known: ping, stats, shutdown");
+            usage();
+        }
+        match client::request(&addr, &Json::obj().with("op", op.as_str())) {
+            Ok(resp) => println!("{}", resp.payload.pretty()),
+            Err(e) => {
+                eprintln!("spt-serve: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    if op.is_some() {
+        eprintln!("--op needs --connect ADDR");
+        usage();
+    }
+
+    let server = match Server::start(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spt-serve: cannot listen on {}: {e}", cfg.listen);
+            exit(1);
+        }
+    };
+    println!("spt-serve listening on {}", server.addr());
+    match &cfg.cache_dir {
+        Some(d) => println!(
+            "cache: {} (schema v{}), workers: {}",
+            d.display(),
+            spt::STORE_SCHEMA,
+            cfg.workers
+        ),
+        None => println!("cache: memory-only, workers: {}", cfg.workers),
+    }
+    server.wait();
+    println!("spt-serve: drained and flushed, bye");
+}

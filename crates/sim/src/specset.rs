@@ -72,7 +72,10 @@ impl RegSet {
                 }
                 let b = bits.trailing_zeros();
                 bits &= bits - 1;
-                Some(wi as u32 * 64 + b)
+                // Compute in usize: `wi as u32 * 64` overflows for word
+                // indices ≥ 2^26 (registers in the last words of a
+                // maximal set), even though the final index fits u32.
+                Some((wi * 64 + b as usize) as u32)
             })
         })
     }
@@ -95,7 +98,8 @@ impl RegSet {
             while bits != 0 {
                 let b = bits.trailing_zeros();
                 bits &= bits - 1;
-                out.push(wi as u32 * 64 + b);
+                // Same usize-first arithmetic as `iter` (see above).
+                out.push((wi * 64 + b as usize) as u32);
             }
         }
         out
@@ -104,6 +108,14 @@ impl RegSet {
 
 /// Per-call-depth register marks: the replay checker's "updated" set,
 /// keyed by `(frame depth, register)`.
+///
+/// Epoch-wrap audit: unlike [`AddrMembers`] and the speculative store
+/// buffer, this container carries **no** generation counters — levels are
+/// plain bitsets, and the replay checker builds a fresh `DepthRegSet` per
+/// replay rather than epoch-clearing a long-lived one — so there is no
+/// 2^32-epoch aliasing hazard here, even in a daemon that simulates
+/// forever. If a pooled/stamped variant is ever introduced, it must adopt
+/// the wrap hard-reset discipline those containers use.
 #[derive(Debug, Default)]
 pub struct DepthRegSet {
     levels: Vec<RegSet>,
@@ -251,6 +263,13 @@ impl AddrList {
         self.members.clear();
         self.items.clear();
     }
+
+    /// Jump the inner epoch counter — test hook for the 2^32-epoch wrap
+    /// (parity with [`AddrMembers::force_epoch`]).
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.members.force_epoch(epoch);
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +302,33 @@ mod tests {
         assert_eq!(a.union_sorted(&b), vec![1, 2, 7, 65, 300]);
         // Intersection across unequal word counts truncates safely.
         assert!(!a.intersection(&b).contains(300));
+    }
+
+    #[test]
+    fn regset_last_word_of_a_maximal_set() {
+        // Boundary: the highest register index lives in word 2^26 - 1,
+        // where the old `wi as u32 * 64` multiply overflowed u32 (a
+        // panic in debug builds). Bit index math must widen to usize
+        // first and only then narrow the finished sum.
+        let mut s = RegSet::new();
+        s.insert(u32::MAX);
+        s.insert(u32::MAX - 1);
+        s.insert(0);
+        assert!(s.contains(u32::MAX) && s.contains(u32::MAX - 1));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, u32::MAX - 1, u32::MAX]
+        );
+        assert_eq!(
+            s.union_sorted(&RegSet::new()),
+            vec![0, u32::MAX - 1, u32::MAX]
+        );
+        let mut other = RegSet::new();
+        other.insert(u32::MAX);
+        assert_eq!(
+            s.intersection(&other).iter().collect::<Vec<_>>(),
+            vec![u32::MAX]
+        );
     }
 
     #[test]
@@ -325,6 +371,19 @@ mod tests {
         assert!(!s.contains(1), "ancient stamp must not alias a new epoch");
         s.insert(1);
         assert!(s.contains(1));
+    }
+
+    #[test]
+    fn addr_list_epoch_wrap_hard_resets() {
+        let mut s = AddrList::new();
+        s.insert(7); // stamped with epoch 1
+        s.force_epoch(u32::MAX);
+        s.clear(); // wraps -> inner stamps hard-reset
+        assert!(!s.contains(7), "ancient stamp must not alias a new epoch");
+        assert!(s.is_empty());
+        s.insert(7);
+        assert!(s.contains(7));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7]);
     }
 
     #[test]

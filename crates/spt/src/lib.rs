@@ -30,15 +30,19 @@
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod service;
 pub mod solution;
+pub mod store;
 pub mod sweep;
 pub mod trace;
 
 pub use json::{Json, ToJson};
+pub use service::{run_experiment, ExperimentOutput, ExperimentRequest, EXPERIMENT_NAMES};
 pub use solution::{
     evaluate_program, evaluate_workload, original_annotations, spt_annotations, EvalOutcome,
     RunConfig,
 };
+pub use store::{DiskStore, StoreStats, STORE_SCHEMA};
 pub use sweep::{BenchRecord, MemoStats, PhaseTimings, RunReport, Sweep};
 pub use trace::{
     chrome_trace, validate_chrome_trace, validate_trace_jsonl, ProgramTrace, TraceRun,

@@ -27,6 +27,7 @@
 
 use crate::json::{Json, ToJson};
 use crate::solution::{original_annotations, spt_annotations, EvalOutcome, RunConfig};
+use crate::store::{self, DiskStore};
 use spt_compiler::{compile_with_profile, CompileOptions, CompileResult};
 use spt_mach::MachineConfig;
 use spt_profile::{profile_program, ProgramProfile};
@@ -42,15 +43,8 @@ use std::time::Instant;
 // ---------------------------------------------------------------------------
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+use crate::store::fnv1a;
 
 /// Content fingerprint of a program: its full textual rendering plus the
 /// initial data image and memory size (which `Display` only summarizes).
@@ -62,13 +56,25 @@ pub fn program_fingerprint(prog: &Program) -> u64 {
 
 /// Fingerprint of any `Debug`-printable configuration. Derived `Debug`
 /// names every field, so two configs collide only if structurally equal.
-fn debug_fingerprint<T: std::fmt::Debug>(x: &T) -> u64 {
+pub fn debug_fingerprint<T: std::fmt::Debug>(x: &T) -> u64 {
     fnv1a(FNV_OFFSET, format!("{x:?}").as_bytes())
 }
 
 /// Memo-cache key: `(program, config, extra, fuel)` fingerprints.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct Key(u64, u64, u64, u64);
+
+impl Key {
+    /// Fold the four component fingerprints into one content address, the
+    /// key form used by the on-disk store.
+    fn mix(self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for part in [self.0, self.1, self.2, self.3] {
+            h = fnv1a(h, &part.to_le_bytes());
+        }
+        h
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Memo cache
@@ -105,22 +111,39 @@ impl<T> Default for Shard<T> {
 
 impl<T> Shard<T> {
     fn get_or_compute(&self, key: Key, f: impl FnOnce() -> T) -> (Arc<T>, PhaseStamp) {
+        self.get_or_load(key, || (f(), false))
+    }
+
+    /// Like [`Shard::get_or_compute`], but the initializer also reports
+    /// whether the value was *loaded* (from the on-disk store) rather than
+    /// computed. Loaded values count as memo misses in the shard counters
+    /// (this process's in-memory cache did miss) but return a `hit` stamp,
+    /// so per-record accounting — and `RunReport::total_sim_cycles`, which
+    /// only sums phases that actually simulated — stays honest.
+    fn get_or_load(&self, key: Key, f: impl FnOnce() -> (T, bool)) -> (Arc<T>, PhaseStamp) {
         let cell = {
             let mut m = self.map.lock().unwrap();
             m.entry(key).or_default().clone()
         };
         let t0 = Instant::now();
         let mut computed = false;
+        let mut loaded = false;
         let v = cell
             .get_or_init(|| {
                 computed = true;
-                Arc::new(f())
+                let (t, from_store) = f();
+                loaded = from_store;
+                Arc::new(t)
             })
             .clone();
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            (v, PhaseStamp { hit: false, ms })
+            if loaded {
+                (v, PhaseStamp { hit: true, ms: 0.0 })
+            } else {
+                (v, PhaseStamp { hit: false, ms })
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             (v, PhaseStamp { hit: true, ms: 0.0 })
@@ -163,6 +186,30 @@ impl MemoStats {
             spt_hits: self.spt_hits - before.spt_hits,
             spt_misses: self.spt_misses - before.spt_misses,
         }
+    }
+}
+
+impl MemoStats {
+    /// Inverse of [`ToJson::to_json`]; `None` on any missing field.
+    pub fn from_json(j: &Json) -> Option<MemoStats> {
+        let pair = |k: &str| -> Option<(u64, u64)> {
+            let p = j.get(k)?;
+            Some((p.get("hits")?.as_u64()?, p.get("misses")?.as_u64()?))
+        };
+        let (profile_hits, profile_misses) = pair("profile")?;
+        let (compile_hits, compile_misses) = pair("compile")?;
+        let (baseline_hits, baseline_misses) = pair("baseline_sim")?;
+        let (spt_hits, spt_misses) = pair("spt_sim")?;
+        Some(MemoStats {
+            profile_hits,
+            profile_misses,
+            compile_hits,
+            compile_misses,
+            baseline_hits,
+            baseline_misses,
+            spt_hits,
+            spt_misses,
+        })
     }
 }
 
@@ -226,6 +273,32 @@ pub struct BenchRecord {
     pub spt_cycles: Option<u64>,
     pub speedup: Option<f64>,
     pub semantics_ok: Option<bool>,
+}
+
+impl BenchRecord {
+    /// Inverse of [`ToJson::to_json`]; `None` on any missing field.
+    pub fn from_json(j: &Json) -> Option<BenchRecord> {
+        let t = j.get("timings")?;
+        let hits = j.get("cache_hits")?;
+        let opt_u64 = |k: &str| -> Option<u64> { j.get(k).and_then(Json::as_u64) };
+        Some(BenchRecord {
+            name: j.get("name")?.as_str()?.to_string(),
+            timings: PhaseTimings {
+                profile_ms: t.get("profile_ms")?.as_f64()?,
+                compile_ms: t.get("compile_ms")?.as_f64()?,
+                baseline_ms: t.get("baseline_sim_ms")?.as_f64()?,
+                spt_ms: t.get("spt_sim_ms")?.as_f64()?,
+            },
+            profile_hit: hits.get("profile")?.as_bool()?,
+            compile_hit: hits.get("compile")?.as_bool()?,
+            baseline_hit: hits.get("baseline_sim")?.as_bool()?,
+            spt_hit: hits.get("spt_sim")?.as_bool()?,
+            baseline_cycles: opt_u64("baseline_cycles"),
+            spt_cycles: opt_u64("spt_cycles"),
+            speedup: j.get("speedup").and_then(Json::as_f64),
+            semantics_ok: j.get("semantics_ok").and_then(Json::as_bool),
+        })
+    }
 }
 
 impl ToJson for BenchRecord {
@@ -308,6 +381,54 @@ impl RunReport {
         }
     }
 
+    /// Inverse of [`ToJson::to_json`]: reconstruct a report from its JSON
+    /// form. Derived quantities (`compute_ms`, `total_sim_cycles`, ...)
+    /// are recomputed from the records, not read back. This is what lets
+    /// a bench binary in `--server` mode treat the daemon's report exactly
+    /// like a locally produced one.
+    pub fn from_json(j: &Json) -> Option<RunReport> {
+        Some(RunReport {
+            experiment: j.get("experiment")?.as_str()?.to_string(),
+            workers: j.get("workers")?.as_u64()? as usize,
+            wall_ms: j.get("wall_ms")?.as_f64()?,
+            records: j
+                .get("records")?
+                .as_array()?
+                .iter()
+                .map(BenchRecord::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            cache: MemoStats::from_json(j.get("cache")?)?,
+            histograms: j.get("histograms").cloned(),
+        })
+    }
+
+    /// The timing-free projection of this report: experiment name plus,
+    /// per record, only content-derived values (names, cycle counts,
+    /// speedups, semantics checks). Two runs of the same experiment —
+    /// direct or daemon-served, cold or from the warm store, at any worker
+    /// count — must serialize this projection to identical bytes; the
+    /// differential tests and the CI daemon smoke step diff exactly these.
+    pub fn deterministic_json(&self) -> Json {
+        Json::obj()
+            .with("experiment", self.experiment.as_str())
+            .with(
+                "records",
+                Json::Array(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .with("name", r.name.as_str())
+                                .with("baseline_cycles", r.baseline_cycles)
+                                .with("spt_cycles", r.spt_cycles)
+                                .with("speedup", r.speedup)
+                                .with("semantics_ok", r.semantics_ok)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
     /// One-line human summary (printed by the bench binaries).
     pub fn summary(&self) -> String {
         format!(
@@ -356,6 +477,13 @@ pub struct Sweep {
     compiles: Shard<CompileResult>,
     baselines: Shard<BaselineReport>,
     spts: Shard<SptReport>,
+    /// Optional on-disk extension of the simulation-phase memo keys: when
+    /// attached, baseline/SPT results missing from the in-memory cache are
+    /// looked up in (and computed results written to) the content-addressed
+    /// store. Profile and compile results stay in-memory only — they are
+    /// cheap relative to simulation and their payloads (full programs)
+    /// would dominate the store.
+    store: Option<Arc<DiskStore>>,
 }
 
 impl Default for Sweep {
@@ -373,7 +501,22 @@ impl Sweep {
             compiles: Shard::default(),
             baselines: Shard::default(),
             spts: Shard::default(),
+            store: None,
         }
+    }
+
+    /// An engine whose simulation-phase memo cache extends onto disk:
+    /// results are served from `store` across processes and persisted on
+    /// compute. This is the daemon's configuration.
+    pub fn with_store(workers: usize, store: Arc<DiskStore>) -> Sweep {
+        let mut sw = Sweep::new(workers);
+        sw.store = Some(store);
+        sw
+    }
+
+    /// The attached on-disk store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
     }
 
     /// Single-threaded engine (still memoizes).
@@ -480,8 +623,21 @@ impl Sweep {
             debug_fingerprint(annots),
             fuel,
         );
-        self.baselines
-            .get_or_compute(key, || simulate_baseline(prog, machine, annots, fuel))
+        self.baselines.get_or_load(key, || {
+            if let Some(st) = &self.store {
+                if let Some(r) = st
+                    .load("baseline", key.mix())
+                    .and_then(|j| store::baseline_report_from_json(&j))
+                {
+                    return (r, true);
+                }
+            }
+            let r = simulate_baseline(prog, machine, annots, fuel);
+            if let Some(st) = &self.store {
+                st.save("baseline", key.mix(), &store::baseline_report_json(&r));
+            }
+            (r, false)
+        })
     }
 
     /// Two-core SPT simulation of a (transformed) program, memoized like
@@ -499,8 +655,20 @@ impl Sweep {
             debug_fingerprint(annots),
             fuel,
         );
-        self.spts.get_or_compute(key, || {
-            SptSim::new(prog, machine.clone(), annots.clone()).run(fuel)
+        self.spts.get_or_load(key, || {
+            if let Some(st) = &self.store {
+                if let Some(r) = st
+                    .load("spt_sim", key.mix())
+                    .and_then(|j| store::spt_report_from_json(&j))
+                {
+                    return (r, true);
+                }
+            }
+            let r = SptSim::new(prog, machine.clone(), annots.clone()).run(fuel);
+            if let Some(st) = &self.store {
+                st.save("spt_sim", key.mix(), &store::spt_report_json(&r));
+            }
+            (r, false)
         })
     }
 
@@ -680,6 +848,58 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn disk_store_serves_sim_phases_across_engines() {
+        let dir = std::env::temp_dir().join(format!("spt-sweep-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let st = Arc::new(DiskStore::open(&dir).unwrap());
+        let prog = array_map(80, 8);
+        let mut cfg = RunConfig::default();
+        cfg.fuel = 5_000_000;
+
+        let a = Sweep::with_store(1, st.clone());
+        let (o1, r1) = a.evaluate("array_map", &prog, &cfg);
+        assert!(!r1.baseline_hit && !r1.spt_hit);
+
+        // A fresh engine sharing the store: the simulation phases load
+        // from disk (hit stamps, nothing simulated), profile and compile
+        // recompute, and the outcome is byte-identical.
+        let b = Sweep::with_store(1, st.clone());
+        let (o2, r2) = b.evaluate("array_map", &prog, &cfg);
+        assert!(
+            r2.baseline_hit && r2.spt_hit,
+            "sim phases must come from disk"
+        );
+        assert!(!r2.compile_hit, "compile is not persisted");
+        assert_eq!(o1.to_json().dump(), o2.to_json().dump());
+        assert!(st.stats().hits >= 2);
+        assert!(st.stats().writes >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_report_json_roundtrips() {
+        let prog = array_map(64, 8);
+        let mut cfg = RunConfig::default();
+        cfg.fuel = 5_000_000;
+        let sw = Sweep::sequential();
+        let (_, record) = sw.evaluate("array_map", &prog, &cfg);
+        let rep = RunReport {
+            experiment: "roundtrip".into(),
+            workers: 3,
+            wall_ms: 12.25,
+            records: vec![record],
+            cache: sw.memo_stats(),
+            histograms: Some(Json::obj().with("k", 1u64)),
+        };
+        let back = RunReport::from_json(&rep.to_json()).expect("parses back");
+        assert_eq!(back.to_json().dump(), rep.to_json().dump());
+        assert_eq!(
+            back.deterministic_json().dump(),
+            rep.deterministic_json().dump()
+        );
     }
 
     #[test]
