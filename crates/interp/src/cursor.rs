@@ -3,6 +3,7 @@
 use crate::decode::{DecOp, DecodedProgram};
 use crate::event::{Branch, EvKind, Event, MemRef};
 use crate::mem::{wrap_addr, MemView};
+use crate::superstep::MemoTable;
 use spt_sir::{BlockId, FuncId, LatClass, Program, Reg, StmtRef, Terminator};
 
 /// One activation record.
@@ -173,6 +174,7 @@ impl<'p> Cursor<'p> {
         self.ret_val
     }
 
+    #[inline]
     pub fn depth(&self) -> usize {
         self.frames.len()
     }
@@ -188,6 +190,7 @@ impl<'p> Cursor<'p> {
 
     /// Current static position (for divergence comparison): the event kind
     /// `step` would produce next.
+    #[inline]
     pub fn position(&self) -> Option<EvKind> {
         if self.halted {
             return None;
@@ -205,6 +208,102 @@ impl<'p> Cursor<'p> {
                 block: fr.block,
             }
         })
+    }
+
+    /// Execute up to one whole memoizable block through `memo`, emitting
+    /// exactly the events [`Cursor::step`] would produce (DESIGN.md §3f).
+    ///
+    /// Returns the number of events emitted. `0` means no fast path was
+    /// taken — the cursor is mid-block, halted, the block is not
+    /// memoizable, or finishing it would exceed `budget` events — and the
+    /// cursor is unchanged; fall back to `step`. On a memo hit the cached
+    /// sequence is replayed: register writes and stores are applied from
+    /// the events, and each load is verified against `mem` *before* its
+    /// effect is applied, so a load-value mismatch aborts the replay
+    /// mid-block with every emitted event exact and the cursor consistent
+    /// (stepping resumes at the failed load). On a miss the block is
+    /// stepped normally while being recorded.
+    pub fn superstep(
+        &mut self,
+        mem: &mut dyn MemView,
+        memo: &mut MemoTable,
+        budget: u64,
+        emit: &mut dyn FnMut(&Event),
+    ) -> u64 {
+        if self.halted {
+            return 0;
+        }
+        let dec = self.dec;
+        let (flat_id, key_range, need) = {
+            let fr = self.frames.last().expect("live cursor has a frame");
+            if fr.idx != 0 {
+                return 0;
+            }
+            let df = dec.func(fr.func);
+            let Some(mi) = df.memo_of(fr.block) else {
+                return 0;
+            };
+            (mi.flat_id, mi.key_regs, df.block_len(fr.block) as u64 + 1)
+        };
+        if need > budget {
+            return 0;
+        }
+        let depth = (self.frames.len() - 1) as u32;
+        let fr = self.frames.last().expect("live cursor has a frame");
+        let key_regs = dec.func(fr.func).operands(key_range);
+        match memo.find(flat_id, depth, key_regs, &fr.regs) {
+            Some(idx) => {
+                let mut n = 0u64;
+                let events = memo.events(idx);
+                let fr = self.frames.last_mut().expect("live cursor has a frame");
+                for ev in events {
+                    if ev.executed {
+                        if let Some(m) = ev.mem {
+                            if !m.is_store && mem.load(m.addr) != m.value {
+                                break;
+                            }
+                        }
+                    }
+                    match ev.kind {
+                        EvKind::Inst { .. } => {
+                            fr.idx += 1;
+                            if ev.executed {
+                                if let Some(m) = ev.mem {
+                                    if m.is_store {
+                                        mem.store(m.addr, m.value);
+                                    }
+                                }
+                                if let Some(dst) = ev.dst {
+                                    fr.regs[dst.index()] = ev.dst_val;
+                                }
+                            }
+                        }
+                        EvKind::Term { .. } => {
+                            let t = ev
+                                .branch
+                                .and_then(|b| b.target)
+                                .expect("memo blocks end in jmp/br");
+                            fr.block = t;
+                            fr.idx = 0;
+                        }
+                    }
+                    emit(ev);
+                    n += 1;
+                }
+                memo.note_hit(n < need);
+                n
+            }
+            None => {
+                memo.begin_record(key_regs, &fr.regs);
+                for _ in 0..need {
+                    let ev = self.step(mem).expect("memo blocks cannot halt");
+                    memo.record_event(ev);
+                    emit(&ev);
+                }
+                memo.finish_record(flat_id, depth);
+                need
+            }
+        }
     }
 
     /// Execute one statement or terminator. Returns `None` once halted.
@@ -646,6 +745,110 @@ mod tests {
         }
         assert_eq!(seen, vec![(2, false, 77), (3, true, 77)]);
         assert_eq!(mem.peek(3), 77);
+    }
+
+    /// Step `prog` to halt twice — once via `step`, once via `superstep`
+    /// with fallback — and assert the two event streams, memories and
+    /// return values are identical. Returns the memo table for counter
+    /// assertions.
+    fn stepped_vs_superstepped(prog: &Program) -> crate::superstep::MemoTable {
+        let dec = DecodedProgram::new(prog);
+        let mut mem1 = Memory::for_program(prog);
+        let mut c1 = Cursor::at_entry(&dec);
+        let mut evs1 = Vec::new();
+        while let Some(ev) = c1.step(&mut mem1) {
+            evs1.push(ev);
+            assert!(evs1.len() < 100_000, "runaway program");
+        }
+        let mut memo = crate::superstep::MemoTable::new(dec.n_flat_blocks() as usize);
+        let mut mem2 = Memory::for_program(prog);
+        let mut c2 = Cursor::at_entry(&dec);
+        let mut evs2 = Vec::new();
+        loop {
+            let n = c2.superstep(&mut mem2, &mut memo, u64::MAX, &mut |ev| evs2.push(*ev));
+            if n == 0 {
+                let Some(ev) = c2.step(&mut mem2) else { break };
+                evs2.push(ev);
+            }
+            assert!(evs2.len() < 100_000, "runaway program");
+        }
+        assert_eq!(evs1, evs2, "event streams must be bit-identical");
+        assert_eq!(c1.return_value(), c2.return_value());
+        for a in 0..mem1.len() as u64 {
+            assert_eq!(mem1.peek(a), mem2.peek(a), "memory diverged at {a}");
+        }
+        memo
+    }
+
+    #[test]
+    fn superstep_hits_replay_bit_identically() {
+        // Loop body B is pure-const (empty key): every re-entry after the
+        // first replays from the memo, stores included.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let n = f.reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(n, 4);
+        f.jmp(head);
+        f.switch_to(head);
+        f.addi(i, i, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, n);
+        f.br(c, body, exit);
+        f.switch_to(body);
+        let x = f.const_reg(5);
+        let y = f.reg();
+        f.bin(BinOp::Add, y, x, x);
+        f.store(y, x, 0);
+        f.jmp(head);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 8);
+        let memo = stepped_vs_superstepped(&prog);
+        assert!(memo.hits() >= 2, "invariant body must hit: {}", memo.hits());
+        assert_eq!(memo.aborts(), 0);
+    }
+
+    #[test]
+    fn superstep_load_mismatch_aborts_mid_block() {
+        // The loop head stores a fresh value to the word the memoized body
+        // loads: every replay's load verification fails, forcing the
+        // abort-and-fall-back path while staying bit-identical.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let n = f.reg();
+        let k = f.reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(n, 4);
+        f.const_(k, 6);
+        f.jmp(head);
+        f.switch_to(head);
+        f.addi(i, i, 1);
+        f.store(i, k, 0);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, n);
+        f.br(c, body, exit);
+        f.switch_to(body);
+        let x = f.const_reg(6);
+        let v = f.reg();
+        f.load(v, x, 0);
+        f.store(v, x, 1);
+        f.jmp(head);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let id = f.finish();
+        let prog = pb.finish(id, 16);
+        let memo = stepped_vs_superstepped(&prog);
+        assert!(memo.aborts() > 0, "stale load must abort the replay");
     }
 
     #[test]

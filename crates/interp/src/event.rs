@@ -34,6 +34,7 @@ impl SrcSet {
         }
     }
 
+    #[inline]
     pub fn as_slice(&self) -> &[Reg] {
         &self.regs[..self.len as usize]
     }

@@ -1,0 +1,270 @@
+//! Per-block memoization for superstepping (DESIGN.md §3f).
+//!
+//! [`MemoTable`] caches, for each memoizable block (classified at decode
+//! time — see [`crate::decode::MemoBlockInfo`]), the exact [`Event`]
+//! sequence one execution produced, keyed by `(flat block id, call depth,
+//! live-in key register values)`. [`crate::Cursor::superstep`] replays a
+//! cached sequence instead of re-stepping each instruction: register and
+//! store effects are applied from the events, and every load is verified
+//! against live memory *at its position in the sequence* before its effect
+//! is applied, so a replay is bit-identical to stepping by construction
+//! and aborts cleanly mid-block when memory has changed.
+//!
+//! The table is direct-mapped on `(block, depth)` — one slot per block
+//! hash line, overwritten on every miss — so a block whose live-ins vary
+//! (an induction variable, say) cheaply recycles its own slot instead of
+//! polluting its neighbours'. Invalidation is generation-stamped in the
+//! style of `Scoreboard`: `clear` bumps an epoch counter instead of
+//! touching slots, with a hard reset when the epoch wraps.
+
+use crate::event::Event;
+use spt_sir::Reg;
+
+struct Slot {
+    /// Generation stamp; a slot is live only when it equals the table's
+    /// current generation (0 never matches — generations start at 1).
+    stamp: u32,
+    block: u32,
+    depth: u32,
+    /// Live-in values of the block's key registers, in key order.
+    key: Vec<i64>,
+    events: Vec<Event>,
+}
+
+/// Memo table for block superstepping. One per simulation run.
+pub struct MemoTable {
+    slots: Vec<Slot>,
+    mask: usize,
+    gen: u32,
+    hits: u64,
+    misses: u64,
+    aborts: u64,
+    key_scratch: Vec<i64>,
+    rec_scratch: Vec<Event>,
+}
+
+impl MemoTable {
+    /// A table with at least `capacity` slots (rounded up to a power of
+    /// two). Size it to the program's flat block count
+    /// ([`crate::DecodedProgram::n_flat_blocks`]) to make same-generation
+    /// eviction a hash-collision-only event.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        MemoTable {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    stamp: 0,
+                    block: 0,
+                    depth: 0,
+                    key: Vec::new(),
+                    events: Vec::new(),
+                })
+                .collect(),
+            mask: cap - 1,
+            gen: 1,
+            hits: 0,
+            misses: 0,
+            aborts: 0,
+            key_scratch: Vec::new(),
+            rec_scratch: Vec::new(),
+        }
+    }
+
+    /// Invalidate every entry in O(1) by advancing the generation stamp.
+    /// On the (astronomically rare) epoch wrap the slots are hard-reset so
+    /// stale stamps from 2^32 generations ago cannot read as live.
+    pub fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            for s in &mut self.slots {
+                s.stamp = 0;
+            }
+            self.gen = 1;
+        }
+    }
+
+    /// Current generation stamp (test hook).
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// Test hook: jump the generation counter (epoch-wrap coverage).
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, gen: u32) {
+        self.gen = gen;
+    }
+
+    /// Replays served from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that recorded a fresh entry.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits whose replay aborted mid-block on a load-value mismatch.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    fn slot_index(&self, block: u32, depth: u32) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = (h ^ block as u64).wrapping_mul(0x100_0000_01b3);
+        h = (h ^ depth as u64).wrapping_mul(0x100_0000_01b3);
+        (h as usize) & self.mask
+    }
+
+    /// Probe for a live entry matching the block, depth and live-in values.
+    pub(crate) fn find(
+        &self,
+        block: u32,
+        depth: u32,
+        key_regs: &[Reg],
+        regs: &[i64],
+    ) -> Option<usize> {
+        let s = &self.slots[self.slot_index(block, depth)];
+        if s.stamp == self.gen
+            && s.block == block
+            && s.depth == depth
+            && s.key.len() == key_regs.len()
+            && key_regs
+                .iter()
+                .zip(&s.key)
+                .all(|(r, k)| regs[r.index()] == *k)
+        {
+            Some(self.slot_index(block, depth))
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn events(&self, idx: usize) -> &[Event] {
+        &self.slots[idx].events
+    }
+
+    pub(crate) fn note_hit(&mut self, aborted: bool) {
+        self.hits += 1;
+        if aborted {
+            self.aborts += 1;
+        }
+    }
+
+    /// Snapshot the live-in key values before the recording steps mutate
+    /// the register file.
+    pub(crate) fn begin_record(&mut self, key_regs: &[Reg], regs: &[i64]) {
+        self.key_scratch.clear();
+        self.key_scratch
+            .extend(key_regs.iter().map(|r| regs[r.index()]));
+        self.rec_scratch.clear();
+    }
+
+    pub(crate) fn record_event(&mut self, ev: Event) {
+        self.rec_scratch.push(ev);
+    }
+
+    /// Install the recorded sequence, evicting whatever occupied the slot.
+    pub(crate) fn finish_record(&mut self, block: u32, depth: u32) {
+        self.misses += 1;
+        let idx = self.slot_index(block, depth);
+        let s = &mut self.slots[idx];
+        s.stamp = self.gen;
+        s.block = block;
+        s.depth = depth;
+        std::mem::swap(&mut s.key, &mut self.key_scratch);
+        std::mem::swap(&mut s.events, &mut self.rec_scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EvKind, Event};
+    use spt_sir::{BlockId, FuncId, LatClass, StmtRef};
+
+    fn dummy_event() -> Event {
+        Event::blank(
+            EvKind::Inst {
+                func: FuncId(0),
+                sref: StmtRef::new(BlockId(0), 0),
+            },
+            LatClass::Alu,
+            0,
+        )
+    }
+
+    fn insert(t: &mut MemoTable, block: u32, key_regs: &[Reg], regs: &[i64]) {
+        t.begin_record(key_regs, regs);
+        t.record_event(dummy_event());
+        t.finish_record(block, 0);
+    }
+
+    #[test]
+    fn find_matches_on_block_depth_and_key_values() {
+        let mut t = MemoTable::new(16);
+        let key = [Reg(1)];
+        insert(&mut t, 3, &key, &[0, 42, 0]);
+        assert!(t.find(3, 0, &key, &[9, 42, 9]).is_some(), "value-keyed");
+        assert!(t.find(3, 0, &key, &[0, 43, 0]).is_none(), "value mismatch");
+        assert!(t.find(3, 1, &key, &[0, 42, 0]).is_none(), "depth mismatch");
+        assert!(t.find(4, 0, &key, &[0, 42, 0]).is_none(), "block mismatch");
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn clear_invalidates_without_touching_slots() {
+        let mut t = MemoTable::new(16);
+        insert(&mut t, 5, &[], &[]);
+        assert!(t.find(5, 0, &[], &[]).is_some());
+        let g = t.generation();
+        t.clear();
+        assert_eq!(t.generation(), g + 1);
+        assert!(t.find(5, 0, &[], &[]).is_none(), "stale generation");
+        // Re-recording under the new generation revives the slot.
+        insert(&mut t, 5, &[], &[]);
+        assert!(t.find(5, 0, &[], &[]).is_some());
+    }
+
+    #[test]
+    fn generation_wrap_hard_resets_slots() {
+        let mut t = MemoTable::new(16);
+        // An entry stamped at generation 1 must not read as live after the
+        // counter wraps back around to 1.
+        insert(&mut t, 7, &[], &[]);
+        t.force_generation(u32::MAX);
+        t.clear();
+        assert_eq!(t.generation(), 1, "wrap restarts at 1, skipping 0");
+        assert!(
+            t.find(7, 0, &[], &[]).is_none(),
+            "entry from 2^32 generations ago must be dead"
+        );
+    }
+
+    #[test]
+    fn capacity_eviction_is_overwrite() {
+        // A 1-slot table: every block shares the slot, so recording block B
+        // evicts block A (direct-mapped overwrite, no probing chains).
+        let mut t = MemoTable::new(1);
+        insert(&mut t, 1, &[], &[]);
+        assert!(t.find(1, 0, &[], &[]).is_some());
+        insert(&mut t, 2, &[], &[]);
+        assert!(t.find(2, 0, &[], &[]).is_some());
+        assert!(t.find(1, 0, &[], &[]).is_none(), "evicted by collision");
+        // Same block, new live-ins: recycles its own slot.
+        let key = [Reg(0)];
+        insert(&mut t, 2, &key, &[10]);
+        assert!(t.find(2, 0, &key, &[10]).is_some());
+        assert!(t.find(2, 0, &key, &[11]).is_none());
+    }
+
+    #[test]
+    fn hit_and_abort_counters() {
+        let mut t = MemoTable::new(4);
+        assert_eq!((t.hits(), t.misses(), t.aborts()), (0, 0, 0));
+        insert(&mut t, 0, &[], &[]);
+        t.note_hit(false);
+        t.note_hit(true);
+        assert_eq!((t.hits(), t.misses(), t.aborts()), (2, 1, 1));
+    }
+}

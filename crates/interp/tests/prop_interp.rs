@@ -3,7 +3,7 @@
 //! by the SPT simulator.
 
 use proptest::prelude::*;
-use spt_interp::{run, run_with, Cursor, DecodedProgram, Memory};
+use spt_interp::{run, run_with, Cursor, DecodedProgram, Event, MemoTable, Memory};
 use spt_sir::{BinOp, Program, ProgramBuilder, Reg, UnOp};
 
 const FUEL: u64 = 200_000;
@@ -63,6 +63,112 @@ fn straightline(body: &[S], mem_words: usize) -> Program {
     f.ret(Some(regs[0]));
     let id = f.finish();
     pb.finish(id, mem_words)
+}
+
+/// A counted loop whose body is a random straight-line block: the
+/// induction lives in a separate header block, so the body block's memo
+/// key is exactly the registers the random statements read before
+/// writing — loop-invariant keys replay from the memo, varying keys
+/// re-record every iteration, and loads hitting previously-stored words
+/// exercise the mid-replay abort path.
+fn loop_over(body: &[S], trip: u8, mem_words: usize) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let regs: Vec<Reg> = (0..5).map(|_| f.reg()).collect();
+    let i = f.reg();
+    let nn = f.reg();
+    let header = f.new_block();
+    let bodyb = f.new_block();
+    let exit = f.new_block();
+    for (k, r) in regs.iter().enumerate() {
+        f.const_(*r, k as i64);
+    }
+    f.const_(i, 0);
+    f.const_(nn, trip as i64);
+    f.jmp(header);
+    f.switch_to(header);
+    let c = f.reg();
+    f.bin(BinOp::CmpLt, c, i, nn);
+    f.addi(i, i, 1);
+    f.br(c, bodyb, exit);
+    f.switch_to(bodyb);
+    for s in body {
+        match *s {
+            S::Const(d, v) => f.const_(regs[d as usize % 5], v),
+            S::Bin(o, d, a, b) => f.bin(
+                binop(o),
+                regs[d as usize % 5],
+                regs[a as usize % 5],
+                regs[b as usize % 5],
+            ),
+            S::Un(o, d, s2) => f.un(unop(o), regs[d as usize % 5], regs[s2 as usize % 5]),
+            S::Load(d, b, o) => f.load(regs[d as usize % 5], regs[b as usize % 5], o as i64),
+            S::Store(s2, b, o) => f.store(regs[s2 as usize % 5], regs[b as usize % 5], o as i64),
+        }
+    }
+    f.jmp(header);
+    f.switch_to(exit);
+    f.ret(Some(regs[0]));
+    let id = f.finish();
+    pb.finish(id, mem_words)
+}
+
+/// Run by single steps, collecting the full event stream and final state.
+fn stepped(prog: &Program, fuel: u64) -> (Vec<Event>, Option<i64>, Vec<i64>) {
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
+    let mut mem = Memory::for_program(prog);
+    let mut events = Vec::new();
+    while (events.len() as u64) < fuel {
+        let Some(ev) = cur.step(&mut mem) else { break };
+        events.push(ev);
+    }
+    assert!(cur.is_halted(), "stepped run must terminate");
+    let words = (0..mem.len() as u64).map(|a| mem.peek(a)).collect();
+    (events, cur.return_value(), words)
+}
+
+/// Run through the block memo (superstep where possible, single steps
+/// otherwise); returns the memo alongside the stream for hit assertions.
+fn superstepped(prog: &Program, fuel: u64) -> (Vec<Event>, Option<i64>, Vec<i64>, MemoTable) {
+    let dec = DecodedProgram::new(prog);
+    let mut cur = Cursor::at_entry(&dec);
+    let mut mem = Memory::for_program(prog);
+    let mut memo = MemoTable::new(dec.n_flat_blocks() as usize);
+    let mut events = Vec::new();
+    let mut steps = 0u64;
+    while steps < fuel {
+        let n = cur.superstep(&mut mem, &mut memo, fuel - steps, &mut |ev| {
+            events.push(*ev)
+        });
+        if n > 0 {
+            steps += n;
+            continue;
+        }
+        let Some(ev) = cur.step(&mut mem) else { break };
+        steps += 1;
+        events.push(ev);
+    }
+    assert!(cur.is_halted(), "superstepped run must terminate");
+    let words = (0..mem.len() as u64).map(|a| mem.peek(a)).collect();
+    (events, cur.return_value(), words, memo)
+}
+
+/// Stepping and superstepping one program must be indistinguishable:
+/// identical event streams (which fix every live-out register write, every
+/// latency class, and hence every downstream cycle count), identical
+/// return value, identical final memory.
+fn check_superstep_equivalence(body: &[S], trip: u8, mem_words: usize) -> MemoTable {
+    let prog = loop_over(body, trip, mem_words);
+    prog.verify().unwrap();
+    let ctx = format!("body={body:?} trip={trip} mem_words={mem_words}");
+    let (ev_a, ret_a, mem_a) = stepped(&prog, FUEL);
+    let (ev_b, ret_b, mem_b, memo) = superstepped(&prog, FUEL);
+    assert_eq!(ev_a.len(), ev_b.len(), "event count diverged [{ctx}]");
+    assert_eq!(ev_a, ev_b, "event streams diverged [{ctx}]");
+    assert_eq!(ret_a, ret_b, "return value diverged [{ctx}]");
+    assert_eq!(mem_a, mem_b, "final memory diverged [{ctx}]");
+    memo
 }
 
 proptest! {
@@ -136,6 +242,18 @@ proptest! {
         prop_assert_eq!(adopted.top().regs.clone(), cur.top().regs.clone());
     }
 
+    /// Random straight-line loop bodies behave identically stepped and
+    /// superstepped — live-out registers, event streams (and so cycle
+    /// counts), return values and memory all match.
+    #[test]
+    fn superstep_matches_stepping(
+        body in prop::collection::vec(stmt(), 1..20),
+        trip in 1..12u8,
+        mem_words in 1..32usize,
+    ) {
+        check_superstep_equivalence(&body, trip, mem_words);
+    }
+
     /// Guard-suppressed statements have no architectural effect.
     #[test]
     fn suppressed_statements_inert(v in any::<i64>()) {
@@ -157,4 +275,37 @@ proptest! {
         prop_assert_eq!(res.ret, Some(v));
         prop_assert_eq!(mem.peek(1), 0);
     }
+}
+
+/// Pinned deterministic case (PR-1 convention: representative shapes from
+/// the property live on as named regressions). The body's memo key is
+/// `{regs[0]}` — `Store` reads its base before anything writes it, and the
+/// preceding `Const` kills `regs[1]` as key material — so every iteration
+/// after the first replays from the memo.
+#[test]
+fn superstep_regression_invariant_key_replays() {
+    let memo = check_superstep_equivalence(&[S::Const(1, 42), S::Store(1, 0, 0)], 10, 8);
+    assert!(
+        memo.hits() >= 9,
+        "loop-invariant key must replay (hits={})",
+        memo.hits()
+    );
+    assert_eq!(memo.aborts(), 0);
+}
+
+/// Pinned deterministic case: a body that loads a word it stored on the
+/// previous iteration with a varying value. The recorded block's load
+/// value goes stale, so replay must verify-and-abort rather than resurrect
+/// the old value.
+#[test]
+fn superstep_regression_stale_load_aborts_not_corrupts() {
+    // regs[1] = regs[0] + regs[3]; store regs[1] → [regs[0]]; load [regs[0]]
+    // → regs[3]: the loaded value changes every iteration.
+    let body = [
+        S::Bin(0, 1, 0, 3),
+        S::Store(1, 0, 0),
+        S::Load(3, 0, 0),
+        S::Const(2, 7),
+    ];
+    check_superstep_equivalence(&body, 9, 8);
 }

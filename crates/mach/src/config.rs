@@ -80,6 +80,11 @@ pub struct MachineConfig {
     pub srb_entries: usize,
     pub recovery: RecoveryKind,
     pub reg_check: RegCheckPolicy,
+    /// Memoized basic-block superstepping in the interpreter hot path
+    /// (DESIGN.md §3f). Simulated results are bit-identical either way —
+    /// this only toggles the replay fast path and its hit-rate counters.
+    /// Defaults on; `SPT_SUPERSTEP=0` disables it process-wide.
+    pub superstep: bool,
     // Functional-unit latencies.
     pub lat_alu: u64,
     pub lat_mul: u64,
@@ -128,6 +133,7 @@ impl Default for MachineConfig {
             srb_entries: 1024,
             recovery: RecoveryKind::SrxFc,
             reg_check: RegCheckPolicy::ValueBased,
+            superstep: std::env::var("SPT_SUPERSTEP").map_or(true, |v| v != "0"),
             lat_alu: 1,
             lat_mul: 4,
             lat_div: 12,
@@ -272,6 +278,7 @@ mod tests {
             "reg_check",
             "mem_latency",
             "issue_width",
+            "superstep",
         ] {
             assert!(dbg.contains(field), "Debug output missing {field}");
         }

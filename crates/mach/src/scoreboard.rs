@@ -105,6 +105,7 @@ impl Scoreboard {
 
     /// When is `reg` at `depth` ready, and who produced it? Accounts for the
     /// context-copy floor.
+    #[inline]
     pub fn ready_at(&self, depth: u32, reg: u32) -> (u64, ProducerKind) {
         let (t, k) = self
             .frames
@@ -119,6 +120,7 @@ impl Scoreboard {
     }
 
     /// Record that `reg` at `depth` becomes ready at `cycle`.
+    #[inline]
     pub fn set_ready(&mut self, depth: u32, reg: u32, cycle: u64, kind: ProducerKind) {
         self.frame_mut(depth).set(reg, cycle, kind);
     }
@@ -148,6 +150,7 @@ impl Scoreboard {
 
     /// Earliest cycle at which *any* register of `depth` can be read
     /// (frame-entry baseline).
+    #[inline]
     pub fn frame_baseline(&self, depth: u32) -> u64 {
         self.frames
             .get(depth as usize)

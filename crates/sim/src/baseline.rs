@@ -4,7 +4,7 @@
 use crate::engine::CycleBreakdown;
 use crate::metrics::{LoopAnnotations, LoopCycleTracker};
 use crate::pipeline::PipelineCore;
-use spt_interp::{Cursor, DecodedProgram, Memory};
+use spt_interp::{Cursor, DecodedProgram, MemoTable, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig};
 use spt_sir::Program;
 use spt_trace::{NullSink, Pipe, TraceSink};
@@ -25,6 +25,10 @@ pub struct BaselineReport {
     pub ret: Option<i64>,
     pub steps: u64,
     pub out_of_fuel: bool,
+    /// Block-superstep memo hits/misses (0 when superstepping is off or
+    /// the run is traced; see `MachineConfig::superstep`).
+    pub superstep_hits: u64,
+    pub superstep_misses: u64,
 }
 
 impl BaselineReport {
@@ -74,11 +78,29 @@ pub fn simulate_baseline_traced(
     let mut cur = Cursor::at_entry(&dec);
     let mut tracker = LoopCycleTracker::new(annots);
 
+    // Superstepping is bit-identical by construction but bypassed on
+    // traced runs so the trace layer sees the interpreter's native path.
+    let traced = sink.enabled();
+    let mut memo = (cfg.superstep && !traced).then(|| MemoTable::new(dec.n_flat_blocks() as usize));
     let mut steps = 0u64;
     while steps < max_steps {
+        if let Some(memo) = memo.as_mut() {
+            // The memo only exists on untraced runs: quiet issue.
+            let n = cur.superstep(&mut mem, memo, max_steps - steps, &mut |ev| {
+                core.step_issue_quiet(ev, &mut cache, cfg, &mut tracker);
+            });
+            if n > 0 {
+                steps += n;
+                continue;
+            }
+        }
         let Some(ev) = cur.step(&mut mem) else { break };
         steps += 1;
-        core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
+        if traced {
+            core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
+        } else {
+            core.step_issue_quiet(&ev, &mut cache, cfg, &mut tracker);
+        }
     }
 
     let engine = &core.engine;
@@ -94,6 +116,8 @@ pub fn simulate_baseline_traced(
         ret: cur.return_value(),
         steps,
         out_of_fuel: !cur.is_halted(),
+        superstep_hits: memo.as_ref().map_or(0, |m| m.hits()),
+        superstep_misses: memo.as_ref().map_or(0, |m| m.misses()),
     };
     (report, mem)
 }

@@ -139,14 +139,21 @@ impl Engine {
     /// whose operands are not ready yet has not issued, so an arriving main
     /// thread does not wait for it.
     pub fn ready_time(&self, depth: u32, regs: impl IntoIterator<Item = u32>) -> u64 {
-        let mut t = self
-            .cycle
-            .max(self.fetch_gate)
-            .max(self.sb.frame_baseline(depth));
+        let mut t = self.ready_floor(depth);
         for r in regs {
             t = t.max(self.sb.ready_at(depth, r).0);
         }
         t
+    }
+
+    /// Lower bound of [`Engine::ready_time`] that needs no operand list:
+    /// the cycle counter, fetch gate and frame baseline alone. Lets the
+    /// SPT scheduler prove "cannot issue by cycle `t`" without walking the
+    /// next instruction's source registers.
+    pub fn ready_floor(&self, depth: u32) -> u64 {
+        self.cycle
+            .max(self.fetch_gate)
+            .max(self.sb.frame_baseline(depth))
     }
 
     /// Idle cycles between now and `t`, excluding the current cycle if an

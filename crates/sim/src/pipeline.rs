@@ -44,6 +44,15 @@ impl PipelineCore {
         self.engine.cycle() - before
     }
 
+    /// [`PipelineCore::issue`] without the before/after breakdown capture:
+    /// for untraced runs, where no [`PipelineCore::note_stall`] will ever
+    /// consume it. Same engine mutation, so timing is identical.
+    pub fn issue_quiet(&mut self, ev: &Event, cache: &mut CacheSim, cfg: &MachineConfig) -> u64 {
+        let before = self.engine.cycle();
+        self.engine.issue(ev, cache, cfg);
+        self.engine.cycle() - before
+    }
+
     /// Commit one already-computed SRB result at replay bandwidth;
     /// returns the cycle delta.
     pub fn commit_slot(&mut self, ev: &Event) -> u64 {
@@ -96,6 +105,19 @@ impl PipelineCore {
         if sink.enabled() {
             self.note_stall(sink);
         }
+    }
+
+    /// [`PipelineCore::step_issue`] for untraced runs: no breakdown
+    /// capture, no stall note, no per-event virtual sink call.
+    pub fn step_issue_quiet(
+        &mut self,
+        ev: &Event,
+        cache: &mut CacheSim,
+        cfg: &MachineConfig,
+        tracker: &mut LoopCycleTracker<'_>,
+    ) {
+        let delta = self.issue_quiet(ev, cache, cfg);
+        tracker.observe(ev, delta);
     }
 }
 

@@ -46,7 +46,7 @@ use crate::pipeline::PipelineCore;
 use crate::recovery::policy_for;
 use crate::specset::{AddrList, AddrMembers, DepthRegSet, RegSet};
 use crate::ssb::{SpecMem, Ssb};
-use spt_interp::{Cursor, DecodedProgram, EvKind, Event, Memory};
+use spt_interp::{Cursor, DecodedProgram, EvKind, Event, MemoTable, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg};
 use spt_trace::{NullSink, Pipe, StderrSink, TraceEvent, TraceSink};
@@ -85,6 +85,11 @@ pub struct SptReport {
     pub ret: Option<i64>,
     pub steps: u64,
     pub out_of_fuel: bool,
+    /// Main-thread block-superstep memo hits/misses (0 when superstepping
+    /// is off or the run is traced; speculative cursors always bypass the
+    /// memo — see `MachineConfig::superstep`).
+    pub superstep_hits: u64,
+    pub superstep_misses: u64,
 }
 
 impl SptReport {
@@ -154,6 +159,17 @@ struct SpecState<'p> {
     fork_regs: Vec<i64>,
     /// Static position of the start-point.
     start_pos: EvKind,
+    /// Cached `cursor.position()` — only this thread's own steps change
+    /// it, so the scheduler scan reads the cache instead of re-deriving.
+    cached_pos: Option<EvKind>,
+    /// Cached earliest main-pipeline cycle this thread's next instruction
+    /// could issue (`u64::MAX` once halted). Refreshed with `cached_pos`.
+    /// When `gate_exact` is false this is only a *lower bound* (engine
+    /// cycle / fetch gate / frame baseline, no operand walk) — still
+    /// sufficient to prove ineligibility whenever it exceeds the main
+    /// cycle; [`SptSim::refine_gate`] upgrades it on demand.
+    gate: u64,
+    gate_exact: bool,
     stalled: bool,
     /// Annotated loop this fork belongs to, if known.
     loop_idx: Option<usize>,
@@ -195,6 +211,9 @@ impl<'a> SpecState<'a> {
                 st.fork_level = fork_level;
                 st.start_depth = start_depth;
                 st.start_pos = start_pos;
+                st.cached_pos = None;
+                st.gate = 0;
+                st.gate_exact = false;
                 st.stalled = false;
                 st.loop_idx = loop_idx;
                 st.fork_cycle = fork_cycle;
@@ -214,6 +233,9 @@ impl<'a> SpecState<'a> {
                 start_depth,
                 fork_regs: parent.regs_at(fork_level).to_vec(),
                 start_pos,
+                cached_pos: None,
+                gate: 0,
+                gate_exact: false,
                 stalled: false,
                 loop_idx,
                 fork_cycle,
@@ -305,14 +327,53 @@ impl<'p> SptSim<'p> {
         self.dec.srcs_of(ev.kind)
     }
 
-    /// Earliest cycle the speculative thread's next instruction can issue.
-    fn spec_next_ready(&self, sp: &SpecState<'_>, spec_eng: &Engine) -> u64 {
-        let Some(pos) = sp.cursor.position() else {
-            return u64::MAX;
-        };
-        let depth = (sp.cursor.depth() - 1) as u32;
-        let srcs = self.dec.srcs_of(pos).iter().map(|r| r.0);
-        spec_eng.ready_time(depth, srcs)
+    /// Recompute a thread's cached scheduler state: its static position and
+    /// the earliest cycle its next instruction could issue on its own
+    /// engine (`ready_time` is ≥ the engine's cycle, so one cached value
+    /// subsumes the old `eng.cycle() ≤ main && ready ≤ main` pair). Only
+    /// this thread's own steps change either quantity — each thread owns
+    /// its core's engine — so this runs once per step instead of once per
+    /// scheduler scan.
+    ///
+    /// The gate is computed lazily against `by` (the frozen main cycle):
+    /// a speculative pipeline usually runs *ahead* of the main one, and
+    /// then [`Engine::ready_floor`] alone already exceeds `by` — the
+    /// operand walk (`srcs_of` + per-register scoreboard reads) is skipped
+    /// and the floor is stored as an inexact lower bound. Scans that later
+    /// see the bound at or below their main cycle refine it first via
+    /// [`SptSim::refine_gate`], so eligibility decisions are unchanged.
+    fn refresh_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine, by: u64) {
+        sp.cached_pos = sp.cursor.position();
+        match sp.cached_pos {
+            None => {
+                sp.gate = u64::MAX;
+                sp.gate_exact = true;
+            }
+            Some(pos) => {
+                let depth = (sp.cursor.depth() - 1) as u32;
+                let floor = eng.ready_floor(depth);
+                if floor > by {
+                    sp.gate = floor;
+                    sp.gate_exact = false;
+                } else {
+                    sp.gate = eng.ready_time(depth, dec.srcs_of(pos).iter().map(|r| r.0));
+                    sp.gate_exact = true;
+                }
+            }
+        }
+    }
+
+    /// Upgrade a lazily-computed gate lower bound to the exact issue
+    /// cycle. A no-op once exact; exactness persists until the thread's
+    /// next own step (nothing else moves its engine or cursor).
+    fn refine_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine) {
+        if !sp.gate_exact {
+            if let Some(pos) = sp.cached_pos {
+                let depth = (sp.cursor.depth() - 1) as u32;
+                sp.gate = eng.ready_time(depth, dec.srcs_of(pos).iter().map(|r| r.0));
+            }
+            sp.gate_exact = true;
+        }
     }
 
     /// Run the program to completion (or until `max_steps` interpreter steps
@@ -380,6 +441,11 @@ impl<'p> SptSim<'p> {
             })
             .collect();
 
+        // Superstepping: main-thread-only (speculative cursors bypass the
+        // memo entirely), bypassed on traced runs so the trace layer sees
+        // the interpreter's native path. Bit-identical by construction.
+        let mut memo = (cfg.superstep && !sink.enabled())
+            .then(|| MemoTable::new(self.dec.n_flat_blocks() as usize));
         let mut steps = 0u64;
         let mut forks = 0u64;
         let mut forks_ignored = 0u64;
@@ -392,255 +458,305 @@ impl<'p> SptSim<'p> {
         let mut spec_misspec = 0u64;
         // Trace-only state (untouched when the sink is disabled).
         let mut srb_high_water = 0usize;
+        // A sink's enabled-ness never changes mid-run: hoist it so the
+        // per-step paths branch on a local instead of a virtual call.
+        let traced = sink.enabled();
 
         'outer: while !main.is_halted() && steps < max_steps {
             // Let the speculative pipelines catch up in time, oldest thread
             // first. A thread only steps when its next instruction could
             // actually issue by now — an operand still in flight leaves the
             // pipeline stalled, not running ahead of wall-clock.
+            let main_cycle = main_core.engine.cycle();
             let mut step_idx = None;
             for i in 0..spec.len() {
                 if i + 1 < spec.len()
-                    && spec[i].cursor.position() == Some(spec[i + 1].start_pos)
+                    && spec[i].cached_pos == Some(spec[i + 1].start_pos)
                     && spec[i].cursor.depth() == spec[i + 1].start_depth
                 {
                     // The thread reached its successor's start-point: park
                     // it rather than re-execute the successor's iteration.
                     spec[i].stalled = true;
                 }
-                let sp = &spec[i];
-                let eng = &spec_cores[sp.core - 1].engine;
-                if !sp.stalled
-                    && eng.cycle() <= main_core.engine.cycle()
-                    && self.spec_next_ready(sp, eng) <= main_core.engine.cycle()
-                {
-                    step_idx = Some(i);
-                    break;
+                if !spec[i].stalled && spec[i].gate <= main_cycle {
+                    // A lazily-bounded gate at or below the main cycle
+                    // proves nothing yet: refine to the exact issue cycle
+                    // before committing to this thread.
+                    let core = spec[i].core;
+                    Self::refine_gate(&self.dec, &mut spec[i], &spec_cores[core - 1].engine);
+                    if spec[i].gate <= main_cycle {
+                        step_idx = Some(i);
+                        break;
+                    }
                 }
             }
             if let Some(i) = step_idx {
-                steps += 1;
-                let sp = &mut spec[i];
-                let core = &mut spec_cores[sp.core - 1];
-                let fork_req = Self::step_spec(&self.dec, sp, core, &mut cache, &mut mem, cfg);
-                if sink.enabled() {
-                    if sp.srb.len() > srb_high_water {
-                        srb_high_water = sp.srb.len();
-                        sink.emit(
-                            core.engine.cycle(),
-                            TraceEvent::SrbHighWater {
-                                occupancy: srb_high_water,
-                            },
-                        );
+                // Batch: keep stepping thread `i` while it stays eligible.
+                // Every thread before `i` was ineligible at scan time and
+                // stays so while only `i` steps (each thread owns its
+                // core's engine, successors' start-points are static and
+                // the main pipeline is idle here), so re-scanning the
+                // prefix between steps is pure overhead; only `i`'s own
+                // park/stall/gate conditions can change.
+                loop {
+                    steps += 1;
+                    let sp = &mut spec[i];
+                    let core = &mut spec_cores[sp.core - 1];
+                    let fork_req =
+                        Self::step_spec(&self.dec, sp, core, &mut cache, &mut mem, cfg, traced);
+                    if traced {
+                        if sp.srb.len() > srb_high_water {
+                            srb_high_water = sp.srb.len();
+                            sink.emit(
+                                core.engine.cycle(),
+                                TraceEvent::SrbHighWater {
+                                    occupancy: srb_high_water,
+                                },
+                            );
+                        }
+                        core.note_stall(sink);
                     }
-                    core.note_stall(sink);
+                    Self::refresh_gate(&self.dec, sp, &core.engine, main_cycle);
+                    // A speculative thread's own `spt_fork`: the youngest
+                    // thread spawns the next iteration on a free ring core;
+                    // with no free core (always, at N=2) it is dropped
+                    // silently.
+                    if let Some((func, start)) = fork_req {
+                        if i + 1 == spec.len() && spec.len() + 1 < cores {
+                            let free = (1..cores)
+                                .find(|c| !spec.iter().any(|s| s.core == *c))
+                                .expect("thread count below cores-1 implies a free core");
+                            forks += 1;
+                            let parent = &spec[i];
+                            let loop_idx =
+                                self.annots.by_fork_start(func, start).or(parent.loop_idx);
+                            if let Some(li) = loop_idx {
+                                per_loop[li].forks += 1;
+                            }
+                            let parent_cycle = spec_cores[parent.core - 1].engine.cycle();
+                            if sink.enabled() {
+                                sink.emit(
+                                    parent_cycle,
+                                    TraceEvent::RingFork {
+                                        loop_id: loop_idx,
+                                        core: free,
+                                        func,
+                                        start_block: start,
+                                    },
+                                );
+                            }
+                            let t = parent_cycle + cfg.rf_copy_overhead;
+                            let succ = &mut spec_cores[free - 1].engine;
+                            succ.advance_to(t);
+                            succ.reset_context(t);
+                            per_core[free].threads += 1;
+                            let mut st = SpecState::acquire(
+                                &mut pool,
+                                &spec[i].cursor,
+                                start,
+                                mem.len(),
+                                free,
+                                self.position_of(func, start),
+                                loop_idx,
+                                parent_cycle,
+                            );
+                            Self::refresh_gate(
+                                &self.dec,
+                                &mut st,
+                                &spec_cores[free - 1].engine,
+                                main_cycle,
+                            );
+                            spec.push(st);
+                        }
+                    }
+                    if steps >= max_steps {
+                        break;
+                    }
+                    if i + 1 < spec.len()
+                        && spec[i].cached_pos == Some(spec[i + 1].start_pos)
+                        && spec[i].cursor.depth() == spec[i + 1].start_depth
+                    {
+                        spec[i].stalled = true;
+                    }
+                    let sp = &spec[i];
+                    if sp.stalled || sp.gate > main_cycle {
+                        break;
+                    }
                 }
-                // A speculative thread's own `spt_fork`: the youngest
-                // thread spawns the next iteration on a free ring core;
-                // with no free core (always, at N=2) it is dropped
-                // silently.
-                if let Some((func, start)) = fork_req {
-                    if i + 1 == spec.len() && spec.len() + 1 < cores {
-                        let free = (1..cores)
-                            .find(|c| !spec.iter().any(|s| s.core == *c))
-                            .expect("thread count below cores-1 implies a free core");
+                continue 'outer;
+            }
+
+            // No speculative thread can become eligible before `next_gate`:
+            // gates, stall flags and park inputs change only when a
+            // speculative thread steps, and none steps while the main
+            // pipeline runs. Batch main-pipeline steps until that cycle so
+            // the ring is not rescanned between every event. Inexact gates
+            // are lower bounds of the true issue cycle, so the minimum is
+            // still a sound batching horizon (worst case: an early rescan
+            // that refines them). Fork, kill and arrival exits below
+            // restore the full scheduling loop.
+            let next_gate = spec
+                .iter()
+                .filter(|s| !s.stalled)
+                .map(|s| s.gate)
+                .min()
+                .unwrap_or(u64::MAX);
+            loop {
+                // Arrival at the oldest thread's start-point?
+                if !spec.is_empty()
+                    && main.position() == Some(spec[0].start_pos)
+                    && main.depth() == spec[0].start_depth
+                {
+                    let sp = spec.remove(0);
+                    let spec_core_idx = sp.core - 1;
+                    let outcome = self.check_and_recover(
+                        sp,
+                        &mut pool,
+                        &mut main,
+                        &mut main_core,
+                        &spec_cores[spec_core_idx].engine,
+                        &mut cache,
+                        &mut mem,
+                        &mut tracker,
+                        &mut per_loop,
+                        &mut per_core,
+                        &mut steps,
+                        max_steps,
+                        &mut fast_commits,
+                        &mut replays,
+                        &mut divergence_kills,
+                        &mut spec_checked,
+                        &mut spec_misspec,
+                        !spec.is_empty(),
+                        sink,
+                    );
+                    match outcome {
+                        Recovered::FastCommit(effects) => {
+                            if let Some(fx) = effects {
+                                // The committed thread's stores just became
+                                // architectural: any downstream thread that
+                                // speculatively loaded one of those words read
+                                // a stale value.
+                                for sp2 in spec.iter_mut() {
+                                    for &a in &fx.drained_addrs {
+                                        if sp2.lab.contains(a) {
+                                            sp2.violated_addrs.insert(a);
+                                        }
+                                    }
+                                    if cfg.reg_check == RegCheckPolicy::MarkBased {
+                                        // Conservative: every register the
+                                        // committed thread wrote counts as a
+                                        // post-fork write for its successors.
+                                        sp2.post_fork_writes.extend_from_slice(&fx.written);
+                                    }
+                                }
+                            }
+                        }
+                        Recovered::Rollback => {
+                            kill_all_threads(
+                                &mut spec,
+                                &mut pool,
+                                main_core.engine.cycle(),
+                                &mut kills,
+                                &mut spec_discarded,
+                                &mut per_loop,
+                                &mut per_core,
+                                sink,
+                            );
+                        }
+                    }
+                    continue 'outer;
+                }
+
+                // Main pipeline: with no live speculative threads there is no
+                // arrival/park/post-fork bookkeeping to interleave, so whole
+                // memoized blocks can be superstepped (memo blocks contain no
+                // fork/kill/call/ret by classification).
+                if spec.is_empty() {
+                    if let Some(memo) = memo.as_mut() {
+                        // The memo only exists on untraced runs: quiet issue.
+                        let n = main.superstep(&mut mem, memo, max_steps - steps, &mut |ev| {
+                            main_core.step_issue_quiet(ev, &mut cache, cfg, &mut tracker);
+                        });
+                        if n > 0 {
+                            steps += n;
+                            continue 'outer;
+                        }
+                    }
+                }
+
+                // Main pipeline executes one step.
+                let Some(ev) = main.step(&mut mem) else {
+                    break 'outer;
+                };
+                steps += 1;
+                if traced {
+                    main_core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
+                } else {
+                    main_core.step_issue_quiet(&ev, &mut cache, cfg, &mut tracker);
+                }
+
+                // Fork?
+                if let Some(start) = ev.fork {
+                    if spec.is_empty() {
                         forks += 1;
-                        let parent = &spec[i];
-                        let loop_idx = self.annots.by_fork_start(func, start).or(parent.loop_idx);
+                        let func = ev.kind.func();
+                        let loop_idx = self.annots.by_fork_start(func, start).or_else(|| {
+                            tracker.current() // fall back to enclosing annotated loop
+                        });
                         if let Some(li) = loop_idx {
                             per_loop[li].forks += 1;
                         }
-                        let parent_cycle = spec_cores[parent.core - 1].engine.cycle();
                         if sink.enabled() {
                             sink.emit(
-                                parent_cycle,
-                                TraceEvent::RingFork {
+                                main_core.engine.cycle(),
+                                TraceEvent::Fork {
                                     loop_id: loop_idx,
-                                    core: free,
                                     func,
                                     start_block: start,
                                 },
                             );
                         }
-                        let t = parent_cycle + cfg.rf_copy_overhead;
-                        let succ = &mut spec_cores[free - 1].engine;
-                        succ.advance_to(t);
-                        succ.reset_context(t);
-                        per_core[free].threads += 1;
-                        let st = SpecState::acquire(
+                        // All ring cores are free: the thread goes to core 1.
+                        // RF copy overhead: the pipeline starts after it.
+                        let t = main_core.engine.cycle() + cfg.rf_copy_overhead;
+                        spec_cores[0].engine.advance_to(t);
+                        spec_cores[0].engine.reset_context(t);
+                        per_core[1].threads += 1;
+                        let mut st = SpecState::acquire(
                             &mut pool,
-                            &spec[i].cursor,
+                            &main,
                             start,
                             mem.len(),
-                            free,
+                            1,
                             self.position_of(func, start),
                             loop_idx,
-                            parent_cycle,
+                            main_core.engine.cycle(),
+                        );
+                        Self::refresh_gate(
+                            &self.dec,
+                            &mut st,
+                            &spec_cores[0].engine,
+                            main_core.engine.cycle(),
                         );
                         spec.push(st);
-                    }
-                }
-                continue 'outer;
-            }
-
-            // Arrival at the oldest thread's start-point?
-            if !spec.is_empty()
-                && main.position() == Some(spec[0].start_pos)
-                && main.depth() == spec[0].start_depth
-            {
-                let sp = spec.remove(0);
-                let spec_core_idx = sp.core - 1;
-                let outcome = self.check_and_recover(
-                    sp,
-                    &mut pool,
-                    &mut main,
-                    &mut main_core,
-                    &spec_cores[spec_core_idx].engine,
-                    &mut cache,
-                    &mut mem,
-                    &mut tracker,
-                    &mut per_loop,
-                    &mut per_core,
-                    &mut steps,
-                    max_steps,
-                    &mut fast_commits,
-                    &mut replays,
-                    &mut divergence_kills,
-                    &mut spec_checked,
-                    &mut spec_misspec,
-                    !spec.is_empty(),
-                    sink,
-                );
-                match outcome {
-                    Recovered::FastCommit(effects) => {
-                        if let Some(fx) = effects {
-                            // The committed thread's stores just became
-                            // architectural: any downstream thread that
-                            // speculatively loaded one of those words read
-                            // a stale value.
-                            for sp2 in spec.iter_mut() {
-                                for &a in &fx.drained_addrs {
-                                    if sp2.lab.contains(a) {
-                                        sp2.violated_addrs.insert(a);
-                                    }
-                                }
-                                if cfg.reg_check == RegCheckPolicy::MarkBased {
-                                    // Conservative: every register the
-                                    // committed thread wrote counts as a
-                                    // post-fork write for its successors.
-                                    sp2.post_fork_writes.extend_from_slice(&fx.written);
-                                }
-                            }
+                    } else {
+                        forks_ignored += 1;
+                        if sink.enabled() {
+                            sink.emit(
+                                main_core.engine.cycle(),
+                                TraceEvent::ForkIgnored {
+                                    func: ev.kind.func(),
+                                    start_block: start,
+                                },
+                            );
                         }
                     }
-                    Recovered::Rollback => {
-                        kill_all_threads(
-                            &mut spec,
-                            &mut pool,
-                            main_core.engine.cycle(),
-                            &mut kills,
-                            &mut spec_discarded,
-                            &mut per_loop,
-                            &mut per_core,
-                            sink,
-                        );
-                    }
+                    continue 'outer;
                 }
-                continue 'outer;
-            }
 
-            // Main pipeline executes one step.
-            let Some(ev) = main.step(&mut mem) else { break };
-            steps += 1;
-            main_core.step_issue(&ev, &mut cache, cfg, &mut tracker, sink);
-
-            // Fork?
-            if let Some(start) = ev.fork {
-                if spec.is_empty() {
-                    forks += 1;
-                    let func = ev.kind.func();
-                    let loop_idx = self.annots.by_fork_start(func, start).or_else(|| {
-                        tracker.current() // fall back to enclosing annotated loop
-                    });
-                    if let Some(li) = loop_idx {
-                        per_loop[li].forks += 1;
-                    }
-                    if sink.enabled() {
-                        sink.emit(
-                            main_core.engine.cycle(),
-                            TraceEvent::Fork {
-                                loop_id: loop_idx,
-                                func,
-                                start_block: start,
-                            },
-                        );
-                    }
-                    // All ring cores are free: the thread goes to core 1.
-                    // RF copy overhead: the pipeline starts after it.
-                    let t = main_core.engine.cycle() + cfg.rf_copy_overhead;
-                    spec_cores[0].engine.advance_to(t);
-                    spec_cores[0].engine.reset_context(t);
-                    per_core[1].threads += 1;
-                    let st = SpecState::acquire(
-                        &mut pool,
-                        &main,
-                        start,
-                        mem.len(),
-                        1,
-                        self.position_of(func, start),
-                        loop_idx,
-                        main_core.engine.cycle(),
-                    );
-                    spec.push(st);
-                } else {
-                    forks_ignored += 1;
-                    if sink.enabled() {
-                        sink.emit(
-                            main_core.engine.cycle(),
-                            TraceEvent::ForkIgnored {
-                                func: ev.kind.func(),
-                                start_block: start,
-                            },
-                        );
-                    }
-                }
-                continue 'outer;
-            }
-
-            // Kill?
-            if ev.kill {
-                kill_all_threads(
-                    &mut spec,
-                    &mut pool,
-                    main_core.engine.cycle(),
-                    &mut kills,
-                    &mut spec_discarded,
-                    &mut per_loop,
-                    &mut per_core,
-                    sink,
-                );
-                continue 'outer;
-            }
-
-            // Track main post-fork register writes and store-address checks
-            // against every live thread.
-            if !spec.is_empty() {
-                for sp in spec.iter_mut() {
-                    if let Some(dst) = ev.dst {
-                        if ev.dst_depth() as usize == sp.fork_level {
-                            sp.post_fork_writes.insert(dst.0);
-                        }
-                    }
-                    if let Some(m) = ev.mem {
-                        if m.is_store && ev.executed && sp.lab.contains(m.addr) {
-                            sp.violated_addrs.insert(m.addr);
-                        }
-                    }
-                }
-                // Safety: main left the fork frame without a kill. All ring
-                // threads speculate iterations of the same loop frame, so
-                // all of them are dead.
-                if main.depth() < spec[0].start_depth {
+                // Kill?
+                if ev.kill {
                     kill_all_threads(
                         &mut spec,
                         &mut pool,
@@ -651,6 +767,43 @@ impl<'p> SptSim<'p> {
                         &mut per_core,
                         sink,
                     );
+                    continue 'outer;
+                }
+
+                // Track main post-fork register writes and store-address checks
+                // against every live thread.
+                if !spec.is_empty() {
+                    for sp in spec.iter_mut() {
+                        if let Some(dst) = ev.dst {
+                            if ev.dst_depth() as usize == sp.fork_level {
+                                sp.post_fork_writes.insert(dst.0);
+                            }
+                        }
+                        if let Some(m) = ev.mem {
+                            if m.is_store && ev.executed && sp.lab.contains(m.addr) {
+                                sp.violated_addrs.insert(m.addr);
+                            }
+                        }
+                    }
+                    // Safety: main left the fork frame without a kill. All ring
+                    // threads speculate iterations of the same loop frame, so
+                    // all of them are dead.
+                    if main.depth() < spec[0].start_depth {
+                        kill_all_threads(
+                            &mut spec,
+                            &mut pool,
+                            main_core.engine.cycle(),
+                            &mut kills,
+                            &mut spec_discarded,
+                            &mut per_loop,
+                            &mut per_core,
+                            sink,
+                        );
+                        continue 'outer;
+                    }
+                }
+                if steps >= max_steps || main_core.engine.cycle() >= next_gate {
+                    continue 'outer;
                 }
             }
         }
@@ -684,6 +837,8 @@ impl<'p> SptSim<'p> {
             ret: main.return_value(),
             steps,
             out_of_fuel: !main.is_halted() && steps >= max_steps,
+            superstep_hits: memo.as_ref().map_or(0, |m| m.hits()),
+            superstep_misses: memo.as_ref().map_or(0, |m| m.misses()),
         };
         (report, mem)
     }
@@ -697,6 +852,7 @@ impl<'p> SptSim<'p> {
         cache: &mut CacheSim,
         mem: &mut Memory,
         cfg: &MachineConfig,
+        traced: bool,
     ) -> Option<(FuncId, BlockId)> {
         let mut view = SpecMem {
             ssb: &mut sp.ssb,
@@ -722,22 +878,35 @@ impl<'p> SptSim<'p> {
         }
 
         // LAB: record loads that went to cache/memory (not SSB-forwarded).
-        let mut timing_ev = ev;
+        // Some memory events need `mem` masked for timing; the event copy
+        // is skipped for the common case that needs no mask.
+        let mut mask_mem = false;
         if let Some(m) = ev.mem {
             if !m.is_store && ev.executed {
                 if sp.ssb.contains(m.addr) {
                     // Forwarded from the store buffer: 1-cycle, no cache.
-                    timing_ev.mem = None;
+                    mask_mem = true;
                 } else {
                     sp.lab.insert(m.addr);
                 }
             }
             if m.is_store {
                 // Speculative stores do not touch the cache until commit.
-                timing_ev.mem = None;
+                mask_mem = true;
             }
         }
-        core.issue(&timing_ev, cache, cfg);
+        let timing_ev;
+        let tev: &Event = if mask_mem {
+            timing_ev = Event { mem: None, ..ev };
+            &timing_ev
+        } else {
+            &ev
+        };
+        if traced {
+            core.issue(tev, cache, cfg);
+        } else {
+            core.issue_quiet(tev, cache, cfg);
+        }
 
         let fork_req = ev.fork.map(|start| (ev.kind.func(), start));
         sp.srb.push(ev);

@@ -307,6 +307,8 @@ impl Sweep {
                 spt_cycles: Some(rep.cycles),
                 speedup: Some(speedup),
                 semantics_ok: None,
+                superstep_hits: base.superstep_hits + rep.superstep_hits,
+                superstep_misses: base.superstep_misses + rep.superstep_misses,
             };
             (speedup, record)
         });
@@ -377,6 +379,8 @@ impl Sweep {
                 spt_cycles: Some(rep.cycles),
                 speedup: Some(speedup),
                 semantics_ok: None,
+                superstep_hits: base.superstep_hits + rep.superstep_hits,
+                superstep_misses: base.superstep_misses + rep.superstep_misses,
             };
             (speedup, record)
         });
@@ -440,6 +444,8 @@ impl Sweep {
                 spt_cycles: Some(rep.cycles),
                 speedup: Some(speedup),
                 semantics_ok: None,
+                superstep_hits: base.superstep_hits + rep.superstep_hits,
+                superstep_misses: base.superstep_misses + rep.superstep_misses,
             };
             ((label.clone(), speedup), record)
         });

@@ -44,7 +44,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version of the on-disk entry encoding. Entries written under any other
 /// version read as misses.
-pub const STORE_SCHEMA: u32 = 1;
+///
+/// v2: report payloads gained `superstep_hits` / `superstep_misses`.
+pub const STORE_SCHEMA: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -310,6 +312,8 @@ pub fn baseline_report_json(r: &BaselineReport) -> Json {
         .with("ret", ret_json(r.ret))
         .with("steps", r.steps)
         .with("out_of_fuel", r.out_of_fuel)
+        .with("superstep_hits", r.superstep_hits)
+        .with("superstep_misses", r.superstep_misses)
 }
 
 /// Decode a [`BaselineReport`]; `None` on any missing or mistyped field.
@@ -326,6 +330,8 @@ pub fn baseline_report_from_json(j: &Json) -> Option<BaselineReport> {
         ret: ret_from(j.get("ret")?)?,
         steps: j.get("steps")?.as_u64()?,
         out_of_fuel: j.get("out_of_fuel")?.as_bool()?,
+        superstep_hits: j.get("superstep_hits")?.as_u64()?,
+        superstep_misses: j.get("superstep_misses")?.as_u64()?,
     })
 }
 
@@ -406,6 +412,8 @@ pub fn spt_report_json(r: &SptReport) -> Json {
         .with("ret", ret_json(r.ret))
         .with("steps", r.steps)
         .with("out_of_fuel", r.out_of_fuel)
+        .with("superstep_hits", r.superstep_hits)
+        .with("superstep_misses", r.superstep_misses)
 }
 
 /// Decode an [`SptReport`]; `None` on any missing or mistyped field.
@@ -441,6 +449,8 @@ pub fn spt_report_from_json(j: &Json) -> Option<SptReport> {
         ret: ret_from(j.get("ret")?)?,
         steps: j.get("steps")?.as_u64()?,
         out_of_fuel: j.get("out_of_fuel")?.as_bool()?,
+        superstep_hits: j.get("superstep_hits")?.as_u64()?,
+        superstep_misses: j.get("superstep_misses")?.as_u64()?,
     })
 }
 
