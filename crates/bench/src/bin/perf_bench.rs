@@ -20,10 +20,15 @@
 //!   just build an entry in memory and schema-validate it. Exits
 //!   non-zero on schema violations only — there is **no** timing
 //!   threshold, so CI stays deterministic on shared runners.
+//! * `--metrics` — attach the full `SweepMetrics` telemetry observer to
+//!   the sweep before running. Paired `--label metrics-off` /
+//!   `--label metrics-on` ledger entries quantify the observer's
+//!   overhead; the rendered exposition is validated before exit.
 
 use spt::service::scale_name;
 use spt::{Json, RunConfig, RunReport, Sweep};
 use spt_bench::Flags;
+use spt_serve::ServeMetrics;
 use spt_workloads::{suite, Scale};
 use std::process::exit;
 
@@ -159,8 +164,12 @@ fn merge_into_ledger(path: &str, entry: Json, label: &str) -> Json {
 }
 
 fn main() {
-    let flags = Flags::parse(&["--scale", "--workers", "--label", "--out"], &["--smoke"]);
+    let flags = Flags::parse(
+        &["--scale", "--workers", "--label", "--out"],
+        &["--smoke", "--metrics"],
+    );
     let smoke = flags.get("--smoke").is_some();
+    let with_metrics = flags.get("--metrics").is_some();
     let scale = if smoke {
         Scale::Test
     } else {
@@ -173,7 +182,14 @@ fn main() {
     let out = flags.get("--out").unwrap_or(DEFAULT_OUT).to_string();
 
     let names: Vec<&str> = suite(scale).iter().map(|w| w.name).collect();
-    let sweep = Sweep::new(workers);
+    let mut sweep = Sweep::new(workers);
+    let telemetry = if with_metrics {
+        let m = ServeMetrics::new();
+        sweep.set_observer(m.sweep_observer());
+        Some(m)
+    } else {
+        None
+    };
     let (_, report) = sweep.fig_scale(&names, &CORES, scale, &RunConfig::default());
     println!("{}", report.summary());
     println!(
@@ -182,6 +198,16 @@ fn main() {
         report.total_sim_cycles(),
         report.sim_cycles_per_sec()
     );
+    if let Some(m) = &telemetry {
+        let expo = m.render(&sweep);
+        match spt_metrics::validate_exposition(&expo) {
+            Ok(n) => println!("[perf_bench] telemetry attached: exposition valid, {n} samples"),
+            Err(e) => {
+                eprintln!("perf_bench: telemetry exposition invalid: {e}");
+                exit(1);
+            }
+        }
+    }
 
     let entry = entry_json(&label, scale, &report);
     if smoke {

@@ -1,0 +1,350 @@
+//! Lock-free log-linear histograms.
+//!
+//! A [`Histogram`] records unsigned samples (latencies in microseconds,
+//! sizes in bytes, ...) into a fixed set of log-linear buckets: each
+//! power-of-two octave is split into [`SUBBUCKETS`] linear sub-buckets,
+//! so relative error is bounded by `1/SUBBUCKETS` (25%) at every
+//! magnitude while the whole table stays a fixed-size array of atomics.
+//! Recording is a single relaxed `fetch_add` per bucket plus sum/count —
+//! no locks, no allocation, safe to hammer from every connection thread.
+//!
+//! Quantiles (p50/p95/p99) are estimated by walking the cumulative
+//! distribution and interpolating linearly inside the landing bucket;
+//! the same interpolation is exposed as [`quantile_from_cumulative`] for
+//! consumers that only have the scraped Prometheus bucket form (spt-top
+//! diffs two scrapes and takes quantiles of the *delta* histogram).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUBBUCKETS: usize = 4;
+
+/// Highest octave tracked exactly: values up to `2^(MAX_OCTAVE+1) - 1`
+/// land in a real bucket, larger ones in the overflow bucket. With
+/// microsecond samples this covers ~71 minutes.
+pub const MAX_OCTAVE: usize = 31;
+
+/// Total bucket count: values 0..=3 get exact buckets, octaves
+/// `2..=MAX_OCTAVE` get [`SUBBUCKETS`] each, plus one overflow bucket.
+pub const NBUCKETS: usize = SUBBUCKETS + (MAX_OCTAVE - 1) * SUBBUCKETS + 1;
+
+/// Bucket index for a sample value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        return v as usize;
+    }
+    let o = 63 - v.leading_zeros() as usize; // floor(log2(v)), >= 2
+    if o > MAX_OCTAVE {
+        return NBUCKETS - 1;
+    }
+    let sub = ((v >> (o - 2)) & 3) as usize;
+    SUBBUCKETS + (o - 2) * SUBBUCKETS + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (`None` for the overflow
+/// bucket, whose Prometheus `le` is `+Inf`).
+pub fn bucket_upper(idx: usize) -> Option<u64> {
+    if idx >= NBUCKETS - 1 {
+        return None;
+    }
+    if idx < SUBBUCKETS {
+        return Some(idx as u64);
+    }
+    let rel = idx - SUBBUCKETS;
+    let o = rel / SUBBUCKETS + 2;
+    let sub = (rel % SUBBUCKETS) as u64;
+    let width = 1u64 << (o - 2);
+    Some((1u64 << o) + (sub + 1) * width - 1)
+}
+
+/// Inclusive lower bound of bucket `idx`.
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= NBUCKETS - 1 {
+        // First value past the last exact bucket.
+        bucket_upper(NBUCKETS - 2).unwrap() + 1
+    } else {
+        bucket_upper(idx - 1).unwrap() + 1
+    }
+}
+
+/// A frozen copy of a histogram's counters, safe to walk repeatedly.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    pub buckets: [u64; NBUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: cumulative walk plus
+    /// linear interpolation inside the landing bucket. An empty
+    /// histogram reports 0; samples in the overflow bucket report the
+    /// overflow lower bound (the estimate saturates, it never invents
+    /// precision the buckets don't have).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += n;
+            if (cum as f64) >= target {
+                let lo = bucket_lower(idx) as f64;
+                let Some(hi) = bucket_upper(idx) else {
+                    return lo; // overflow bucket: saturate
+                };
+                let frac = (target - before as f64) / n as f64;
+                return lo + frac * ((hi + 1) as f64 - lo);
+            }
+        }
+        bucket_lower(NBUCKETS - 1) as f64
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Estimate quantile `q` from Prometheus-style cumulative buckets:
+/// `(upper_bound, cumulative_count)` pairs sorted by bound, ending with
+/// the `+Inf` bucket (pass `f64::INFINITY`). This is the scrape-side
+/// twin of [`HistSnapshot::quantile`] — spt-top feeds it the *difference*
+/// of two scrapes to get a windowed quantile.
+pub fn quantile_from_cumulative(cumulative: &[(f64, f64)], q: f64) -> f64 {
+    let total = cumulative.last().map_or(0.0, |&(_, c)| c);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total).max(1.0);
+    let mut prev_bound = 0.0f64;
+    let mut prev_cum = 0.0f64;
+    for &(bound, cum) in cumulative {
+        if cum >= target {
+            if !bound.is_finite() {
+                return prev_bound; // overflow bucket: saturate
+            }
+            let in_bucket = cum - prev_cum;
+            if in_bucket <= 0.0 {
+                return bound;
+            }
+            let frac = (target - prev_cum) / in_bucket;
+            return prev_bound + frac * (bound + 1.0 - prev_bound);
+        }
+        prev_bound = bound + 1.0;
+        prev_cum = cum;
+    }
+    prev_bound
+}
+
+/// A lock-free log-linear histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample. Three relaxed atomic ops; never blocks.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copy the counters out. Concurrent `observe` calls may tear across
+    /// buckets vs count — acceptable for observability, never for
+    /// correctness-bearing data (which this crate must not carry).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shortcut: quantile of the live counters.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // Values 0..=3 get exact buckets.
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize, "v={v}");
+            assert_eq!(bucket_upper(v as usize), Some(v));
+        }
+        // Octave [4, 8): one value per sub-bucket.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(7), 7);
+        // Octave [8, 16): two values per sub-bucket.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_upper(8), Some(9));
+        assert_eq!(bucket_upper(11), Some(15));
+        // Each bucket's range is contiguous with its neighbours.
+        for idx in 1..NBUCKETS - 1 {
+            assert_eq!(
+                bucket_lower(idx),
+                bucket_upper(idx - 1).unwrap() + 1,
+                "idx={idx}"
+            );
+            assert!(bucket_lower(idx) <= bucket_upper(idx).unwrap());
+        }
+        // Every representable value maps into its own bucket's range.
+        for v in [0, 1, 5, 100, 1_000, 65_535, 1 << 20, (1 << 32) - 1] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v, "v={v}");
+            if let Some(hi) = bucket_upper(idx) {
+                assert!(v <= hi, "v={v}");
+            }
+        }
+        // Past the last octave: overflow bucket.
+        assert_eq!(bucket_index(u64::MAX), NBUCKETS - 1);
+        assert_eq!(bucket_index(1 << 32), NBUCKETS - 1);
+        assert_eq!(bucket_upper(NBUCKETS - 1), None);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / lower bound <= 1/SUBBUCKETS for all exact
+        // buckets past the first octave.
+        for idx in SUBBUCKETS..NBUCKETS - 1 {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx).unwrap();
+            assert!(
+                (hi - lo + 1) as f64 / lo as f64 <= 1.0 / SUBBUCKETS as f64 + 1e-12,
+                "idx={idx} lo={lo} hi={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_lands_in_its_bucket() {
+        let h = Histogram::default();
+        h.observe(100);
+        let idx = bucket_index(100);
+        let (lo, hi) = (bucket_lower(idx) as f64, bucket_upper(idx).unwrap() as f64);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= lo && v <= hi + 1.0, "q={q} v={v} in [{lo}, {hi}]");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = Histogram::default();
+        // 100 samples spread over one exact-value bucket (v=2).
+        for _ in 0..100 {
+            h.observe(2);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((2.0..=3.0).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn quantiles_order_correctly_across_magnitudes() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..9 {
+            h.observe(1_000);
+        }
+        h.observe(100_000);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 < 16.0, "p50={p50}");
+        assert!((900.0..1100.0).contains(&p95), "p95={p95}");
+        assert!(p99 >= 900.0, "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_not_panics() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(1 << 40);
+        let p = h.quantile(0.5);
+        assert_eq!(p, bucket_lower(NBUCKETS - 1) as f64);
+        assert_eq!(h.snapshot().buckets[NBUCKETS - 1], 2);
+    }
+
+    #[test]
+    fn cumulative_quantile_matches_snapshot_quantile() {
+        let h = Histogram::default();
+        for v in [3u64, 17, 17, 90, 1024, 5000, 5000, 5000, 12, 64] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // Build the Prometheus cumulative form and compare estimators.
+        let mut cum = Vec::new();
+        let mut acc = 0u64;
+        for idx in 0..NBUCKETS {
+            acc += s.buckets[idx];
+            let bound = bucket_upper(idx).map_or(f64::INFINITY, |u| u as f64);
+            cum.push((bound, acc as f64));
+        }
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let a = s.quantile(q);
+            let b = quantile_from_cumulative(&cum, q);
+            assert!((a - b).abs() < 1e-9, "q={q}: {a} vs {b}");
+        }
+        assert_eq!(quantile_from_cumulative(&[], 0.5), 0.0);
+    }
+}

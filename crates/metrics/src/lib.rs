@@ -1,0 +1,27 @@
+//! `spt-metrics`: dependency-free production telemetry.
+//!
+//! Three layers, smallest on top:
+//!
+//! * [`hist`] — lock-free log-linear [`Histogram`]s with bounded
+//!   relative error and p50/p95/p99 estimation;
+//! * [`registry`] — scalar instruments ([`Counter`], [`Gauge`],
+//!   [`FGauge`], [`FCounter`]) and the label-aware [`Registry`] that
+//!   renders everything as Prometheus text exposition;
+//! * [`expo`] — the consumer side: [`parse_exposition`] for scrapes
+//!   (`spt-top`) and [`validate_exposition`] for tests and CI.
+//!
+//! The crate is intentionally one-way: nothing in here can feed data
+//! back into the systems being observed, which is what lets `spt-serve`
+//! guarantee that goldens, deterministic JSON, and trace bytes are
+//! byte-identical with metrics on or off.
+
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use expo::{parse_exposition, validate_exposition, Sample, Scrape};
+pub use hist::{
+    bucket_index, bucket_lower, bucket_upper, quantile_from_cumulative, HistSnapshot, Histogram,
+    MAX_OCTAVE, NBUCKETS, SUBBUCKETS,
+};
+pub use registry::{Counter, FCounter, FGauge, Family, Gauge, Kind, Registry};

@@ -1,0 +1,527 @@
+//! The named-metric registry.
+//!
+//! A [`Registry`] owns families of metrics; a family is a metric name
+//! plus a fixed set of label keys, and each distinct label-value tuple
+//! gets its own lock-free instrument ([`Counter`], [`Gauge`],
+//! [`FGauge`], [`FCounter`], [`crate::Histogram`]). Handle lookup
+//! (`vec.with(&["eval", "memo"])`) takes a short mutex; the returned
+//! `Arc` can (and should) be cached by hot paths so steady-state
+//! recording is pure relaxed atomics.
+//!
+//! [`Registry::render`] serializes everything in the Prometheus text
+//! exposition format (version 0.0.4): `# HELP` / `# TYPE` headers,
+//! label-sorted sample lines, histograms as cumulative `_bucket{le=...}`
+//! plus `_sum` / `_count`. Families render in registration order and
+//! series in sorted label order, so two renders of the same state are
+//! byte-identical.
+//!
+//! ## Naming and cardinality rules (enforced by debug assertions,
+//! documented in DESIGN.md §3g)
+//!
+//! * metric names: `snake_case`, `spt_` prefix, unit suffix (`_us`,
+//!   `_bytes`), `_total` for counters;
+//! * label values must come from small closed sets (op names, provenance
+//!   labels, phase names) — never request payloads, user input, or keys
+//!   with unbounded cardinality.
+
+use crate::hist::{bucket_upper, Histogram, NBUCKETS};
+use std::any::Any;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Scalar instruments
+// ---------------------------------------------------------------------------
+
+/// Monotone unsigned counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the absolute value — for mirroring an *external*
+    /// monotone counter (store/memo stats owned by another subsystem)
+    /// into the registry at scrape time. Never mix with `add` on the
+    /// same counter.
+    pub fn mirror(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge (current value, may go up and down).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Float gauge (ratios, rates) — an `AtomicU64` holding f64 bits.
+#[derive(Debug, Default)]
+pub struct FGauge(AtomicU64);
+
+impl FGauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Monotone float counter (accumulated milliseconds, ...). Adds go
+/// through a CAS loop; contention is bounded by how often phases finish,
+/// not by request rate.
+#[derive(Debug, Default)]
+pub struct FCounter(AtomicU64);
+
+impl FCounter {
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------------
+
+/// What `# TYPE` a family advertises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// An instrument a [`Family`] can hold. Sealed to the crate's types.
+pub trait Instrument: Default + Send + Sync + 'static {
+    const KIND: Kind;
+    /// Append this instrument's sample lines. `labels` is the rendered
+    /// `key="value",...` body *without* braces (empty for no labels).
+    fn render_into(&self, out: &mut String, name: &str, labels: &str);
+}
+
+fn write_sample(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+impl Instrument for Counter {
+    const KIND: Kind = Kind::Counter;
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        write_sample(out, name, labels, self.get());
+    }
+}
+
+impl Instrument for Gauge {
+    const KIND: Kind = Kind::Gauge;
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        write_sample(out, name, labels, self.get());
+    }
+}
+
+impl Instrument for FGauge {
+    const KIND: Kind = Kind::Gauge;
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        write_sample(out, name, labels, self.get());
+    }
+}
+
+impl Instrument for FCounter {
+    const KIND: Kind = Kind::Counter;
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        write_sample(out, name, labels, self.get());
+    }
+}
+
+impl Instrument for Histogram {
+    const KIND: Kind = Kind::Histogram;
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        let snap = self.snapshot();
+        let mut cum = 0u64;
+        let sep = if labels.is_empty() { "" } else { "," };
+        for idx in 0..NBUCKETS {
+            cum += snap.buckets[idx];
+            // Empty leading/inner buckets still render: Prometheus wants
+            // a stable bucket layout across scrapes so `rate()` works.
+            // To keep the exposition compact we only emit a bucket line
+            // when the cumulative count changes, plus the +Inf line —
+            // cumulative semantics make the omitted lines redundant.
+            if idx == NBUCKETS - 1 {
+                write_sample(
+                    out,
+                    &format!("{name}_bucket"),
+                    &format!("{labels}{sep}le=\"+Inf\""),
+                    cum,
+                );
+            } else if snap.buckets[idx] != 0 {
+                let le = bucket_upper(idx).expect("non-overflow bucket has a bound");
+                write_sample(
+                    out,
+                    &format!("{name}_bucket"),
+                    &format!("{labels}{sep}le=\"{le}\""),
+                    cum,
+                );
+            }
+        }
+        write_sample(out, &format!("{name}_sum"), labels, snap.sum);
+        write_sample(out, &format!("{name}_count"), labels, snap.count);
+    }
+}
+
+/// One metric family: a name, help text, label keys, and one instrument
+/// per distinct label-value tuple.
+pub struct Family<T: Instrument> {
+    name: String,
+    help: String,
+    label_keys: Vec<String>,
+    series: Mutex<Vec<(Vec<String>, Arc<T>)>>,
+}
+
+impl<T: Instrument> Family<T> {
+    /// The instrument for one label-value tuple, created on first use.
+    /// Panics if the value count does not match the family's keys —
+    /// that is a programming error, not a runtime condition.
+    pub fn with(&self, values: &[&str]) -> Arc<T> {
+        assert_eq!(
+            values.len(),
+            self.label_keys.len(),
+            "{}: expected {} label values, got {}",
+            self.name,
+            self.label_keys.len(),
+            values.len()
+        );
+        let mut series = self.series.lock().unwrap();
+        if let Some((_, m)) = series.iter().find(|(vs, _)| vs == values) {
+            return m.clone();
+        }
+        let m = Arc::new(T::default());
+        series.push((values.iter().map(|s| s.to_string()).collect(), m.clone()));
+        m
+    }
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Object-safe view of a family, for the registry's heterogeneous list.
+trait AnyFamily: Send + Sync {
+    fn name(&self) -> &str;
+    fn render(&self, out: &mut String);
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Instrument> AnyFamily for Family<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn render(&self, out: &mut String) {
+        let _ = writeln!(out, "# HELP {} {}", self.name, self.help);
+        let _ = writeln!(out, "# TYPE {} {}", self.name, T::KIND.name());
+        let mut series: Vec<(Vec<String>, Arc<T>)> =
+            self.series.lock().unwrap().iter().cloned().collect();
+        series.sort_by(|(a, _), (b, _)| a.cmp(b));
+        for (values, metric) in &series {
+            let labels = self
+                .label_keys
+                .iter()
+                .zip(values)
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            metric.render_into(out, &self.name, &labels);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named collection of metric families with deterministic rendering.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Arc<dyn AnyFamily>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or fetch, if already registered with the same shape) a
+    /// family. Panics on a name collision with a different instrument
+    /// type or label keys — silent aliasing would corrupt dashboards.
+    pub fn family<T: Instrument>(&self, name: &str, help: &str, keys: &[&str]) -> Arc<Family<T>> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for k in keys {
+            assert!(valid_name(k), "invalid label key {k:?}");
+        }
+        let mut families = self.families.lock().unwrap();
+        if let Some(existing) = families.iter().find(|f| f.name() == name) {
+            let fam = existing
+                .as_any()
+                .downcast_ref::<Family<T>>()
+                .unwrap_or_else(|| panic!("metric {name} re-registered with a different type"));
+            assert_eq!(
+                fam.label_keys, keys,
+                "metric {name} re-registered with different label keys"
+            );
+            // Safe: we only hand out Arc<Family<T>> for this name.
+            return unsafe { arc_downcast::<T>(existing.clone()) };
+        }
+        let fam = Arc::new(Family::<T> {
+            name: name.to_string(),
+            help: help.to_string(),
+            label_keys: keys.iter().map(|k| k.to_string()).collect(),
+            series: Mutex::new(Vec::new()),
+        });
+        families.push(fam.clone());
+        fam
+    }
+
+    /// An unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.family::<Counter>(name, help, &[]).with(&[])
+    }
+
+    /// A labeled counter family.
+    pub fn counter_vec(&self, name: &str, help: &str, keys: &[&str]) -> Arc<Family<Counter>> {
+        self.family::<Counter>(name, help, keys)
+    }
+
+    /// An unlabeled signed gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.family::<Gauge>(name, help, &[]).with(&[])
+    }
+
+    /// An unlabeled float gauge.
+    pub fn fgauge(&self, name: &str, help: &str) -> Arc<FGauge> {
+        self.family::<FGauge>(name, help, &[]).with(&[])
+    }
+
+    /// A labeled float-counter family.
+    pub fn fcounter_vec(&self, name: &str, help: &str, keys: &[&str]) -> Arc<Family<FCounter>> {
+        self.family::<FCounter>(name, help, keys)
+    }
+
+    /// An unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.family::<Histogram>(name, help, &[]).with(&[])
+    }
+
+    /// A labeled histogram family.
+    pub fn histogram_vec(&self, name: &str, help: &str, keys: &[&str]) -> Arc<Family<Histogram>> {
+        self.family::<Histogram>(name, help, keys)
+    }
+
+    /// Serialize every family in the Prometheus text exposition format.
+    /// Deterministic for a fixed counter state: families in registration
+    /// order, series in sorted label order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in self.families.lock().unwrap().iter() {
+            fam.render(&mut out);
+        }
+        out
+    }
+}
+
+/// Downcast `Arc<dyn AnyFamily>` to `Arc<Family<T>>`. Caller must have
+/// verified the concrete type via `as_any().downcast_ref` first.
+unsafe fn arc_downcast<T: Instrument>(fam: Arc<dyn AnyFamily>) -> Arc<Family<T>> {
+    let raw: *const dyn AnyFamily = Arc::into_raw(fam);
+    unsafe { Arc::from_raw(raw as *const Family<T>) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_fcounters_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("spt_requests_total", "Requests.");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        let g = r.gauge("spt_active_connections", "Open connections.");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+        let f = r.fgauge("spt_hit_ratio", "Hit ratio.");
+        f.set(0.75);
+        assert_eq!(f.get(), 0.75);
+        let fc = r
+            .fcounter_vec("spt_phase_ms_total", "Phase ms.", &["phase"])
+            .with(&["compile"]);
+        fc.add(1.5);
+        fc.add(2.25);
+        assert_eq!(fc.get(), 3.75);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_cached() {
+        let r = Registry::new();
+        let v = r.counter_vec("spt_responses_total", "Responses.", &["op", "served"]);
+        let a = v.with(&["eval", "memo"]);
+        let b = v.with(&["eval", "store"]);
+        let a2 = v.with(&["eval", "memo"]);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        a.add(7);
+        assert_eq!(v.with(&["eval", "memo"]).get(), 7);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn re_registration_returns_the_same_family() {
+        let r = Registry::new();
+        let a = r.counter_vec("spt_x_total", "X.", &["k"]);
+        let b = r.counter_vec("spt_x_total", "X.", &["k"]);
+        a.with(&["v"]).inc();
+        assert_eq!(b.with(&["v"]).get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn re_registration_with_different_type_panics() {
+        let r = Registry::new();
+        let _ = r.counter("spt_y_total", "Y.");
+        let _ = r.gauge("spt_y_total", "Y.");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_label_sorted() {
+        let r = Registry::new();
+        let v = r.counter_vec("spt_ops_total", "Ops.", &["op"]);
+        v.with(&["zeta"]).add(1);
+        v.with(&["alpha"]).add(2);
+        let g = r.gauge("spt_gauge", "A gauge.");
+        g.set(4);
+        let text = r.render();
+        assert_eq!(text, r.render(), "two renders of the same state");
+        let alpha = text.find("op=\"alpha\"").unwrap();
+        let zeta = text.find("op=\"zeta\"").unwrap();
+        assert!(alpha < zeta, "series sorted by label value");
+        assert!(text.contains("# TYPE spt_ops_total counter"));
+        assert!(text.contains("# TYPE spt_gauge gauge"));
+        assert!(text.contains("spt_ops_total{op=\"alpha\"} 2"));
+        assert!(text.contains("spt_gauge 4"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r
+            .histogram_vec("spt_latency_us", "Latency.", &["op"])
+            .with(&["ping"]);
+        h.observe(5);
+        h.observe(5);
+        h.observe(1_000_000);
+        let text = r.render();
+        assert!(text.contains("# TYPE spt_latency_us histogram"));
+        assert!(text.contains("spt_latency_us_bucket{op=\"ping\",le=\"5\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.contains("spt_latency_us_sum{op=\"ping\"} 1000010"));
+        assert!(text.contains("spt_latency_us_count{op=\"ping\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_vec("spt_esc_total", "Esc.", &["k"])
+            .with(&["a\"b\\c\nd"])
+            .inc();
+        let text = r.render();
+        assert!(text.contains("k=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal HTTP/1.1 scrape endpoint: `GET /metrics` returns the
+//! Prometheus text exposition, nothing else is served.
+//!
+//! This is deliberately not a web server: one nonblocking accept loop
+//! polled against the daemon's stop flag (the same discipline as the
+//! main protocol listener), connections handled inline because a scrape
+//! is a render of in-memory atomics and takes microseconds, and every
+//! response closes the connection. Stock Prometheus speaks exactly this
+//! much HTTP.
+
+use crate::Shared;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::ACCEPT_POLL;
+
+/// Per-scrape socket timeout: generous for a scraper, short enough that
+/// a stuck client cannot wedge the (single-threaded) scrape loop.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Bind `addr` (TCP only; port 0 picks a free port) and serve scrapes
+/// until the daemon's stop flag is set. Returns the bound address and
+/// the loop's thread handle.
+pub(crate) fn spawn(addr: &str, shared: Arc<Shared>) -> std::io::Result<(String, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?.to_string();
+    let handle = std::thread::spawn(move || scrape_loop(listener, &shared));
+    Ok((bound, handle))
+}
+
+fn scrape_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One slow scraper must not take the endpoint down with
+                // it; errors just drop the connection.
+                let _ = serve_scrape(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Read one request head, answer it, close.
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(SCRAPE_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_TIMEOUT))?;
+
+    let head = read_head(&mut stream)?;
+    let mut first = head.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("");
+    let path = first.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else if path == "/metrics" {
+        (
+            "200 OK",
+            // The Prometheus text exposition content type, version 0.0.4.
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics_text(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try GET /metrics\n".to_string(),
+        )
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read until the blank line ending the request head. Request bodies are
+/// ignored (GET has none; anything else is refused anyway).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() > 16 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        match stream.read(&mut byte)? {
+            0 => break, // client closed early
+            _ => head.push(byte[0]),
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}

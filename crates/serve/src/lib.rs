@@ -10,6 +10,7 @@
 //!   request per line; one response line per request; a connection may
 //!   issue any number of requests.
 //! * **Requests** — `{"op":"ping"}`, `{"op":"stats"}`,
+//!   `{"op":"metrics"}` (Prometheus text exposition as a string payload),
 //!   `{"op":"shutdown"}`, `{"op":"eval","bench":NAME,"scale":S,"fuel":N}`,
 //!   and `{"op":"experiment","experiment":NAME,"scale":S,"bench":B?}`.
 //! * **Responses** — `{"ok":true,"served":HOW,"payload":...}` on success
@@ -27,6 +28,13 @@
 //!   a `shutdown` request (or [`Server::shutdown`]) stops the listener,
 //!   drains in-flight connections, and flushes the store.
 //!
+//! * **Telemetry** — every daemon carries a [`ServeMetrics`] plane
+//!   (request latency histograms by op × provenance, connection and
+//!   coalescing gauges, store/memo counters, sweep phase timings),
+//!   scrapeable via the `metrics` op or an optional HTTP listener
+//!   ([`ServeConfig::metrics`]) serving `GET /metrics`. Metrics are
+//!   observational only: payload bytes are identical with them on or off.
+//!
 //! Served results are bit-identical to direct `spt-bench` runs by
 //! construction: both funnel through [`spt::service::run_experiment`].
 
@@ -41,9 +49,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub mod client;
+mod http;
+pub mod metrics;
+
+pub use metrics::{ServeMetrics, SweepMetrics};
 
 /// How the listener polls for new connections while staying responsive
 /// to the stop flag.
@@ -62,6 +74,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Per-connection read timeout; also bounds shutdown drain time.
     pub read_timeout: Duration,
+    /// Optional `host:port` for the HTTP metrics listener (`GET
+    /// /metrics`, Prometheus text exposition). Port 0 picks a free port;
+    /// the bound address is reported by [`Server::metrics_addr`]. `None`
+    /// disables the listener — the `metrics` wire op still works.
+    pub metrics: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +88,7 @@ impl Default for ServeConfig {
             cache_dir: None,
             workers: 1,
             read_timeout: Duration::from_secs(300),
+            metrics: None,
         }
     }
 }
@@ -80,6 +98,9 @@ impl Default for ServeConfig {
 pub enum Request {
     Ping,
     Stats,
+    /// Scrape the telemetry plane: Prometheus text exposition as a
+    /// string payload.
+    Metrics,
     Shutdown,
     /// Evaluate one named suite benchmark end to end.
     Eval {
@@ -102,6 +123,7 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "eval" => {
                 let bench = j
@@ -130,7 +152,7 @@ impl Request {
             }
             "experiment" => Ok(Request::Experiment(ExperimentRequest::from_json(j)?)),
             other => Err(format!(
-                "unknown op {other:?}; known: ping, stats, shutdown, eval, experiment"
+                "unknown op {other:?}; known: ping, stats, metrics, shutdown, eval, experiment"
             )),
         }
     }
@@ -141,6 +163,7 @@ impl Request {
         match self {
             Request::Ping => Json::obj().with("op", "ping"),
             Request::Stats => Json::obj().with("op", "stats"),
+            Request::Metrics => Json::obj().with("op", "metrics"),
             Request::Shutdown => Json::obj().with("op", "shutdown"),
             Request::Eval { bench, scale, fuel } => {
                 let mut j = Json::obj()
@@ -181,6 +204,15 @@ pub enum Served {
 }
 
 impl Served {
+    /// Every provenance, in counter-array order — the one place that
+    /// order is defined.
+    pub const ALL: [Served; 4] = [
+        Served::Computed,
+        Served::Coalesced,
+        Served::Memo,
+        Served::Store,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             Served::Computed => "computed",
@@ -189,15 +221,25 @@ impl Served {
             Served::Store => "store",
         }
     }
+
+    /// Index into a per-provenance counter array; `ALL[s.idx()] == s`.
+    pub fn idx(self) -> usize {
+        match self {
+            Served::Computed => 0,
+            Served::Coalesced => 1,
+            Served::Memo => 2,
+            Served::Store => 3,
+        }
+    }
 }
 
 type WorkResult = Result<Arc<str>, String>;
 
 /// State shared by every connection thread.
-struct Shared {
+pub(crate) struct Shared {
     sweep: Sweep,
     run_cfg: RunConfig,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     read_timeout: Duration,
     /// Response memo + in-flight coalescing: request fingerprint → the
     /// serialized payload, computed at most once.
@@ -205,31 +247,23 @@ struct Shared {
     served: [AtomicU64; 4],
     requests: AtomicU64,
     errors: AtomicU64,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Shared {
     fn count(&self, how: Served) {
-        let i = match how {
-            Served::Computed => 0,
-            Served::Coalesced => 1,
-            Served::Memo => 2,
-            Served::Store => 3,
-        };
-        self.served[i].fetch_add(1, Ordering::Relaxed);
+        self.served[how.idx()].fetch_add(1, Ordering::Relaxed);
     }
 
     fn stats_json(&self) -> Json {
+        let mut served = Json::obj();
+        for how in Served::ALL {
+            served = served.with(how.name(), self.served[how.idx()].load(Ordering::Relaxed));
+        }
         let mut j = Json::obj()
             .with("requests", self.requests.load(Ordering::Relaxed))
             .with("errors", self.errors.load(Ordering::Relaxed))
-            .with(
-                "served",
-                Json::obj()
-                    .with("computed", self.served[0].load(Ordering::Relaxed))
-                    .with("coalesced", self.served[1].load(Ordering::Relaxed))
-                    .with("memo", self.served[2].load(Ordering::Relaxed))
-                    .with("store", self.served[3].load(Ordering::Relaxed)),
-            )
+            .with("served", served)
             .with("memo_cache", self.sweep.memo_stats().to_json());
         if let Some(st) = self.sweep.store() {
             j = j
@@ -237,6 +271,11 @@ impl Shared {
                 .with("store_dir", st.dir().display().to_string());
         }
         j
+    }
+
+    /// Current Prometheus exposition of the telemetry plane.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.metrics.render(&self.sweep)
     }
 
     /// The content fingerprint of a request: its canonical wire form
@@ -271,6 +310,12 @@ impl Shared {
         } else {
             Served::Computed
         };
+        // A coalesced request is about to block on another thread's
+        // computation: surface the wait on the in-flight gauge.
+        let waiting = how == Served::Coalesced;
+        if waiting {
+            self.metrics.coalesce_wait_start();
+        }
         let res = cell.get_or_init(|| match self.compute(req) {
             Ok((payload, from_store)) => {
                 if from_store {
@@ -280,6 +325,9 @@ impl Shared {
             }
             Err(e) => Err(e),
         });
+        if waiting {
+            self.metrics.coalesce_wait_end();
+        }
         (res.clone(), how)
     }
 
@@ -410,22 +458,26 @@ impl Write for Conn {
 /// A running daemon. Dropping it shuts it down.
 pub struct Server {
     addr: String,
+    metrics_addr: Option<String>,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind and start serving in background threads. Returns once the
-    /// socket is listening.
+    /// socket (and the metrics listener, if configured) is listening.
     pub fn start(cfg: &ServeConfig) -> std::io::Result<Server> {
         let (listener, addr) = Listener::bind(&cfg.listen)?;
-        let sweep = match &cfg.cache_dir {
+        let metrics = ServeMetrics::new();
+        let mut sweep = match &cfg.cache_dir {
             Some(dir) => {
                 let store = Arc::new(DiskStore::open(dir)?);
                 Sweep::with_store(cfg.workers.max(1), store)
             }
             None => Sweep::new(cfg.workers.max(1)),
         };
+        sweep.set_observer(metrics.sweep_observer());
         let shared = Arc::new(Shared {
             sweep,
             run_cfg: RunConfig::default(),
@@ -435,19 +487,35 @@ impl Server {
             served: Default::default(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            metrics,
         });
+        let (metrics_addr, metrics_thread) = match &cfg.metrics {
+            Some(m) => {
+                let (bound, handle) = http::spawn(m, shared.clone())?;
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
         let accept_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
         Ok(Server {
             addr,
+            metrics_addr,
             shared,
             accept_thread: Some(accept_thread),
+            metrics_thread,
         })
     }
 
     /// The actual bound address (resolves TCP port 0).
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The bound HTTP metrics address, when [`ServeConfig::metrics`] was
+    /// set.
+    pub fn metrics_addr(&self) -> Option<&str> {
+        self.metrics_addr.as_deref()
     }
 
     /// True once a shutdown request has been received.
@@ -460,12 +528,18 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
     }
 
     /// Stop accepting, drain in-flight connections, flush the store.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
     }
@@ -475,6 +549,9 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
     }
@@ -509,6 +586,15 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
     drop(listener);
 }
 
+/// Decrements the active-connection gauge on every exit path.
+struct ConnGuard<'a>(&'a ServeMetrics);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conn_closed();
+    }
+}
+
 /// Serve one connection: a loop of request line → response line.
 fn handle_conn(conn: Conn, shared: &Arc<Shared>) {
     if conn.configure(shared.read_timeout).is_err() {
@@ -517,6 +603,8 @@ fn handle_conn(conn: Conn, shared: &Arc<Shared>) {
     let Ok(write_half) = conn.try_clone() else {
         return;
     };
+    shared.metrics.conn_opened();
+    let _guard = ConnGuard(&shared.metrics);
     let mut writer = write_half;
     let mut reader = BufReader::new(conn);
     let mut line = String::new();
@@ -524,15 +612,28 @@ fn handle_conn(conn: Conn, shared: &Arc<Shared>) {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(_) => return, // timeout or broken pipe
+            Ok(n) => shared.metrics.add_bytes_read(n as u64),
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    shared.metrics.timeout();
+                }
+                return; // timeout or broken pipe
+            }
         }
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_request(shared, line.trim());
+        let t0 = Instant::now();
+        let (response, op, served) = handle_request(shared, line.trim());
+        shared
+            .metrics
+            .response(op, served, t0.elapsed().as_micros() as u64);
         let mut body = response.dump();
         body.push('\n');
+        shared.metrics.add_bytes_written(body.len() as u64);
         if writer.write_all(body.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
@@ -546,23 +647,43 @@ fn error_json(msg: &str) -> Json {
     Json::obj().with("ok", false).with("error", msg)
 }
 
+/// The metric label for a request's op — a closed set regardless of
+/// what clients send (undecodable lines are all `invalid`).
+fn op_label(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+        Request::Eval { .. } => "eval",
+        Request::Experiment(_) => "experiment",
+    }
+}
+
 /// Decode, dispatch, and encode one request; never panics the daemon.
-fn handle_request(shared: &Arc<Shared>, line: &str) -> Json {
+/// Returns the response plus the `(op, served)` metric labels.
+fn handle_request(shared: &Arc<Shared>, line: &str) -> (Json, &'static str, &'static str) {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let req = match Json::parse(line).map_err(|e| format!("bad JSON: {e}")) {
         Ok(doc) => match Request::from_json(&doc) {
             Ok(r) => r,
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
-                return error_json(&e);
+                shared.metrics.request("invalid");
+                shared.metrics.error();
+                return (error_json(&e), "invalid", "error");
             }
         },
         Err(e) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
-            return error_json(&e);
+            shared.metrics.request("invalid");
+            shared.metrics.error();
+            return (error_json(&e), "invalid", "error");
         }
     };
-    match req {
+    let op = op_label(&req);
+    shared.metrics.request(op);
+    let response = match req {
         Request::Ping => Json::obj()
             .with("ok", true)
             .with("served", "computed")
@@ -571,6 +692,10 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> Json {
             .with("ok", true)
             .with("served", "computed")
             .with("payload", shared.stats_json()),
+        Request::Metrics => Json::obj()
+            .with("ok", true)
+            .with("served", "computed")
+            .with("payload", shared.metrics_text()),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::Relaxed);
             Json::obj()
@@ -587,23 +712,33 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> Json {
                     // `dump` is canonical, so parse→splice→dump yields
                     // byte-identical payload sections for all of them.
                     match Json::parse(&payload) {
-                        Ok(p) => Json::obj()
-                            .with("ok", true)
-                            .with("served", how.name())
-                            .with("payload", p),
+                        Ok(p) => {
+                            let response = Json::obj()
+                                .with("ok", true)
+                                .with("served", how.name())
+                                .with("payload", p);
+                            return (response, op, how.name());
+                        }
                         Err(e) => {
                             shared.errors.fetch_add(1, Ordering::Relaxed);
-                            error_json(&format!("internal: cached payload unparseable: {e}"))
+                            shared.metrics.error();
+                            return (
+                                error_json(&format!("internal: cached payload unparseable: {e}")),
+                                op,
+                                "error",
+                            );
                         }
                     }
                 }
                 Err(e) => {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
-                    error_json(&e)
+                    shared.metrics.error();
+                    return (error_json(&e), op, "error");
                 }
             }
         }
-    }
+    };
+    (response, op, "computed")
 }
 
 #[cfg(test)]
@@ -615,6 +750,7 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Eval {
                 bench: "parsers".into(),
@@ -627,6 +763,16 @@ mod tests {
             let back = Request::from_json(&r.to_json()).unwrap();
             assert_eq!(back, r);
         }
+    }
+
+    #[test]
+    fn served_indices_and_names_are_coherent() {
+        for (i, how) in Served::ALL.into_iter().enumerate() {
+            assert_eq!(how.idx(), i, "{}", how.name());
+            assert_eq!(Served::ALL[how.idx()], how);
+        }
+        let names: Vec<&str> = Served::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["computed", "coalesced", "memo", "store"]);
     }
 
     #[test]

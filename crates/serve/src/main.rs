@@ -12,12 +12,18 @@
 //! * `--cache-dir DIR` — on-disk result store (omit for memory-only).
 //! * `--workers N` — sweep worker threads (default 1).
 //! * `--timeout-secs N` — per-connection read timeout (default 300).
+//! * `--metrics ADDR` — HTTP listener serving `GET /metrics` (Prometheus
+//!   text exposition); port 0 picks a free port, bound address is
+//!   printed as `spt-serve metrics on ADDR`.
 //!
 //! Client mode:
 //!
 //! ```text
-//! spt-serve --connect 127.0.0.1:4650 --op ping|stats|shutdown
+//! spt-serve --connect 127.0.0.1:4650 --op ping|stats|metrics|shutdown
 //! ```
+//!
+//! `--op metrics` prints the exposition body raw (scrape-ready), the
+//! other ops pretty-print their JSON payload.
 
 use spt::Json;
 use spt_serve::{client, ServeConfig, Server};
@@ -26,8 +32,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spt-serve [--listen ADDR] [--cache-dir DIR] [--workers N] [--timeout-secs N]\n\
-                spt-serve --connect ADDR --op ping|stats|shutdown"
+        "usage: spt-serve [--listen ADDR] [--cache-dir DIR] [--workers N] [--timeout-secs N] [--metrics ADDR]\n\
+                spt-serve --connect ADDR --op ping|stats|metrics|shutdown"
     );
     exit(2);
 }
@@ -70,6 +76,7 @@ fn main() {
                     usage();
                 }
             },
+            "--metrics" => cfg.metrics = Some(value(&mut i)),
             "--connect" => connect = Some(value(&mut i)),
             "--op" => op = Some(value(&mut i)),
             "--help" | "-h" => usage(),
@@ -83,11 +90,20 @@ fn main() {
 
     if let Some(addr) = connect {
         let op = op.unwrap_or_else(|| "ping".to_string());
-        if !["ping", "stats", "shutdown"].contains(&op.as_str()) {
-            eprintln!("unknown --op {op:?}; known: ping, stats, shutdown");
+        if !["ping", "stats", "metrics", "shutdown"].contains(&op.as_str()) {
+            eprintln!("unknown --op {op:?}; known: ping, stats, metrics, shutdown");
             usage();
         }
         match client::request(&addr, &Json::obj().with("op", op.as_str())) {
+            // The metrics payload is already a text format (Prometheus
+            // exposition): print it raw, not JSON-wrapped.
+            Ok(resp) if op == "metrics" => match resp.payload.as_str() {
+                Some(text) => print!("{text}"),
+                None => {
+                    eprintln!("spt-serve: metrics payload is not a string");
+                    exit(1);
+                }
+            },
             Ok(resp) => println!("{}", resp.payload.pretty()),
             Err(e) => {
                 eprintln!("spt-serve: {e}");
@@ -109,6 +125,9 @@ fn main() {
         }
     };
     println!("spt-serve listening on {}", server.addr());
+    if let Some(m) = server.metrics_addr() {
+        println!("spt-serve metrics on {m}");
+    }
     match &cfg.cache_dir {
         Some(d) => println!(
             "cache: {} (schema v{}), workers: {}",

@@ -23,6 +23,7 @@ fn start(cache: Option<PathBuf>) -> Server {
         cache_dir: cache,
         workers: 1,
         read_timeout: Duration::from_secs(60),
+        metrics: None,
     })
     .expect("daemon starts")
 }
@@ -192,6 +193,7 @@ fn warm_store_survives_restart_and_is_10x_faster() {
         cache_dir: Some(dir.clone()),
         workers: 1,
         read_timeout: Duration::from_secs(60),
+        metrics: None,
     })
     .unwrap();
     let t0 = Instant::now();
@@ -206,6 +208,7 @@ fn warm_store_survives_restart_and_is_10x_faster() {
         cache_dir: Some(dir.clone()),
         workers: 1,
         read_timeout: Duration::from_secs(60),
+        metrics: None,
     })
     .unwrap();
     let t1 = Instant::now();
@@ -233,6 +236,7 @@ fn graceful_shutdown_drains_and_flushes_the_store() {
         cache_dir: Some(dir.clone()),
         workers: 1,
         read_timeout: Duration::from_secs(60),
+        metrics: None,
     })
     .unwrap();
     let addr = server.addr().to_string();
@@ -263,6 +267,7 @@ fn idle_connection_times_out_but_daemon_stays_healthy() {
         cache_dir: None,
         workers: 1,
         read_timeout: Duration::from_millis(200),
+        metrics: None,
     })
     .unwrap();
     let addr = server.addr().to_string();
@@ -286,6 +291,7 @@ fn unix_socket_transport_works() {
         cache_dir: None,
         workers: 1,
         read_timeout: Duration::from_secs(60),
+        metrics: None,
     })
     .unwrap();
     let addr = sock.to_str().unwrap();

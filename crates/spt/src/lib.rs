@@ -43,7 +43,9 @@ pub use solution::{
     RunConfig,
 };
 pub use store::{DiskStore, StoreStats, STORE_SCHEMA};
-pub use sweep::{BenchRecord, MemoStats, PhaseTimings, RunReport, Sweep};
+pub use sweep::{
+    BenchRecord, MemoStats, PhaseObserver, PhaseStamp, PhaseTimings, RunReport, Sweep,
+};
 pub use trace::{
     chrome_trace, validate_chrome_trace, validate_trace_jsonl, ProgramTrace, TraceRun,
 };

@@ -87,6 +87,42 @@ pub struct PhaseStamp {
     pub hit: bool,
     /// Wall-clock milliseconds spent computing, 0.0 on a hit.
     pub ms: f64,
+    /// True if the value was loaded from the on-disk store rather than
+    /// computed or found in memory (`hit` is also true in that case).
+    pub from_store: bool,
+}
+
+impl PhaseStamp {
+    /// Provenance label for metrics: where this phase's value came from.
+    pub fn provenance(&self) -> &'static str {
+        if self.from_store {
+            "store"
+        } else if self.hit {
+            "memo"
+        } else {
+            "computed"
+        }
+    }
+}
+
+/// Observer hook for phase completions and superstep memo activity.
+///
+/// Strictly one-way: implementations receive copies of observability
+/// data (names, stamps, counters) and cannot feed anything back into
+/// the sweep — which is what keeps goldens, deterministic JSON, and
+/// trace bytes byte-identical whether an observer is attached or not.
+/// Callbacks run on worker threads and must be cheap and non-blocking.
+pub trait PhaseObserver: Send + Sync {
+    /// One memoized phase lookup finished. `phase` is one of
+    /// `"profile"`, `"compile"`, `"baseline_sim"`, `"spt_sim"` (the
+    /// `MemoStats` JSON keys).
+    fn phase_done(&self, phase: &'static str, stamp: PhaseStamp);
+
+    /// Superstep memo counters for one evaluated work item (zeros when
+    /// superstepping is off or both sim phases were cache hits).
+    fn superstep(&self, hits: u64, misses: u64) {
+        let _ = (hits, misses);
+    }
 }
 
 /// One phase's memo table. `Arc<OnceLock<..>>` guarantees at-most-once
@@ -140,13 +176,34 @@ impl<T> Shard<T> {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             if loaded {
-                (v, PhaseStamp { hit: true, ms: 0.0 })
+                (
+                    v,
+                    PhaseStamp {
+                        hit: true,
+                        ms: 0.0,
+                        from_store: true,
+                    },
+                )
             } else {
-                (v, PhaseStamp { hit: false, ms })
+                (
+                    v,
+                    PhaseStamp {
+                        hit: false,
+                        ms,
+                        from_store: false,
+                    },
+                )
             }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            (v, PhaseStamp { hit: true, ms: 0.0 })
+            (
+                v,
+                PhaseStamp {
+                    hit: true,
+                    ms: 0.0,
+                    from_store: false,
+                },
+            )
         }
     }
 }
@@ -511,6 +568,9 @@ pub struct Sweep {
     /// cheap relative to simulation and their payloads (full programs)
     /// would dominate the store.
     store: Option<Arc<DiskStore>>,
+    /// Optional telemetry sink notified after each phase lookup and each
+    /// evaluated item. Purely observational — see [`PhaseObserver`].
+    observer: Option<Arc<dyn PhaseObserver>>,
 }
 
 impl Default for Sweep {
@@ -529,6 +589,7 @@ impl Sweep {
             baselines: Shard::default(),
             spts: Shard::default(),
             store: None,
+            observer: None,
         }
     }
 
@@ -544,6 +605,19 @@ impl Sweep {
     /// The attached on-disk store, if any.
     pub fn store(&self) -> Option<&Arc<DiskStore>> {
         self.store.as_ref()
+    }
+
+    /// Attach a telemetry observer. At most one; attaching replaces any
+    /// previous observer.
+    pub fn set_observer(&mut self, obs: Arc<dyn PhaseObserver>) {
+        self.observer = Some(obs);
+    }
+
+    #[inline]
+    fn observe_phase(&self, phase: &'static str, stamp: PhaseStamp) {
+        if let Some(obs) = &self.observer {
+            obs.phase_done(phase, stamp);
+        }
     }
 
     /// Single-threaded engine (still memoizes).
@@ -614,8 +688,11 @@ impl Sweep {
     /// Profile a program (memoized on program content + fuel).
     pub fn profile(&self, prog: &Program, fuel: u64) -> (Arc<ProgramProfile>, PhaseStamp) {
         let key = Key(program_fingerprint(prog), fuel, 0, 0);
-        self.profiles
-            .get_or_compute(key, || profile_program(prog, fuel))
+        let (p, stamp) = self
+            .profiles
+            .get_or_compute(key, || profile_program(prog, fuel));
+        self.observe_phase("profile", stamp);
+        (p, stamp)
     }
 
     /// Compile a program (memoized on program content + options). The
@@ -632,6 +709,7 @@ impl Sweep {
         let (res, cstamp) = self
             .compiles
             .get_or_compute(key, || compile_with_profile(prog, opts, (*profile).clone()));
+        self.observe_phase("compile", cstamp);
         (res, cstamp, pstamp)
     }
 
@@ -650,7 +728,7 @@ impl Sweep {
             debug_fingerprint(annots),
             fuel,
         );
-        self.baselines.get_or_load(key, || {
+        let (r, stamp) = self.baselines.get_or_load(key, || {
             if let Some(st) = &self.store {
                 if let Some(r) = st
                     .load("baseline", key.mix())
@@ -664,7 +742,9 @@ impl Sweep {
                 st.save("baseline", key.mix(), &store::baseline_report_json(&r));
             }
             (r, false)
-        })
+        });
+        self.observe_phase("baseline_sim", stamp);
+        (r, stamp)
     }
 
     /// Two-core SPT simulation of a (transformed) program, memoized like
@@ -682,7 +762,7 @@ impl Sweep {
             debug_fingerprint(annots),
             fuel,
         );
-        self.spts.get_or_load(key, || {
+        let (r, stamp) = self.spts.get_or_load(key, || {
             if let Some(st) = &self.store {
                 if let Some(r) = st
                     .load("spt_sim", key.mix())
@@ -696,7 +776,9 @@ impl Sweep {
                 st.save("spt_sim", key.mix(), &store::spt_report_json(&r));
             }
             (r, false)
-        })
+        });
+        self.observe_phase("spt_sim", stamp);
+        (r, stamp)
     }
 
     /// The full evaluation pipeline for one program, phase by phase
@@ -745,6 +827,9 @@ impl Sweep {
             superstep_hits: outcome.baseline.superstep_hits + outcome.spt.superstep_hits,
             superstep_misses: outcome.baseline.superstep_misses + outcome.spt.superstep_misses,
         };
+        if let Some(obs) = &self.observer {
+            obs.superstep(record.superstep_hits, record.superstep_misses);
+        }
         (outcome, record)
     }
 
@@ -887,6 +972,90 @@ mod tests {
         // The timing-free projection diffed by CI must not grow
         // environment-sensitive keys.
         assert!(!rep.deterministic_json().dump().contains("superstep"));
+    }
+
+    #[test]
+    fn observer_sees_phases_without_changing_results() {
+        #[derive(Default)]
+        struct Probe {
+            events: Mutex<Vec<(&'static str, &'static str)>>,
+            superstep: AtomicU64,
+        }
+        impl PhaseObserver for Probe {
+            fn phase_done(&self, phase: &'static str, stamp: PhaseStamp) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push((phase, stamp.provenance()));
+            }
+            fn superstep(&self, hits: u64, misses: u64) {
+                self.superstep.fetch_add(hits + misses, Ordering::Relaxed);
+            }
+        }
+
+        let prog = array_map(100, 8);
+        let mut cfg = RunConfig::default();
+        cfg.fuel = 5_000_000;
+
+        let plain = Sweep::sequential();
+        let (baseline_outcome, _) = plain.evaluate("array_map", &prog, &cfg);
+
+        let probe = Arc::new(Probe::default());
+        let mut sw = Sweep::sequential();
+        sw.set_observer(probe.clone());
+        let (o1, _) = sw.evaluate("array_map", &prog, &cfg);
+        assert_eq!(
+            o1.to_json().dump(),
+            baseline_outcome.to_json().dump(),
+            "observer must not perturb results"
+        );
+        {
+            let ev = probe.events.lock().unwrap();
+            for phase in ["profile", "compile", "baseline_sim", "spt_sim"] {
+                assert!(
+                    ev.contains(&(phase, "computed")),
+                    "missing computed {phase} in {ev:?}"
+                );
+            }
+        }
+        // Second evaluation: every phase reports memo provenance.
+        let _ = sw.evaluate("array_map", &prog, &cfg);
+        let ev = probe.events.lock().unwrap();
+        for phase in ["profile", "compile", "baseline_sim", "spt_sim"] {
+            assert!(
+                ev.contains(&(phase, "memo")),
+                "missing memo {phase} in {ev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_sees_store_provenance() {
+        struct Probe(Mutex<Vec<(&'static str, &'static str)>>);
+        impl PhaseObserver for Probe {
+            fn phase_done(&self, phase: &'static str, stamp: PhaseStamp) {
+                self.0.lock().unwrap().push((phase, stamp.provenance()));
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("spt-obs-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let st = Arc::new(DiskStore::open(&dir).unwrap());
+        let prog = array_map(80, 8);
+        let mut cfg = RunConfig::default();
+        cfg.fuel = 5_000_000;
+
+        let warm = Sweep::with_store(1, st.clone());
+        let _ = warm.evaluate("array_map", &prog, &cfg);
+
+        let probe = Arc::new(Probe(Mutex::new(Vec::new())));
+        let mut sw = Sweep::with_store(1, st);
+        sw.set_observer(probe.clone());
+        let _ = sw.evaluate("array_map", &prog, &cfg);
+        let ev = probe.0.lock().unwrap();
+        assert!(ev.contains(&("baseline_sim", "store")), "{ev:?}");
+        assert!(ev.contains(&("spt_sim", "store")), "{ev:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
