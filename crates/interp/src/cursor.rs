@@ -6,40 +6,35 @@ use crate::mem::{wrap_addr, MemView};
 use crate::superstep::MemoTable;
 use spt_sir::{BlockId, FuncId, LatClass, Program, Reg, StmtRef, Terminator};
 
-/// One activation record.
-#[derive(Debug)]
+/// One activation record's control state. Register values live in the
+/// cursor's slab (see [`Cursor`]), not in the frame, so frames are plain
+/// `Copy` metadata and cloning a call stack never chases per-frame heap
+/// allocations.
+#[derive(Clone, Copy, Debug)]
 pub struct Frame {
     pub func: FuncId,
     pub block: BlockId,
     /// Index of the next statement in `block`; `== insts.len()` means the
     /// terminator is next.
     pub idx: usize,
-    pub regs: Vec<i64>,
     /// Where the caller wants this frame's return value.
     pub ret_dst: Option<Reg>,
+    /// This frame's register chunk starts at `slab[base]` (stride words,
+    /// per the function's [`crate::decode::DecodedFunc::stride`]).
+    base: u32,
+    /// This frame's dirty mask starts at `dirty[dbase]`.
+    dbase: u32,
 }
 
-impl Clone for Frame {
-    fn clone(&self) -> Self {
-        Frame {
-            func: self.func,
-            block: self.block,
-            idx: self.idx,
-            regs: self.regs.clone(),
-            ret_dst: self.ret_dst,
-        }
-    }
-
-    /// Reuse the destination's register-file allocation. Fork/adopt on the
-    /// SPT hot path clone cursors millions of times; `Vec::clone_from`
-    /// turns each of those into a memcpy into existing capacity.
-    fn clone_from(&mut self, src: &Self) {
-        self.func = src.func;
-        self.block = src.block;
-        self.idx = src.idx;
-        self.regs.clone_from(&src.regs);
-        self.ret_dst = src.ret_dst;
-    }
+/// Write register `$r` of the frame with slab base `$base` / dirty base
+/// `$dbase`, marking its dirty bit.
+macro_rules! write_reg {
+    ($self:ident, $base:expr, $dbase:expr, $r:expr, $v:expr) => {{
+        let r = $r;
+        $self.last_overwritten = $self.slab[$base + r];
+        $self.slab[$base + r] = $v;
+        $self.dirty[$dbase + (r >> 6)] |= 1u64 << (r & 63);
+    }};
 }
 
 /// A steppable interpreter with an explicit call stack.
@@ -52,12 +47,47 @@ impl Clone for Frame {
 /// The cursor runs over a [`DecodedProgram`] — pre-flattened instruction
 /// streams with operands, latency classes and callee metadata resolved at
 /// decode time — so each step is array indexing, never tree traversal.
+///
+/// # Register slab
+///
+/// All register files live in one arena-backed slab: each frame occupies a
+/// contiguous chunk of `slab` sized by its function's decode-time stride
+/// (`n_regs` rounded up to a power of two, see
+/// [`crate::decode::DecodedFunc::stride`]), at the offset recorded in
+/// [`Frame`]. Slots past a function's `n_regs` are padding, kept zero so
+/// whole-cursor copies stay deterministic. Fork and adopt are therefore
+/// three flat memcpys (frames, slab, dirty) instead of a clone per frame,
+/// and a `ret` is a pair of truncates.
+///
+/// # Dirty-word masks
+///
+/// Alongside the slab, `dirty` holds one mask word group per frame
+/// (`dwords` words, bit `r` ↔ register `r`). Every register write sets the
+/// bit; nothing else does. Fresh frames start all-dirty (conservative);
+/// [`Cursor::clear_dirty_at`] rebases a frame's mask, after which a clear
+/// bit proves the register still holds its value from clear time. The SPT
+/// machine clears the fork-level mask at each fork, so its value-based
+/// register check only has to compare dirty words against the fork-time
+/// values its threads capture at first read.
 #[derive(Debug)]
 pub struct Cursor<'p> {
     dec: &'p DecodedProgram<'p>,
-    pub frames: Vec<Frame>,
+    frames: Vec<Frame>,
+    /// Register arena: frame `i` at `[frames[i].base, frames[i].base +
+    /// stride(frames[i].func))`; chunks are stacked in frame order.
+    slab: Vec<i64>,
+    /// Per-frame dirty masks, stacked the same way at `frames[i].dbase`.
+    dirty: Vec<u64>,
     halted: bool,
     ret_val: Option<i64>,
+    /// Value the most recent register write displaced (scratch for the SPT
+    /// machine's lazy live-in capture: when one statement both reads and
+    /// writes a register, the pre-write value is recovered from here).
+    last_overwritten: i64,
+    /// Register value the most recent `ret` passed out of its frame
+    /// (scratch: a `ret` pops and truncates its frame before the caller of
+    /// [`Cursor::step`] can read the operand back).
+    last_ret_read: i64,
 }
 
 impl<'p> Clone for Cursor<'p> {
@@ -65,38 +95,71 @@ impl<'p> Clone for Cursor<'p> {
         Cursor {
             dec: self.dec,
             frames: self.frames.clone(),
+            slab: self.slab.clone(),
+            dirty: self.dirty.clone(),
             halted: self.halted,
             ret_val: self.ret_val,
+            last_overwritten: self.last_overwritten,
+            last_ret_read: self.last_ret_read,
         }
     }
 
-    /// Frame-reusing clone: existing frames keep their register-file
-    /// allocations (see [`Frame::clone_from`]).
+    /// Allocation-reusing clone. Fork/adopt on the SPT hot path clone
+    /// cursors millions of times; `Vec::clone_from` turns each of the
+    /// three copies into a memcpy into existing capacity.
     fn clone_from(&mut self, src: &Self) {
         self.dec = src.dec;
         self.frames.clone_from(&src.frames);
+        self.slab.clone_from(&src.slab);
+        self.dirty.clone_from(&src.dirty);
         self.halted = src.halted;
         self.ret_val = src.ret_val;
+        self.last_overwritten = src.last_overwritten;
+        self.last_ret_read = src.last_ret_read;
     }
 }
 
 impl<'p> Cursor<'p> {
+    fn empty(dec: &'p DecodedProgram<'p>) -> Self {
+        Cursor {
+            dec,
+            frames: Vec::new(),
+            slab: Vec::new(),
+            dirty: Vec::new(),
+            halted: false,
+            ret_val: None,
+            last_overwritten: 0,
+            last_ret_read: 0,
+        }
+    }
+
+    /// Append one frame: a zeroed stride-sized slab chunk (padding beyond
+    /// `n_regs` stays deterministically zero) and an all-dirty mask
+    /// (conservative until the next [`Cursor::clear_dirty_at`]).
+    fn push_frame(&mut self, func: FuncId, block: BlockId, ret_dst: Option<Reg>) {
+        let df = self.dec.func(func);
+        let base = self.slab.len() as u32;
+        let dbase = self.dirty.len() as u32;
+        self.slab.resize(self.slab.len() + df.stride(), 0);
+        self.dirty
+            .resize(self.dirty.len() + df.dirty_words(), !0u64);
+        self.frames.push(Frame {
+            func,
+            block,
+            idx: 0,
+            ret_dst,
+            base,
+            dbase,
+        });
+    }
+
     /// A cursor positioned at the program's entry function.
     pub fn at_entry(dec: &'p DecodedProgram<'p>) -> Self {
         let entry = dec.prog().entry;
         let f = dec.func(entry);
-        Cursor {
-            dec,
-            frames: vec![Frame {
-                func: entry,
-                block: f.entry,
-                idx: 0,
-                regs: vec![0; f.n_regs as usize],
-                ret_dst: None,
-            }],
-            halted: false,
-            ret_val: None,
-        }
+        let mut cur = Cursor::empty(dec);
+        cur.push_frame(entry, f.entry, None);
+        cur
     }
 
     /// A cursor positioned at an arbitrary function (used by tests and by
@@ -104,22 +167,12 @@ impl<'p> Cursor<'p> {
     pub fn at_func(dec: &'p DecodedProgram<'p>, func: FuncId, args: &[i64]) -> Self {
         let f = dec.func(func);
         let n_params = dec.prog().func(func).n_params;
-        let mut regs = vec![0; f.n_regs as usize];
+        let mut cur = Cursor::empty(dec);
+        cur.push_frame(func, f.entry, None);
         for (i, &a) in args.iter().enumerate().take(n_params as usize) {
-            regs[i] = a;
+            cur.slab[i] = a;
         }
-        Cursor {
-            dec,
-            frames: vec![Frame {
-                func,
-                block: f.entry,
-                idx: 0,
-                regs,
-                ret_dst: None,
-            }],
-            halted: false,
-            ret_val: None,
-        }
+        cur
     }
 
     /// The underlying (tree-form) program.
@@ -142,7 +195,7 @@ impl<'p> Cursor<'p> {
     }
 
     /// [`Cursor::fork_speculative`] into an existing cursor, reusing its
-    /// frame and register-file allocations.
+    /// frame, slab and dirty-mask allocations.
     pub fn fork_speculative_into(&self, start: BlockId, dst: &mut Cursor<'p>) {
         dst.clone_from(self);
         dst.repoint(start);
@@ -158,15 +211,34 @@ impl<'p> Cursor<'p> {
 
     /// Replace this cursor's execution context with `other`'s (the commit of
     /// a speculative thread: the speculative register context becomes
-    /// architectural).
+    /// architectural). Dirty masks transfer with the registers.
     pub fn adopt(&mut self, other: &Cursor<'p>) {
         self.frames.clone_from(&other.frames);
+        self.slab.clone_from(&other.slab);
+        self.dirty.clone_from(&other.dirty);
         self.halted = other.halted;
         self.ret_val = other.ret_val;
     }
 
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Value displaced by the most recent register write ([`Cursor::step`]
+    /// only; superstep replay does not maintain it). Lets a caller recover
+    /// the pre-write value of a register that one statement both read and
+    /// wrote — the SPT machine's lazy live-in capture needs exactly that.
+    #[inline]
+    pub fn last_overwritten(&self) -> i64 {
+        self.last_overwritten
+    }
+
+    /// Operand value of the most recent value-carrying `ret`. The `ret`
+    /// pops and truncates its frame before [`Cursor::step`] returns, so
+    /// this is the only way to read that operand back afterwards.
+    #[inline]
+    pub fn last_ret_read(&self) -> i64 {
+        self.last_ret_read
     }
 
     /// The entry function's return value once halted.
@@ -183,9 +255,91 @@ impl<'p> Cursor<'p> {
         self.frames.last().expect("live cursor has a frame")
     }
 
-    /// Register file of the frame at `level` (0 = outermost).
+    /// Registers of the innermost frame: the full stride-sized slab chunk
+    /// (padding included, always zero).
+    #[inline]
+    pub fn top_regs(&self) -> &[i64] {
+        let fr = self.top();
+        let base = fr.base as usize;
+        &self.slab[base..base + self.dec.func(fr.func).stride()]
+    }
+
+    /// Register file of the frame at `level` (0 = outermost), `n_regs`
+    /// long.
     pub fn regs_at(&self, level: usize) -> &[i64] {
-        &self.frames[level].regs
+        let fr = &self.frames[level];
+        let n = self.dec.func(fr.func).n_regs as usize;
+        let base = fr.base as usize;
+        &self.slab[base..base + n]
+    }
+
+    /// Dirty-word mask of the frame at `level`: bit `r` set means register
+    /// `r` may have been written since the last [`Cursor::clear_dirty_at`]
+    /// on that frame (fresh frames start all-dirty). A clear bit proves
+    /// the register value is unchanged since the clear — the contrapositive
+    /// the SPT value-based register check uses to skip clean words.
+    #[inline]
+    pub fn dirty_words_at(&self, level: usize) -> &[u64] {
+        let fr = &self.frames[level];
+        let dbase = fr.dbase as usize;
+        &self.dirty[dbase..dbase + self.dec.func(fr.func).dirty_words()]
+    }
+
+    /// Rebase the dirty mask of the frame at `level` to all-clean. The SPT
+    /// machine calls this at fork time on the parent's fork-level frame, so
+    /// the mask accumulates exactly the writes since the fork — the
+    /// reference point for the fork-time values its threads capture lazily.
+    #[inline]
+    pub fn clear_dirty_at(&mut self, level: usize) {
+        let fr = &self.frames[level];
+        let dbase = fr.dbase as usize;
+        self.dirty[dbase..dbase + self.dec.func(fr.func).dirty_words()].fill(0);
+    }
+
+    /// Write one register of the frame at `level`, marking it dirty.
+    #[inline]
+    pub fn set_reg_at(&mut self, level: usize, r: usize, v: i64) {
+        let fr = &self.frames[level];
+        let (base, dbase) = (fr.base as usize, fr.dbase as usize);
+        write_reg!(self, base, dbase, r, v);
+    }
+
+    /// Blend `src`'s frame-`level` registers into this cursor's same frame:
+    /// every register whose bit is **not** set in `keep_words` (a bitset in
+    /// [`crate::decode`]-independent `u64` words, bit `r` ↔ register `r`)
+    /// takes `src`'s value; kept registers stay. Dirty bits are set only
+    /// for registers whose value actually changes. This is the fast-commit
+    /// register merge: the committing speculative cursor keeps its
+    /// spec-written registers and takes the main thread's values elsewhere,
+    /// then the main cursor adopts it wholesale — same result as
+    /// adopt-then-restore, without the per-commit register snapshot.
+    pub fn merge_frame_from(&mut self, src: &Cursor<'p>, level: usize, keep_words: &[u64]) {
+        let fr = self.frames[level];
+        debug_assert_eq!(fr.func, src.frames[level].func);
+        debug_assert_eq!(fr.base, src.frames[level].base);
+        let df = self.dec.func(fr.func);
+        let (stride, dwords) = (df.stride(), df.dirty_words());
+        let (base, dbase) = (fr.base as usize, fr.dbase as usize);
+        for wi in 0..dwords {
+            // Mask off padding bits so the loop never touches slots past
+            // the stride (padding is zero on both sides anyway).
+            let valid = if stride >= (wi + 1) * 64 {
+                !0u64
+            } else {
+                (1u64 << (stride & 63)) - 1
+            };
+            let mut take = !keep_words.get(wi).copied().unwrap_or(0) & valid;
+            while take != 0 {
+                let b = take.trailing_zeros() as usize;
+                take &= take - 1;
+                let r = wi * 64 + b;
+                let v = src.slab[base + r];
+                if self.slab[base + r] != v {
+                    self.slab[base + r] = v;
+                    self.dirty[dbase + wi] |= 1u64 << b;
+                }
+            }
+        }
     }
 
     /// Current static position (for divergence comparison): the event kind
@@ -210,6 +364,35 @@ impl<'p> Cursor<'p> {
         })
     }
 
+    /// Whether the cursor sits exactly at the first event of `block` in
+    /// `func` — equivalent to `position() == Some(position_of(func,
+    /// block))` (both the first-statement and empty-block/terminator
+    /// positions have `idx == 0`), without constructing an [`EvKind`].
+    /// The SPT scheduler calls this once per main-pipeline event for the
+    /// arrival check, so it is three field compares.
+    #[inline]
+    pub fn at_block_start(&self, func: FuncId, block: BlockId) -> bool {
+        if self.halted {
+            return false;
+        }
+        let fr = self.frames.last().expect("live cursor has a frame");
+        fr.func == func && fr.block == block && fr.idx == 0
+    }
+
+    /// Cheap pre-check for [`Cursor::superstep`]: could a probe possibly
+    /// take the fast path from the current position? `false` means
+    /// `superstep` would certainly return 0 (mid-block, halted, or the
+    /// block is not memoizable), letting the caller skip the call setup —
+    /// the overwhelmingly common probe outcome on the simulator hot path.
+    #[inline]
+    pub fn memo_candidate(&self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let fr = self.frames.last().expect("live cursor has a frame");
+        fr.idx == 0 && self.dec.func(fr.func).memo_of(fr.block).is_some()
+    }
+
     /// Execute up to one whole memoizable block through `memo`, emitting
     /// exactly the events [`Cursor::step`] would produce (DESIGN.md §3f).
     ///
@@ -223,18 +406,18 @@ impl<'p> Cursor<'p> {
     /// mid-block with every emitted event exact and the cursor consistent
     /// (stepping resumes at the failed load). On a miss the block is
     /// stepped normally while being recorded.
-    pub fn superstep(
+    pub fn superstep<M: MemView + ?Sized>(
         &mut self,
-        mem: &mut dyn MemView,
+        mem: &mut M,
         memo: &mut MemoTable,
         budget: u64,
-        emit: &mut dyn FnMut(&Event),
+        emit: &mut impl FnMut(&Event),
     ) -> u64 {
         if self.halted {
             return 0;
         }
         let dec = self.dec;
-        let (flat_id, key_range, need) = {
+        let (flat_id, key_range, need, func) = {
             let fr = self.frames.last().expect("live cursor has a frame");
             if fr.idx != 0 {
                 return 0;
@@ -243,15 +426,22 @@ impl<'p> Cursor<'p> {
             let Some(mi) = df.memo_of(fr.block) else {
                 return 0;
             };
-            (mi.flat_id, mi.key_regs, df.block_len(fr.block) as u64 + 1)
+            (
+                mi.flat_id,
+                mi.key_regs,
+                df.block_len(fr.block) as u64 + 1,
+                fr.func,
+            )
         };
         if need > budget {
             return 0;
         }
         let depth = (self.frames.len() - 1) as u32;
-        let fr = self.frames.last().expect("live cursor has a frame");
-        let key_regs = dec.func(fr.func).operands(key_range);
-        match memo.find(flat_id, depth, key_regs, &fr.regs) {
+        let top = *self.frames.last().expect("live cursor has a frame");
+        let (base, dbase) = (top.base as usize, top.dbase as usize);
+        let stride = dec.func(func).stride();
+        let key_regs = dec.func(func).operands(key_range);
+        match memo.find(flat_id, depth, key_regs, &self.slab[base..base + stride]) {
             Some(idx) => {
                 let mut n = 0u64;
                 let events = memo.events(idx);
@@ -274,7 +464,9 @@ impl<'p> Cursor<'p> {
                                     }
                                 }
                                 if let Some(dst) = ev.dst {
-                                    fr.regs[dst.index()] = ev.dst_val;
+                                    let r = dst.index();
+                                    self.slab[base + r] = ev.dst_val;
+                                    self.dirty[dbase + (r >> 6)] |= 1u64 << (r & 63);
                                 }
                             }
                         }
@@ -294,7 +486,7 @@ impl<'p> Cursor<'p> {
                 n
             }
             None => {
-                memo.begin_record(key_regs, &fr.regs);
+                memo.begin_record(key_regs, &self.slab[base..base + stride]);
                 for _ in 0..need {
                     let ev = self.step(mem).expect("memo blocks cannot halt");
                     memo.record_event(ev);
@@ -307,13 +499,19 @@ impl<'p> Cursor<'p> {
     }
 
     /// Execute one statement or terminator. Returns `None` once halted.
-    pub fn step(&mut self, mem: &mut dyn MemView) -> Option<Event> {
+    ///
+    /// Generic over the memory view so each concrete view (architectural
+    /// [`crate::Memory`], the SPT store-buffer view) gets a monomorphic
+    /// copy with its loads and stores inlined — the per-event virtual
+    /// dispatch was measurable on the simulator hot path.
+    pub fn step<M: MemView + ?Sized>(&mut self, mem: &mut M) -> Option<Event> {
         if self.halted {
             return None;
         }
         let dec = self.dec;
         let depth = (self.frames.len() - 1) as u32;
         let fr = self.frames.last_mut().expect("live cursor has a frame");
+        let (base, dbase) = (fr.base as usize, fr.dbase as usize);
         let func_id = fr.func;
         let df = dec.func(func_id);
 
@@ -330,7 +528,7 @@ impl<'p> Cursor<'p> {
             // Guard evaluation.
             if let Some(g) = inst.guard {
                 ev.srcs.push(g.reg);
-                if !g.passes(fr.regs[g.reg.index()]) {
+                if !g.passes(self.slab[base + g.reg.index()]) {
                     ev.executed = false;
                     return Some(ev);
                 }
@@ -338,30 +536,31 @@ impl<'p> Cursor<'p> {
 
             match inst.op {
                 DecOp::Const { dst, imm } => {
-                    fr.regs[dst.index()] = imm;
+                    write_reg!(self, base, dbase, dst.index(), imm);
                     ev.dst = Some(dst);
                     ev.dst_val = imm;
                 }
                 DecOp::Un { op, dst, src } => {
                     ev.srcs.push(src);
-                    let v = op.eval(fr.regs[src.index()]);
-                    fr.regs[dst.index()] = v;
+                    let v = op.eval(self.slab[base + src.index()]);
+                    write_reg!(self, base, dbase, dst.index(), v);
                     ev.dst = Some(dst);
                     ev.dst_val = v;
                 }
                 DecOp::Bin { op, dst, a, b } => {
                     ev.srcs.push(a);
                     ev.srcs.push(b);
-                    let v = op.eval(fr.regs[a.index()], fr.regs[b.index()]);
-                    fr.regs[dst.index()] = v;
+                    let v = op.eval(self.slab[base + a.index()], self.slab[base + b.index()]);
+                    write_reg!(self, base, dbase, dst.index(), v);
                     ev.dst = Some(dst);
                     ev.dst_val = v;
                 }
-                DecOp::Load { dst, base, off } => {
-                    ev.srcs.push(base);
-                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(off), mem.words());
+                DecOp::Load { dst, base: b, off } => {
+                    ev.srcs.push(b);
+                    let addr =
+                        wrap_addr(self.slab[base + b.index()].wrapping_add(off), mem.words());
                     let v = mem.load(addr);
-                    fr.regs[dst.index()] = v;
+                    write_reg!(self, base, dbase, dst.index(), v);
                     ev.dst = Some(dst);
                     ev.dst_val = v;
                     ev.mem = Some(MemRef {
@@ -370,11 +569,12 @@ impl<'p> Cursor<'p> {
                         value: v,
                     });
                 }
-                DecOp::Store { src, base, off } => {
+                DecOp::Store { src, base: b, off } => {
                     ev.srcs.push(src);
-                    ev.srcs.push(base);
-                    let addr = wrap_addr(fr.regs[base.index()].wrapping_add(off), mem.words());
-                    let v = fr.regs[src.index()];
+                    ev.srcs.push(b);
+                    let addr =
+                        wrap_addr(self.slab[base + b.index()].wrapping_add(off), mem.words());
+                    let v = self.slab[base + src.index()];
                     mem.store(addr, v);
                     ev.mem = Some(MemRef {
                         addr,
@@ -387,22 +587,30 @@ impl<'p> Cursor<'p> {
                     ret,
                     callee,
                     callee_entry,
-                    callee_n_regs,
+                    callee_stride,
+                    callee_dwords,
+                    ..
                 } => {
                     let args = df.operands(args);
                     ev.srcs = args.iter().copied().collect();
-                    let mut regs = vec![0i64; callee_n_regs as usize];
+                    // New frame: zeroed callee-stride chunk, args copied
+                    // across the split, all-dirty mask.
+                    let new_base = self.slab.len();
+                    let new_dbase = self.dirty.len();
+                    self.slab.resize(new_base + callee_stride as usize, 0);
+                    let (lo, hi) = self.slab.split_at_mut(new_base);
                     for (i, a) in args.iter().enumerate() {
-                        regs[i] = fr.regs[a.index()];
+                        hi[i] = lo[base + a.index()];
                     }
-                    let new_frame = Frame {
+                    self.dirty.resize(new_dbase + callee_dwords as usize, !0u64);
+                    self.frames.push(Frame {
                         func: callee,
                         block: callee_entry,
                         idx: 0,
-                        regs,
                         ret_dst: ret,
-                    };
-                    self.frames.push(new_frame);
+                        base: new_base as u32,
+                        dbase: new_dbase as u32,
+                    });
                 }
                 DecOp::SptFork { start } => {
                     ev.fork = Some(start);
@@ -438,7 +646,7 @@ impl<'p> Cursor<'p> {
                     not_taken,
                 } => {
                     ev.srcs.push(cond);
-                    let is_taken = fr.regs[cond.index()] != 0;
+                    let is_taken = self.slab[base + cond.index()] != 0;
                     let t = if is_taken { taken } else { not_taken };
                     fr.block = t;
                     fr.idx = 0;
@@ -449,20 +657,26 @@ impl<'p> Cursor<'p> {
                     });
                 }
                 Terminator::Ret(val) => {
-                    let v = val.map(|r| fr.regs[r.index()]);
+                    let v = val.map(|r| self.slab[base + r.index()]);
                     if let Some(r) = val {
                         ev.srcs.push(r);
+                        // The pop below truncates this frame out of the
+                        // slab; preserve the operand for post-step readers.
+                        self.last_ret_read = self.slab[base + r.index()];
                     }
                     let ret_dst = fr.ret_dst;
                     self.frames.pop();
+                    self.slab.truncate(base);
+                    self.dirty.truncate(dbase);
                     ev.branch = Some(Branch {
                         conditional: false,
                         taken: true,
                         target: None,
                     });
-                    if let Some(caller) = self.frames.last_mut() {
+                    if let Some(caller) = self.frames.last() {
                         if let (Some(dst), Some(v)) = (ret_dst, v) {
-                            caller.regs[dst.index()] = v;
+                            let (cbase, cdbase) = (caller.base as usize, caller.dbase as usize);
+                            write_reg!(self, cbase, cdbase, dst.index(), v);
                             ev.dst = Some(dst);
                             ev.dst_val = v;
                         }
@@ -645,7 +859,7 @@ mod tests {
         let spec = cur.fork_speculative(BlockId(1));
         assert_eq!(spec.top().block, BlockId(1));
         assert_eq!(spec.top().idx, 0);
-        assert_eq!(spec.top().regs, cur.top().regs);
+        assert_eq!(spec.top_regs(), cur.top_regs());
         assert!(!spec.is_halted());
     }
 
@@ -664,7 +878,7 @@ mod tests {
         recycled.step(&mut mem);
         cur.fork_speculative_into(BlockId(1), &mut recycled);
         assert_eq!(recycled.position(), fresh.position());
-        assert_eq!(recycled.top().regs, fresh.top().regs);
+        assert_eq!(recycled.top_regs(), fresh.top_regs());
         assert_eq!(recycled.depth(), fresh.depth());
         assert!(!recycled.is_halted());
     }
@@ -681,7 +895,7 @@ mod tests {
         }
         a.adopt(&b);
         assert_eq!(a.position(), b.position());
-        assert_eq!(a.top().regs, b.top().regs);
+        assert_eq!(a.top_regs(), b.top_regs());
     }
 
     #[test]
@@ -780,10 +994,9 @@ mod tests {
         memo
     }
 
-    #[test]
-    fn superstep_hits_replay_bit_identically() {
-        // Loop body B is pure-const (empty key): every re-entry after the
-        // first replays from the memo, stores included.
+    /// The superstep-hit loop used by the memo tests: pure-const body B
+    /// (empty key) so every re-entry after the first replays from the memo.
+    fn memo_hit_program() -> Program {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.func("main", 0);
         let i = f.reg();
@@ -808,7 +1021,12 @@ mod tests {
         f.switch_to(exit);
         f.ret(Some(i));
         let id = f.finish();
-        let prog = pb.finish(id, 8);
+        pb.finish(id, 8)
+    }
+
+    #[test]
+    fn superstep_hits_replay_bit_identically() {
+        let prog = memo_hit_program();
         let memo = stepped_vs_superstepped(&prog);
         assert!(memo.hits() >= 2, "invariant body must hit: {}", memo.hits());
         assert_eq!(memo.aborts(), 0);
@@ -866,5 +1084,172 @@ mod tests {
         let mut cur = Cursor::at_entry(&dec);
         while cur.step(&mut mem).is_some() {}
         assert_eq!(mem.peek(7), 5);
+    }
+
+    #[test]
+    fn dirty_mask_set_on_writes_cleared_explicitly() {
+        let prog = sum_loop_program();
+        let dec = DecodedProgram::new(&prog);
+        // 5 regs → stride 8 (next power of two), one mask word.
+        assert_eq!(dec.frame_stride(), 8);
+        assert_eq!(dec.dirty_words_per_frame(), 1);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        // Fresh frames are conservatively all-dirty.
+        assert_eq!(cur.dirty_words_at(0), &[!0u64]);
+        cur.clear_dirty_at(0);
+        assert_eq!(cur.dirty_words_at(0), &[0]);
+        cur.step(&mut mem); // const i   (reg 0)
+        assert_eq!(cur.dirty_words_at(0), &[0b1]);
+        cur.step(&mut mem); // const sum (reg 1)
+        assert_eq!(cur.dirty_words_at(0), &[0b11]);
+        cur.set_reg_at(0, 3, 7);
+        assert_eq!(cur.dirty_words_at(0), &[0b1011]);
+        assert_eq!(cur.regs_at(0)[3], 7);
+    }
+
+    #[test]
+    fn ret_write_marks_caller_dirty() {
+        // main: a = 6 (reg 0); r = square(a) (reg 1); the Ret-driven write
+        // of r must mark the caller frame dirty even after a clear.
+        let mut pb = ProgramBuilder::new();
+        let sq = pb.declare("square", 1);
+        let mut f = pb.func("main", 0);
+        let a = f.const_reg(6);
+        let r = f.reg();
+        f.call(sq, &[a], Some(r));
+        f.ret(Some(r));
+        let main = f.finish();
+        let mut g = pb.build(sq);
+        let p0 = g.param(0);
+        let out = g.reg();
+        g.bin(BinOp::Mul, out, p0, p0);
+        g.ret(Some(out));
+        g.finish();
+        let prog = pb.finish(main, 0);
+        let mut mem = Memory::new(1);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        while cur.depth() < 2 {
+            cur.step(&mut mem);
+        }
+        cur.clear_dirty_at(0);
+        while cur.depth() > 1 {
+            cur.step(&mut mem);
+        }
+        // Back in main: only r (reg 1) was written at level 0.
+        assert_eq!(cur.dirty_words_at(0), &[0b10]);
+        assert_eq!(cur.regs_at(0)[1], 36);
+    }
+
+    #[test]
+    fn clone_from_overwrites_stale_dirty_masks() {
+        let prog = sum_loop_program();
+        let mut mem = Memory::for_program(&prog);
+        let dec = DecodedProgram::new(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        for _ in 0..4 {
+            cur.step(&mut mem);
+        }
+        cur.clear_dirty_at(0);
+        // Recycle a cursor whose mask is all-dirty; fork_into must copy
+        // the source's clean mask over it, not merge.
+        let mut recycled = Cursor::at_entry(&dec);
+        recycled.step(&mut mem);
+        assert_eq!(recycled.dirty_words_at(0), &[!0u64]);
+        cur.fork_speculative_into(BlockId(1), &mut recycled);
+        assert_eq!(recycled.dirty_words_at(0), &[0]);
+        // Adopt copies masks the same way.
+        let mut other = Cursor::at_entry(&dec);
+        other.adopt(&cur);
+        assert_eq!(other.dirty_words_at(0), &[0]);
+    }
+
+    #[test]
+    fn superstep_replay_marks_dirty() {
+        // Second entry into the memoized body replays from the memo; the
+        // replayed register writes (x = reg 4, y = reg 5 — `addi` burns
+        // reg 2 on its immediate) must still mark dirty bits.
+        let prog = memo_hit_program();
+        let dec = DecodedProgram::new(&prog);
+        let mut mem = Memory::for_program(&prog);
+        let mut cur = Cursor::at_entry(&dec);
+        let mut memo = MemoTable::new(dec.n_flat_blocks() as usize);
+        let body = BlockId(2);
+        let mut entries = 0;
+        loop {
+            if !cur.is_halted() && cur.top().block == body && cur.top().idx == 0 {
+                entries += 1;
+                if entries == 2 {
+                    cur.clear_dirty_at(0);
+                    let n = cur.superstep(&mut mem, &mut memo, u64::MAX, &mut |_| {});
+                    assert!(n > 0, "second body entry must superstep");
+                    assert!(memo.hits() >= 1, "second body entry must replay");
+                    assert_eq!(cur.dirty_words_at(0), &[0b110000]);
+                    return;
+                }
+                let n = cur.superstep(&mut mem, &mut memo, u64::MAX, &mut |_| {});
+                assert!(n > 0, "first body entry must record");
+                continue;
+            }
+            assert!(cur.step(&mut mem).is_some(), "never re-entered body");
+        }
+    }
+
+    #[test]
+    fn merge_frame_from_blends_and_marks_changes() {
+        let prog = sum_loop_program();
+        let dec = DecodedProgram::new(&prog);
+        let mut mem = Memory::for_program(&prog);
+        let mut a = Cursor::at_entry(&dec);
+        let mut b = Cursor::at_entry(&dec);
+        // b: i=0, sum=0, n=5, base=0, c=0 after the consts — only n (reg 2)
+        // differs from a's all-zero frame.
+        for _ in 0..3 {
+            b.step(&mut mem);
+        }
+        a.clear_dirty_at(0);
+        // Keeping reg 2 suppresses the only differing register: no value
+        // changes, so no dirty bits.
+        a.merge_frame_from(&b, 0, &[0b100]);
+        assert_eq!(a.dirty_words_at(0), &[0]);
+        assert_eq!(a.regs_at(0)[2], 0);
+        // Keeping nothing takes n=5 and dirties exactly that register.
+        a.merge_frame_from(&b, 0, &[0]);
+        assert_eq!(a.regs_at(0)[2], 5);
+        assert_eq!(a.dirty_words_at(0), &[0b100]);
+        // Merging again is idempotent: values already equal, mask clear.
+        a.clear_dirty_at(0);
+        a.merge_frame_from(&b, 0, &[]);
+        assert_eq!(a.dirty_words_at(0), &[0]);
+    }
+
+    #[test]
+    fn call_reuses_slab_slot_with_zero_padding() {
+        // call → ret → call: the second callee frame lands on the same
+        // slab chunk the first one used; its padding and registers must be
+        // re-zeroed, not inherited.
+        let mut pb = ProgramBuilder::new();
+        let one = pb.declare("one", 0);
+        let zero = pb.declare("zero", 0);
+        let mut f = pb.func("main", 0);
+        let r1 = f.reg();
+        let r2 = f.reg();
+        f.call(one, &[], Some(r1));
+        f.call(zero, &[], Some(r2));
+        f.ret(Some(r2));
+        let main = f.finish();
+        let mut g = pb.build(one);
+        let v = g.const_reg(41);
+        g.ret(Some(v));
+        g.finish();
+        let mut h = pb.build(zero);
+        let w = h.reg(); // never written: must read as 0, not 41
+        h.ret(Some(w));
+        h.finish();
+        let prog = pb.finish(main, 0);
+        prog.verify().unwrap();
+        let (_, rv, _) = run_to_halt(&prog);
+        assert_eq!(rv, Some(0));
     }
 }

@@ -79,6 +79,11 @@ pub enum DecOp {
         callee: FuncId,
         callee_entry: BlockId,
         callee_n_regs: u32,
+        /// Callee's slab chunk size ([`DecodedFunc::stride`]) and dirty
+        /// words ([`DecodedFunc::dirty_words`]), so a call pushes a frame
+        /// without chasing the callee's decoded function.
+        callee_stride: u32,
+        callee_dwords: u32,
     },
     SptFork {
         start: BlockId,
@@ -139,12 +144,30 @@ struct BlockInfo {
 pub struct DecodedFunc {
     pub entry: BlockId,
     pub n_regs: u32,
+    /// Slab chunk size of this function's frames: `n_regs` rounded up to a
+    /// power of two (≥ 1), fixed at decode time. Padding slots beyond
+    /// `n_regs` stay zero.
+    stride: u32,
     code: Vec<DecodedInst>,
     blocks: Vec<BlockInfo>,
     pool: Vec<Reg>,
 }
 
 impl DecodedFunc {
+    /// Frame stride of this function in the cursor register slab (see the
+    /// field doc).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride as usize
+    }
+
+    /// `u64` dirty-mask words per frame of this function: `stride / 64`,
+    /// rounded up (one bit per slab register, padding included).
+    #[inline]
+    pub fn dirty_words(&self) -> usize {
+        (self.stride as usize).div_ceil(64)
+    }
+
     /// Number of statements in `block`.
     #[inline]
     pub fn block_len(&self, block: BlockId) -> usize {
@@ -204,21 +227,26 @@ pub struct DecodedProgram<'p> {
     prog: &'p Program,
     funcs: Vec<DecodedFunc>,
     n_flat_blocks: u32,
+    /// Largest per-function frame stride (see
+    /// [`DecodedProgram::frame_stride`]).
+    frame_stride: u32,
 }
 
 impl<'p> DecodedProgram<'p> {
     /// Decode every function of `prog`.
     pub fn new(prog: &'p Program) -> Self {
         let mut next_flat = 0u32;
-        let funcs = prog
+        let funcs: Vec<DecodedFunc> = prog
             .funcs
             .iter()
             .map(|f| decode_func(prog, f, &mut next_flat))
             .collect();
+        let frame_stride = funcs.iter().map(|f| f.stride).max().unwrap_or(1);
         DecodedProgram {
             prog,
             funcs,
             n_flat_blocks: next_flat,
+            frame_stride,
         }
     }
 
@@ -233,6 +261,22 @@ impl<'p> DecodedProgram<'p> {
     #[inline]
     pub fn prog(&self) -> &'p Program {
         self.prog
+    }
+
+    /// Largest per-function frame stride in the program (each function's
+    /// `n_regs` rounded up to a power of two — see [`DecodedFunc::stride`]).
+    /// Frames occupy per-function-sized chunks of the cursor slab; this is
+    /// the worst case, useful for capacity estimates and tests.
+    #[inline]
+    pub fn frame_stride(&self) -> usize {
+        self.frame_stride as usize
+    }
+
+    /// `u64` dirty-mask words of the widest frame: `frame_stride / 64`,
+    /// rounded up (one bit per slab register, padding included).
+    #[inline]
+    pub fn dirty_words_per_frame(&self) -> usize {
+        (self.frame_stride as usize).div_ceil(64)
     }
 
     #[inline]
@@ -296,12 +340,15 @@ fn decode_inst(prog: &Program, inst: &Inst, pool: &mut Vec<Reg>) -> DecodedInst 
         },
         Op::Call { callee, args, ret } => {
             let cf = prog.func(*callee);
+            let stride = cf.n_regs.next_power_of_two();
             DecOp::Call {
                 args: OpRange::push(pool, args.iter().copied()),
                 ret: *ret,
                 callee: *callee,
                 callee_entry: cf.entry,
                 callee_n_regs: cf.n_regs,
+                callee_stride: stride,
+                callee_dwords: (stride as usize).div_ceil(64) as u32,
             }
         }
         Op::SptFork { start } => DecOp::SptFork { start: *start },
@@ -402,6 +449,7 @@ fn decode_func(prog: &Program, f: &spt_sir::Func, next_flat: &mut u32) -> Decode
     DecodedFunc {
         entry: f.entry,
         n_regs: f.n_regs,
+        stride: f.n_regs.next_power_of_two(),
         code,
         blocks,
         pool,

@@ -83,6 +83,15 @@ impl EvKind {
             EvKind::Inst { func, .. } | EvKind::Term { func, .. } => *func,
         }
     }
+
+    /// The block this event executes in.
+    #[inline]
+    pub fn block(&self) -> BlockId {
+        match self {
+            EvKind::Inst { sref, .. } => sref.block,
+            EvKind::Term { block, .. } => *block,
+        }
+    }
 }
 
 /// A memory effect.

@@ -35,6 +35,12 @@ struct FrameSlots {
     /// `baseline_gen == gen`.
     baseline: u64,
     baseline_gen: u32,
+    /// Running maximum of every `set` cycle this generation, live iff
+    /// `max_gen == gen`. An upper bound on any register's readiness, so
+    /// `max_ready <= t` proves *every* operand of the frame is ready by
+    /// `t` without walking an operand list.
+    max_ready: u64,
+    max_gen: u32,
 }
 
 impl FrameSlots {
@@ -44,6 +50,8 @@ impl FrameSlots {
             gen: 1,
             baseline: 0,
             baseline_gen: 0,
+            max_ready: 0,
+            max_gen: 0,
         }
     }
 
@@ -62,6 +70,10 @@ impl FrameSlots {
             self.slots.resize(r + 1, (0, 0, ProducerKind::Other));
         }
         self.slots[r] = (self.gen, cycle, kind);
+        if self.max_gen != self.gen || cycle > self.max_ready {
+            self.max_ready = cycle;
+            self.max_gen = self.gen;
+        }
     }
 
     /// Drop all register entries and the baseline: one generation bump.
@@ -74,6 +86,7 @@ impl FrameSlots {
                 .iter_mut()
                 .for_each(|s| *s = (0, 0, ProducerKind::Other));
             self.baseline_gen = 0;
+            self.max_gen = 0;
             self.gen = 1;
         }
     }
@@ -123,6 +136,80 @@ impl Scoreboard {
     #[inline]
     pub fn set_ready(&mut self, depth: u32, reg: u32, cycle: u64, kind: ProducerKind) {
         self.frame_mut(depth).set(reg, cycle, kind);
+    }
+
+    /// Operand-wait fold over `regs` at `depth`: the latest readiness and
+    /// the kind of the producer that set it, starting from the frame-entry
+    /// baseline. Exactly equivalent to folding [`Scoreboard::ready_at`]
+    /// over the registers (including its tie rule: an equal-time `Load`
+    /// producer wins the attribution), but the frame is located once
+    /// instead of per register — this runs once per issued event on the
+    /// simulator hot path.
+    #[inline]
+    pub fn operands_ready(
+        &self,
+        depth: u32,
+        regs: impl IntoIterator<Item = u32>,
+    ) -> (u64, ProducerKind) {
+        let frame = self.frames.get(depth as usize);
+        let mut ready = frame
+            .filter(|f| f.baseline_gen == f.gen)
+            .map(|f| f.baseline)
+            .unwrap_or(self.floor);
+        let mut cause = ProducerKind::Other;
+        for r in regs {
+            let (t, k) = match frame.and_then(|f| f.get(r)) {
+                Some((t, k)) if t >= self.floor => (t, k),
+                _ => (self.floor, ProducerKind::Other),
+            };
+            if t > ready {
+                ready = t;
+                cause = k;
+            } else if t == ready && k == ProducerKind::Load {
+                cause = ProducerKind::Load;
+            }
+        }
+        (ready, cause)
+    }
+
+    /// [`Scoreboard::operands_ready`] without the producer attribution:
+    /// just the latest readiness cycle. For gate computations that never
+    /// consume the stall cause.
+    #[inline]
+    pub fn operands_ready_time(&self, depth: u32, regs: impl IntoIterator<Item = u32>) -> u64 {
+        let frame = self.frames.get(depth as usize);
+        let mut ready = frame
+            .filter(|f| f.baseline_gen == f.gen)
+            .map(|f| f.baseline)
+            .unwrap_or(0)
+            .max(self.floor);
+        for r in regs {
+            if let Some((t, _)) = frame.and_then(|f| f.get(r)) {
+                if t > ready {
+                    ready = t;
+                }
+            }
+        }
+        ready
+    }
+
+    /// Upper bound on [`Scoreboard::ready_at`] over *every* register of
+    /// `depth`'s frame: the floor, the frame baseline, and the running
+    /// maximum of all `set_ready` cycles this generation. When this is at
+    /// or below `t`, any instruction of the frame has its operands ready
+    /// by `t` — no operand walk needed to prove eligibility.
+    #[inline]
+    pub fn frame_ready_bound(&self, depth: u32) -> u64 {
+        let mut b = self.floor;
+        if let Some(f) = self.frames.get(depth as usize) {
+            if f.baseline_gen == f.gen && f.baseline > b {
+                b = f.baseline;
+            }
+            if f.max_gen == f.gen && f.max_ready > b {
+                b = f.max_ready;
+            }
+        }
+        b
     }
 
     /// A new frame is entered at `depth`: its registers are fresh, written

@@ -139,11 +139,21 @@ impl Engine {
     /// whose operands are not ready yet has not issued, so an arriving main
     /// thread does not wait for it.
     pub fn ready_time(&self, depth: u32, regs: impl IntoIterator<Item = u32>) -> u64 {
-        let mut t = self.ready_floor(depth);
-        for r in regs {
-            t = t.max(self.sb.ready_at(depth, r).0);
-        }
-        t
+        // `operands_ready_time` folds in the frame baseline and the floor,
+        // so only the cycle counter and fetch gate remain to clamp.
+        self.cycle
+            .max(self.fetch_gate)
+            .max(self.sb.operands_ready_time(depth, regs))
+    }
+
+    /// Upper bound of [`Engine::ready_time`] over *any* instruction at
+    /// `depth`: cycle counter, fetch gate, and the scoreboard's whole-frame
+    /// readiness bound. At or below `t`, the exact gate of the next
+    /// instruction is provably ≤ `t` without its operand list.
+    pub fn ready_bound(&self, depth: u32) -> u64 {
+        self.cycle
+            .max(self.fetch_gate)
+            .max(self.sb.frame_ready_bound(depth))
     }
 
     /// Lower bound of [`Engine::ready_time`] that needs no operand list:
@@ -175,18 +185,11 @@ impl Engine {
     /// limits, latency (loads via `cache`), branch prediction. Returns the
     /// completion cycle of the event's result.
     pub fn issue(&mut self, ev: &Event, cache: &mut CacheSim, cfg: &MachineConfig) -> u64 {
-        // 1. Operand readiness.
-        let mut ready = self.sb.frame_baseline(ev.depth);
-        let mut cause = ProducerKind::Other;
-        for &r in ev.srcs.as_slice() {
-            let (t, k) = self.sb.ready_at(ev.depth, r.0);
-            if t > ready {
-                ready = t;
-                cause = k;
-            } else if t == ready && k == ProducerKind::Load {
-                cause = ProducerKind::Load;
-            }
-        }
+        // 1. Operand readiness (baseline + per-operand fold, frame located
+        // once — see `Scoreboard::operands_ready`).
+        let (ready, cause) = self
+            .sb
+            .operands_ready(ev.depth, ev.srcs.as_slice().iter().map(|r| r.0));
 
         // 2. Earliest issue cycle.
         let start = self.cycle.max(ready).max(self.fetch_gate);

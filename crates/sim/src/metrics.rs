@@ -33,12 +33,6 @@ impl LoopAnnotations {
         Self::default()
     }
 
-    fn find(&self, func: FuncId, block: BlockId) -> Option<usize> {
-        self.loops
-            .iter()
-            .position(|l| l.func == func && l.contains(block))
-    }
-
     /// The loop whose start-point is `block` in `func`, if any.
     pub fn by_fork_start(&self, func: FuncId, block: BlockId) -> Option<usize> {
         self.loops
@@ -52,6 +46,12 @@ impl LoopAnnotations {
 /// leaving the loop's blocks at the loop's frame depth ends the region.
 pub struct LoopCycleTracker<'a> {
     annots: &'a LoopAnnotations,
+    /// `lookup[func][block]` = annot index owning that block, or
+    /// [`NO_LOOP`]. `observe` runs once per main-pipeline event, so
+    /// membership is one flat table read instead of a scan over the
+    /// annotations with a binary search each (annotated loops never
+    /// overlap, so the owning loop is unique).
+    lookup: Vec<Vec<u16>>,
     /// (annot index, frame depth at entry)
     active: Option<(usize, u32)>,
     /// Cycles attributed per annot index.
@@ -60,14 +60,46 @@ pub struct LoopCycleTracker<'a> {
     instrs: Vec<u64>,
 }
 
+/// Sentinel in [`LoopCycleTracker::lookup`]: block belongs to no loop.
+const NO_LOOP: u16 = u16::MAX;
+
 impl<'a> LoopCycleTracker<'a> {
     pub fn new(annots: &'a LoopAnnotations) -> Self {
         let n = annots.loops.len();
+        let mut lookup: Vec<Vec<u16>> = Vec::new();
+        for (i, l) in annots.loops.iter().enumerate() {
+            let fi = l.func.index();
+            if lookup.len() <= fi {
+                lookup.resize_with(fi + 1, Vec::new);
+            }
+            let per = &mut lookup[fi];
+            for &b in &l.blocks {
+                let bi = b.index();
+                if per.len() <= bi {
+                    per.resize(bi + 1, NO_LOOP);
+                }
+                if per[bi] == NO_LOOP {
+                    // First annotation wins, matching `LoopAnnotations::find`.
+                    per[bi] = i as u16;
+                }
+            }
+        }
         LoopCycleTracker {
             annots,
+            lookup,
             active: None,
             cycles: vec![0; n],
             instrs: vec![0; n],
+        }
+    }
+
+    /// The annot index owning `block` of `func`, if any (flat lookup;
+    /// equivalent to `LoopAnnotations::find`).
+    #[inline]
+    fn loop_at(&self, func: FuncId, block: BlockId) -> Option<usize> {
+        match self.lookup.get(func.index())?.get(block.index()) {
+            Some(&i) if i != NO_LOOP => Some(i as usize),
+            _ => None,
         }
     }
 
@@ -82,16 +114,18 @@ impl<'a> LoopCycleTracker<'a> {
             EvKind::Inst { func, sref } => (func, sref.block),
             EvKind::Term { func, block } => (func, block),
         };
+        // One flat membership lookup serves both the exit and entry checks
+        // (a block belongs to at most one annotated loop).
+        let here = self.loop_at(func, block);
         // Exit checks.
         if let Some((idx, depth)) = self.active {
-            let l = &self.annots.loops[idx];
-            if ev.depth < depth || (ev.depth == depth && (func != l.func || !l.contains(block))) {
+            if ev.depth < depth || (ev.depth == depth && here != Some(idx)) {
                 self.active = None;
             }
         }
         // Entry check (only at the event's own depth).
         if self.active.is_none() {
-            if let Some(idx) = self.annots.find(func, block) {
+            if let Some(idx) = here {
                 self.active = Some((idx, ev.depth));
             }
         }

@@ -88,6 +88,13 @@ impl RegSet {
         }
     }
 
+    /// Backing bitset words (bit `r % 64` of word `r / 64`), for word-wise
+    /// intersection against cursor dirty-word masks.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// `self ∪ other` as a sorted register list.
     pub fn union_sorted(&self, other: &RegSet) -> Vec<u32> {
         let n = self.words.len().max(other.words.len());
@@ -104,6 +111,31 @@ impl RegSet {
         }
         out
     }
+}
+
+/// Value-based register dependence check restricted to dirty words
+/// (DESIGN.md §3h): the violation set `{r ∈ live_in : fork_val(r) ≠
+/// now[r]}` over the lazily captured live-in list of `(register,
+/// fork-time value)` pairs. A clear dirty bit proves the register still
+/// holds its fork-time value (the cursor sets the bit on every write and
+/// the mask was cleared at the fork), so skipping the compare cannot drop
+/// a violation — this returns exactly the set the full per-live-in
+/// compare would. A dirty slice shorter than the register range reads the
+/// missing words as clean.
+pub fn dirty_value_check(dirty: &[u64], live_in_vals: &[(u32, i64)], now: &[i64]) -> RegSet {
+    let mut v = RegSet::new();
+    // Clean frame — the common case on the fast-commit path: nothing can
+    // differ, skip the per-live-in walk outright.
+    if dirty.iter().all(|&w| w == 0) {
+        return v;
+    }
+    for &(r, fv) in live_in_vals {
+        let w = dirty.get((r / 64) as usize).copied().unwrap_or(0);
+        if w & (1u64 << (r % 64)) != 0 && fv != now[r as usize] {
+            v.insert(r);
+        }
+    }
+    v
 }
 
 /// Per-call-depth register marks: the replay checker's "updated" set,
@@ -329,6 +361,46 @@ mod tests {
             s.intersection(&other).iter().collect::<Vec<_>>(),
             vec![u32::MAX]
         );
+    }
+
+    #[test]
+    fn dirty_value_check_matches_full_compare() {
+        let now = [1i64, 9, 3, 8, 5];
+        let live = [(0u32, 1i64), (1, 2), (3, 4), (4, 5)];
+        // All-dirty mask ⇒ identical to the full per-live-in compare.
+        let v = dirty_value_check(&[!0u64], &live, &now);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 3]);
+        // A mask covering exactly the written registers (the cursor
+        // invariant: changed ⊆ dirty) yields the same violation set.
+        let v2 = dirty_value_check(&[0b01010], &live, &now);
+        assert_eq!(v2.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn dirty_value_check_clean_frame_flags_nothing() {
+        let now = [1i64, 2, 3];
+        // Values deliberately mismatched: a clean mask must suppress the
+        // compare even when the captured value differs.
+        let live = [(0u32, 7i64), (1, 7), (2, 7)];
+        let v = dirty_value_check(&[0u64], &live, &now);
+        assert!(v.is_empty());
+        // A live-in register beyond the dirty slice reads its word as
+        // clean rather than indexing out of bounds (`now` is indexed only
+        // for dirty registers).
+        let wide = [(200u32, 7i64)];
+        let v2 = dirty_value_check(&[!0u64], &wide, &now);
+        assert!(v2.is_empty());
+    }
+
+    #[test]
+    fn dirty_value_check_spans_words() {
+        let mut now = vec![0i64; 130];
+        now[70] = 1;
+        now[128] = 2;
+        let live = [(70u32, 0i64), (100, 0), (128, 0)];
+        let dirty = [0u64, 1 << (70 - 64), 1 << (128 - 128)];
+        let v = dirty_value_check(&dirty, &live, &now);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![70, 128]);
     }
 
     #[test]

@@ -47,11 +47,12 @@ use crate::recovery::policy_for;
 use crate::specset::{AddrList, AddrMembers, DepthRegSet, RegSet};
 use crate::ssb::{SpecMem, Ssb};
 use spt_interp::{Cursor, DecodedProgram, EvKind, Event, MemoTable, Memory};
-use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy};
+use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy, RegFileMode};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg};
 use spt_trace::{NullSink, Pipe, StderrSink, TraceEvent, TraceSink};
 
 /// Result of an SPT run.
+
 #[derive(Clone, Debug)]
 pub struct SptReport {
     /// Program execution time: main-pipeline cycles.
@@ -144,6 +145,12 @@ struct SpecState<'p> {
     srb: Vec<Event>,
     /// Fork-level registers read by the speculative thread before writing.
     live_in_reads: RegSet,
+    /// `(register, fork-time value)` per live-in, captured lazily at the
+    /// first read: a register this thread has not yet written still holds
+    /// its fork-time value in the thread's own fork-level frame, so the
+    /// capture replaces the eager whole-frame snapshot the fork path used
+    /// to copy. Insertion order; exactly the members of `live_in_reads`.
+    live_in_vals: Vec<(u32, i64)>,
     /// Fork-level registers written by the speculative thread.
     spec_written: RegSet,
     /// Fork-level registers written by the main thread post-fork (plus,
@@ -155,15 +162,11 @@ struct SpecState<'p> {
     fork_level: usize,
     /// `frames.len()` at fork (start-point depth).
     start_depth: usize,
-    /// Fork-time snapshot of fork-level registers (value-based checking).
-    fork_regs: Vec<i64>,
     /// Static position of the start-point.
     start_pos: EvKind,
-    /// Cached `cursor.position()` — only this thread's own steps change
-    /// it, so the scheduler scan reads the cache instead of re-deriving.
-    cached_pos: Option<EvKind>,
     /// Cached earliest main-pipeline cycle this thread's next instruction
-    /// could issue (`u64::MAX` once halted). Refreshed with `cached_pos`.
+    /// could issue (`u64::MAX` once halted). Refreshed after each of the
+    /// thread's own steps (nothing else moves its cursor or engine).
     /// When `gate_exact` is false this is only a *lower bound* (engine
     /// cycle / fetch gate / frame baseline, no operand walk) — still
     /// sufficient to prove ineligibility whenever it exceeds the main
@@ -202,16 +205,14 @@ impl<'a> SpecState<'a> {
                 st.lab.clear();
                 st.srb.clear();
                 st.live_in_reads.clear();
+                st.live_in_vals.clear();
                 st.spec_written.clear();
                 st.post_fork_writes.clear();
                 st.violated_addrs.clear();
-                st.fork_regs.clear();
-                st.fork_regs.extend_from_slice(parent.regs_at(fork_level));
                 st.core = core;
                 st.fork_level = fork_level;
                 st.start_depth = start_depth;
                 st.start_pos = start_pos;
-                st.cached_pos = None;
                 st.gate = 0;
                 st.gate_exact = false;
                 st.stalled = false;
@@ -226,14 +227,13 @@ impl<'a> SpecState<'a> {
                 lab: AddrMembers::new(),
                 srb: Vec::new(),
                 live_in_reads: RegSet::new(),
+                live_in_vals: Vec::new(),
                 spec_written: RegSet::new(),
                 post_fork_writes: RegSet::new(),
                 violated_addrs: AddrList::new(),
                 fork_level,
                 start_depth,
-                fork_regs: parent.regs_at(fork_level).to_vec(),
                 start_pos,
-                cached_pos: None,
                 gate: 0,
                 gate_exact: false,
                 stalled: false,
@@ -327,13 +327,12 @@ impl<'p> SptSim<'p> {
         self.dec.srcs_of(ev.kind)
     }
 
-    /// Recompute a thread's cached scheduler state: its static position and
-    /// the earliest cycle its next instruction could issue on its own
-    /// engine (`ready_time` is ≥ the engine's cycle, so one cached value
-    /// subsumes the old `eng.cycle() ≤ main && ready ≤ main` pair). Only
-    /// this thread's own steps change either quantity — each thread owns
-    /// its core's engine — so this runs once per step instead of once per
-    /// scheduler scan.
+    /// Recompute a thread's cached gate: the earliest cycle its next
+    /// instruction could issue on its own engine (`ready_time` is ≥ the
+    /// engine's cycle, so one cached value subsumes the old `eng.cycle()
+    /// ≤ main && ready ≤ main` pair). Only this thread's own steps change
+    /// it — each thread owns its core's engine — so this runs once per
+    /// step instead of once per scheduler scan.
     ///
     /// The gate is computed lazily against `by` (the frozen main cycle):
     /// a speculative pipeline usually runs *ahead* of the main one, and
@@ -343,23 +342,31 @@ impl<'p> SptSim<'p> {
     /// see the bound at or below their main cycle refine it first via
     /// [`SptSim::refine_gate`], so eligibility decisions are unchanged.
     fn refresh_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine, by: u64) {
-        sp.cached_pos = sp.cursor.position();
-        match sp.cached_pos {
-            None => {
-                sp.gate = u64::MAX;
-                sp.gate_exact = true;
-            }
-            Some(pos) => {
-                let depth = (sp.cursor.depth() - 1) as u32;
-                let floor = eng.ready_floor(depth);
-                if floor > by {
-                    sp.gate = floor;
-                    sp.gate_exact = false;
-                } else {
-                    sp.gate = eng.ready_time(depth, dec.srcs_of(pos).iter().map(|r| r.0));
-                    sp.gate_exact = true;
-                }
-            }
+        if sp.cursor.is_halted() {
+            sp.gate = u64::MAX;
+            sp.gate_exact = true;
+            return;
+        }
+        let depth = (sp.cursor.depth() - 1) as u32;
+        let floor = eng.ready_floor(depth);
+        if floor > by {
+            sp.gate = floor;
+            sp.gate_exact = false;
+        } else if eng.ready_bound(depth) <= by {
+            // Every register of the frame is provably ready by `by`, so
+            // the exact gate is ≤ `by` too: the thread stays eligible
+            // without the operand walk. The floor stands in as the usual
+            // inexact lower bound; the next scan refines it before
+            // trusting the value.
+            sp.gate = floor;
+            sp.gate_exact = false;
+        } else {
+            let pos = sp
+                .cursor
+                .position()
+                .expect("unhalted cursor has a position");
+            sp.gate = eng.ready_time(depth, dec.srcs_of(pos).iter().map(|r| r.0));
+            sp.gate_exact = true;
         }
     }
 
@@ -368,7 +375,7 @@ impl<'p> SptSim<'p> {
     /// next own step (nothing else moves its engine or cursor).
     fn refine_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine) {
         if !sp.gate_exact {
-            if let Some(pos) = sp.cached_pos {
+            if let Some(pos) = sp.cursor.position() {
                 let depth = (sp.cursor.depth() - 1) as u32;
                 sp.gate = eng.ready_time(depth, dec.srcs_of(pos).iter().map(|r| r.0));
             }
@@ -461,6 +468,8 @@ impl<'p> SptSim<'p> {
         // A sink's enabled-ness never changes mid-run: hoist it so the
         // per-step paths branch on a local instead of a virtual call.
         let traced = sink.enabled();
+        // Count of leading ring threads known parked (see the scan below).
+        let mut lead = 0usize;
 
         'outer: while !main.is_halted() && steps < max_steps {
             // Let the speculative pipelines catch up in time, oldest thread
@@ -468,23 +477,37 @@ impl<'p> SptSim<'p> {
             // actually issue by now — an operand still in flight leaves the
             // pipeline stalled, not running ahead of wall-clock.
             let main_cycle = main_core.engine.cycle();
+            // A parked thread stays parked until it leaves the ring
+            // (arrival commit or kill), so the scan can remember how many
+            // leading threads are stalled and start past them; `lead` is
+            // rolled back by one on `spec.remove(0)` and to zero on a
+            // ring-wide kill.
+            while lead < spec.len() && spec[lead].stalled {
+                lead += 1;
+            }
             let mut step_idx = None;
-            for i in 0..spec.len() {
-                if i + 1 < spec.len()
-                    && spec[i].cached_pos == Some(spec[i + 1].start_pos)
-                    && spec[i].cursor.depth() == spec[i + 1].start_depth
-                {
-                    // The thread reached its successor's start-point: park
-                    // it rather than re-execute the successor's iteration.
-                    spec[i].stalled = true;
-                }
-                if !spec[i].stalled && spec[i].gate <= main_cycle {
+            for (i, sp) in spec.iter_mut().enumerate().skip(lead) {
+                // No park check here: a thread can only reach its
+                // successor's start-point by stepping, and the batch loop
+                // checks after every step (the successor's identity is
+                // fixed at its fork, which the same batch also covers), so
+                // the scan would never see an unparked thread at it.
+                if !sp.stalled && sp.gate <= main_cycle {
                     // A lazily-bounded gate at or below the main cycle
-                    // proves nothing yet: refine to the exact issue cycle
-                    // before committing to this thread.
-                    let core = spec[i].core;
-                    Self::refine_gate(&self.dec, &mut spec[i], &spec_cores[core - 1].engine);
-                    if spec[i].gate <= main_cycle {
+                    // proves nothing yet. The frame-level readiness bound
+                    // usually settles it without the operand walk: when
+                    // every register of the frame is ready by the main
+                    // cycle, so is the next instruction's operand set (the
+                    // gate stays an inexact lower bound). Otherwise refine
+                    // to the exact issue cycle before committing.
+                    let eng = &spec_cores[sp.core - 1].engine;
+                    let eligible = sp.gate_exact
+                        || eng.ready_bound((sp.cursor.depth() - 1) as u32) <= main_cycle
+                        || {
+                            Self::refine_gate(&self.dec, sp, eng);
+                            sp.gate <= main_cycle
+                        };
+                    if eligible {
                         step_idx = Some(i);
                         break;
                     }
@@ -560,6 +583,14 @@ impl<'p> SptSim<'p> {
                                 loop_idx,
                                 parent_cycle,
                             );
+                            // Rebase the parent's fork-level dirty mask to
+                            // this fork instant: the mask reaches the main
+                            // cursor through this thread's commit adopt,
+                            // where the new thread's value check consumes
+                            // it (a clear bit proves the register still
+                            // holds the value the new thread will lazily
+                            // capture at first read).
+                            spec[i].cursor.clear_dirty_at(st.fork_level);
                             Self::refresh_gate(
                                 &self.dec,
                                 &mut st,
@@ -572,11 +603,23 @@ impl<'p> SptSim<'p> {
                     if steps >= max_steps {
                         break;
                     }
-                    if i + 1 < spec.len()
-                        && spec[i].cached_pos == Some(spec[i + 1].start_pos)
-                        && spec[i].cursor.depth() == spec[i + 1].start_depth
-                    {
-                        spec[i].stalled = true;
+                    // Park check: the thread reached its successor's
+                    // start-point, so hold it rather than re-execute the
+                    // successor's iteration. Raw frame fields suffice —
+                    // `start_pos` always points at the first event of its
+                    // block (`position_of`), which is what
+                    // `at_block_start` tests — and stepping is the only
+                    // way to get here, so checking after every step
+                    // covers every park transition.
+                    if i + 1 < spec.len() {
+                        let nxt = &spec[i + 1];
+                        if spec[i].cursor.depth() == nxt.start_depth
+                            && spec[i]
+                                .cursor
+                                .at_block_start(nxt.start_pos.func(), nxt.start_pos.block())
+                        {
+                            spec[i].stalled = true;
+                        }
                     }
                     let sp = &spec[i];
                     if sp.stalled || sp.gate > main_cycle {
@@ -595,84 +638,97 @@ impl<'p> SptSim<'p> {
             // still a sound batching horizon (worst case: an early rescan
             // that refines them). Fork, kill and arrival exits below
             // restore the full scheduling loop.
-            let next_gate = spec
+            let next_gate = spec[lead..]
                 .iter()
                 .filter(|s| !s.stalled)
                 .map(|s| s.gate)
                 .min()
                 .unwrap_or(u64::MAX);
+            // The oldest thread's start-point is static for the whole inner
+            // loop (every path that mutates `spec` exits via `continue
+            // 'outer`), so hoist its components and let the per-event
+            // arrival check be three field compares instead of an `EvKind`
+            // construction. `start_pos` always points at the first event of
+            // its block (`position_of`), which is what `at_block_start`
+            // tests.
+            let arrive = spec
+                .first()
+                .map(|s| (s.start_pos.func(), s.start_pos.block(), s.start_depth));
             loop {
                 // Arrival at the oldest thread's start-point?
-                if !spec.is_empty()
-                    && main.position() == Some(spec[0].start_pos)
-                    && main.depth() == spec[0].start_depth
-                {
-                    let sp = spec.remove(0);
-                    let spec_core_idx = sp.core - 1;
-                    let outcome = self.check_and_recover(
-                        sp,
-                        &mut pool,
-                        &mut main,
-                        &mut main_core,
-                        &spec_cores[spec_core_idx].engine,
-                        &mut cache,
-                        &mut mem,
-                        &mut tracker,
-                        &mut per_loop,
-                        &mut per_core,
-                        &mut steps,
-                        max_steps,
-                        &mut fast_commits,
-                        &mut replays,
-                        &mut divergence_kills,
-                        &mut spec_checked,
-                        &mut spec_misspec,
-                        !spec.is_empty(),
-                        sink,
-                    );
-                    match outcome {
-                        Recovered::FastCommit(effects) => {
-                            if let Some(fx) = effects {
-                                // The committed thread's stores just became
-                                // architectural: any downstream thread that
-                                // speculatively loaded one of those words read
-                                // a stale value.
-                                for sp2 in spec.iter_mut() {
-                                    for &a in &fx.drained_addrs {
-                                        if sp2.lab.contains(a) {
-                                            sp2.violated_addrs.insert(a);
+                if let Some((af, ab, ad)) = arrive {
+                    if main.at_block_start(af, ab) && main.depth() == ad {
+                        let sp = spec.remove(0);
+                        lead = lead.saturating_sub(1);
+                        let spec_core_idx = sp.core - 1;
+                        let outcome = self.check_and_recover(
+                            sp,
+                            &mut pool,
+                            &mut main,
+                            &mut main_core,
+                            &spec_cores[spec_core_idx].engine,
+                            &mut cache,
+                            &mut mem,
+                            &mut tracker,
+                            &mut per_loop,
+                            &mut per_core,
+                            &mut steps,
+                            max_steps,
+                            &mut fast_commits,
+                            &mut replays,
+                            &mut divergence_kills,
+                            &mut spec_checked,
+                            &mut spec_misspec,
+                            !spec.is_empty(),
+                            sink,
+                        );
+                        match outcome {
+                            Recovered::FastCommit(effects) => {
+                                if let Some(fx) = effects {
+                                    // The committed thread's stores just became
+                                    // architectural: any downstream thread that
+                                    // speculatively loaded one of those words read
+                                    // a stale value.
+                                    for sp2 in spec.iter_mut() {
+                                        for &a in &fx.drained_addrs {
+                                            if sp2.lab.contains(a) {
+                                                sp2.violated_addrs.insert(a);
+                                            }
                                         }
-                                    }
-                                    if cfg.reg_check == RegCheckPolicy::MarkBased {
-                                        // Conservative: every register the
-                                        // committed thread wrote counts as a
-                                        // post-fork write for its successors.
-                                        sp2.post_fork_writes.extend_from_slice(&fx.written);
+                                        if cfg.reg_check == RegCheckPolicy::MarkBased {
+                                            // Conservative: every register the
+                                            // committed thread wrote counts as a
+                                            // post-fork write for its successors.
+                                            sp2.post_fork_writes.extend_from_slice(&fx.written);
+                                        }
                                     }
                                 }
                             }
+                            Recovered::Rollback => {
+                                kill_all_threads(
+                                    &mut spec,
+                                    &mut pool,
+                                    main_core.engine.cycle(),
+                                    &mut kills,
+                                    &mut spec_discarded,
+                                    &mut per_loop,
+                                    &mut per_core,
+                                    sink,
+                                );
+                                lead = 0;
+                            }
                         }
-                        Recovered::Rollback => {
-                            kill_all_threads(
-                                &mut spec,
-                                &mut pool,
-                                main_core.engine.cycle(),
-                                &mut kills,
-                                &mut spec_discarded,
-                                &mut per_loop,
-                                &mut per_core,
-                                sink,
-                            );
-                        }
+                        continue 'outer;
                     }
-                    continue 'outer;
                 }
 
                 // Main pipeline: with no live speculative threads there is no
                 // arrival/park/post-fork bookkeeping to interleave, so whole
                 // memoized blocks can be superstepped (memo blocks contain no
-                // fork/kill/call/ret by classification).
-                if spec.is_empty() {
+                // fork/kill/call/ret by classification). `memo_candidate`
+                // screens out the common no-fast-path probes (mid-block or
+                // unmemoizable positions) before the call.
+                if spec.is_empty() && main.memo_candidate() {
                     if let Some(memo) = memo.as_mut() {
                         // The memo only exists on untraced runs: quiet issue.
                         let n = main.superstep(&mut mem, memo, max_steps - steps, &mut |ev| {
@@ -733,6 +789,12 @@ impl<'p> SptSim<'p> {
                             loop_idx,
                             main_core.engine.cycle(),
                         );
+                        // Rebase main's fork-level dirty mask to the fork
+                        // instant: from here on a clear bit proves the
+                        // register still holds its fork-time value, which
+                        // is exactly what the dirty-filtered value check
+                        // relies on.
+                        main.clear_dirty_at(st.fork_level);
                         Self::refresh_gate(
                             &self.dec,
                             &mut st,
@@ -767,21 +829,34 @@ impl<'p> SptSim<'p> {
                         &mut per_core,
                         sink,
                     );
+                    lead = 0;
                     continue 'outer;
                 }
 
                 // Track main post-fork register writes and store-address checks
-                // against every live thread.
+                // against every live thread. Most events are neither an
+                // executed store nor (under the mark-based policy) a register
+                // write, so screen once before walking the ring.
                 if !spec.is_empty() {
-                    for sp in spec.iter_mut() {
-                        if let Some(dst) = ev.dst {
-                            if ev.dst_depth() as usize == sp.fork_level {
-                                sp.post_fork_writes.insert(dst.0);
+                    let store = matches!(ev.mem, Some(m) if m.is_store && ev.executed);
+                    let mark_write = cfg.reg_check == RegCheckPolicy::MarkBased && ev.dst.is_some();
+                    if store || mark_write {
+                        for sp in spec.iter_mut() {
+                            // Post-fork write marks feed only the mark-based
+                            // register check; the value-based check reads the
+                            // cursor's dirty masks and the thread's lazily
+                            // captured fork values instead.
+                            if mark_write {
+                                if let Some(dst) = ev.dst {
+                                    if ev.dst_depth() as usize == sp.fork_level {
+                                        sp.post_fork_writes.insert(dst.0);
+                                    }
+                                }
                             }
-                        }
-                        if let Some(m) = ev.mem {
-                            if m.is_store && ev.executed && sp.lab.contains(m.addr) {
-                                sp.violated_addrs.insert(m.addr);
+                            if let Some(m) = ev.mem {
+                                if m.is_store && ev.executed && sp.lab.contains(m.addr) {
+                                    sp.violated_addrs.insert(m.addr);
+                                }
                             }
                         }
                     }
@@ -799,6 +874,7 @@ impl<'p> SptSim<'p> {
                             &mut per_core,
                             sink,
                         );
+                        lead = 0;
                         continue 'outer;
                     }
                 }
@@ -863,11 +939,37 @@ impl<'p> SptSim<'p> {
             return None;
         };
 
-        // Precise live-in tracking at the fork level.
+        // Precise live-in tracking at the fork level, with lazy fork-value
+        // capture: a register this thread has not yet written still holds
+        // its fork-time value in its own fork-level frame (nothing else
+        // writes a speculative cursor), so recording the value at first
+        // read reconstructs the fork-time snapshot without a per-fork
+        // whole-frame copy.
         if ev.depth as usize == sp.fork_level {
-            for r in dec.srcs_of(ev.kind) {
-                if !sp.spec_written.contains(r.0) {
-                    sp.live_in_reads.insert(r.0);
+            if sp.cursor.depth() > sp.fork_level {
+                for r in dec.srcs_of(ev.kind) {
+                    if !sp.spec_written.contains(r.0) && !sp.live_in_reads.contains(r.0) {
+                        sp.live_in_reads.insert(r.0);
+                        let v = if ev.executed && ev.dst == Some(*r) {
+                            // This statement overwrote the register it read
+                            // (e.g. `i = i + 1`): the fork-time value is
+                            // the one the write displaced.
+                            sp.cursor.last_overwritten()
+                        } else {
+                            sp.cursor.regs_at(sp.fork_level)[r.index()]
+                        };
+                        sp.live_in_vals.push((r.0, v));
+                    }
+                }
+            } else {
+                // A `ret` popped the fork frame before the operand could
+                // be read back; the only register a `ret` reads is the
+                // returned one, which the cursor preserves.
+                for r in dec.srcs_of(ev.kind) {
+                    if !sp.spec_written.contains(r.0) && !sp.live_in_reads.contains(r.0) {
+                        sp.live_in_reads.insert(r.0);
+                        sp.live_in_vals.push((r.0, sp.cursor.last_ret_read()));
+                    }
                 }
             }
         }
@@ -962,13 +1064,28 @@ impl<'p> SptSim<'p> {
             RegCheckPolicy::MarkBased => sp.live_in_reads.intersection(&sp.post_fork_writes),
             RegCheckPolicy::ValueBased => {
                 let now = main.regs_at(sp.fork_level);
-                let mut v = RegSet::new();
-                for r in sp.live_in_reads.iter() {
-                    if sp.fork_regs[r as usize] != now[r as usize] {
-                        v.insert(r);
+                match cfg.regfile {
+                    RegFileMode::Arena => {
+                        // The fork-level dirty mask was cleared at the
+                        // fork, so only registers in dirty words can hold
+                        // a value differing from the captured fork-time
+                        // one; a clean frame compares nothing.
+                        crate::specset::dirty_value_check(
+                            main.dirty_words_at(sp.fork_level),
+                            &sp.live_in_vals,
+                            now,
+                        )
+                    }
+                    RegFileMode::Legacy => {
+                        let mut v = RegSet::new();
+                        for &(r, fv) in &sp.live_in_vals {
+                            if fv != now[r as usize] {
+                                v.insert(r);
+                            }
+                        }
+                        v
                     }
                 }
-                v
             }
         };
         let violated = !violated_regs.is_empty() || !sp.violated_addrs.is_empty();
@@ -983,7 +1100,14 @@ impl<'p> SptSim<'p> {
             let effects = if want_effects {
                 Some(CommitEffects {
                     drained_addrs: sp.ssb.addrs().collect(),
-                    written: sp.spec_written.union_sorted(&sp.post_fork_writes),
+                    // Downstream threads consume `written` only under
+                    // mark-based checking; skip the sorted-union
+                    // allocation otherwise.
+                    written: if cfg.reg_check == RegCheckPolicy::MarkBased {
+                        sp.spec_written.union_sorted(&sp.post_fork_writes)
+                    } else {
+                        Vec::new()
+                    },
                 })
             } else {
                 None
@@ -996,12 +1120,30 @@ impl<'p> SptSim<'p> {
             // program-order earlier than the speculative code and are only
             // superseded by speculative writes (the hardware tracks
             // spec-written registers in its scoreboard for exactly this).
-            let main_regs = main.regs_at(sp.fork_level).to_vec();
-            main.adopt(&sp.cursor);
-            if let Some(frame) = main.frames.get_mut(sp.fork_level) {
-                for (r, v) in main_regs.iter().enumerate() {
-                    if !sp.spec_written.contains(r as u32) {
-                        frame.regs[r] = *v;
+            // A committing cursor that ran through the outermost `ret` has
+            // already popped the fork-level frame — adopt it wholesale and
+            // skip the merge (there is no frame left to blend into).
+            match cfg.regfile {
+                RegFileMode::Arena => {
+                    // Blend main's values into the committing cursor first,
+                    // then adopt it wholesale — same result as the legacy
+                    // adopt-then-restore without the per-commit register
+                    // snapshot allocation.
+                    if sp.fork_level < sp.cursor.depth() {
+                        sp.cursor
+                            .merge_frame_from(main, sp.fork_level, sp.spec_written.words());
+                    }
+                    main.adopt(&sp.cursor);
+                }
+                RegFileMode::Legacy => {
+                    let main_regs = main.regs_at(sp.fork_level).to_vec();
+                    main.adopt(&sp.cursor);
+                    if sp.fork_level < main.depth() {
+                        for (r, v) in main_regs.iter().enumerate() {
+                            if !sp.spec_written.contains(r as u32) {
+                                main.set_reg_at(sp.fork_level, r, *v);
+                            }
+                        }
                     }
                 }
             }
@@ -1309,6 +1451,52 @@ mod tests {
         (prog, annots)
     }
 
+    /// Loop where iteration i stores to mem[i+1] and iteration i+1 loads
+    /// mem[i+1] early: a true cross-iteration memory dependence.
+    fn chained_store_loop() -> (Program, LoopAnnotations) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.reg();
+        let nn = f.reg();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.const_(i, 0);
+        f.const_(nn, 40);
+        f.jmp(body);
+        f.switch_to(body);
+        let cur = f.reg();
+        f.mov(cur, i);
+        f.addi(i, i, 1);
+        f.spt_fork(body);
+        // post-fork: load mem[cur], add 1, store to mem[cur+1].
+        let v = f.reg();
+        f.load(v, cur, 0);
+        let t = f.reg();
+        let one = f.const_reg(1);
+        f.bin(BinOp::Add, t, v, one);
+        f.store(t, cur, 1);
+        let c = f.reg();
+        f.bin(BinOp::CmpLt, c, i, nn);
+        f.br(c, body, exit);
+        f.switch_to(exit);
+        f.spt_kill();
+        let out = f.reg();
+        let base40 = f.const_reg(40);
+        f.load(out, base40, 0);
+        f.ret(Some(out));
+        let id = f.finish();
+        let prog = pb.finish(id, 64);
+        let annots = LoopAnnotations {
+            loops: vec![LoopAnnot {
+                id: 0,
+                func: id,
+                blocks: vec![BlockId(1)],
+                fork_start: Some(BlockId(1)),
+            }],
+        };
+        (prog, annots)
+    }
+
     fn cfg_with_cores(cores: usize) -> MachineConfig {
         MachineConfig {
             cores,
@@ -1404,51 +1592,10 @@ mod tests {
 
     #[test]
     fn memory_violation_detected_and_repaired() {
-        // Loop where iteration i stores to mem[i+1] and iteration i+1 loads
-        // mem[i+1] early: a true cross-iteration memory dependence.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.func("main", 0);
-        let i = f.reg();
-        let nn = f.reg();
-        let body = f.new_block();
-        let exit = f.new_block();
-        f.const_(i, 0);
-        f.const_(nn, 40);
-        f.jmp(body);
-        f.switch_to(body);
-        let cur = f.reg();
-        f.mov(cur, i);
-        f.addi(i, i, 1);
-        f.spt_fork(body);
-        // post-fork: load mem[cur], add 1, store to mem[cur+1].
-        let v = f.reg();
-        f.load(v, cur, 0);
-        let t = f.reg();
-        let one = f.const_reg(1);
-        f.bin(BinOp::Add, t, v, one);
-        f.store(t, cur, 1);
-        let c = f.reg();
-        f.bin(BinOp::CmpLt, c, i, nn);
-        f.br(c, body, exit);
-        f.switch_to(exit);
-        f.spt_kill();
-        let out = f.reg();
-        let base40 = f.const_reg(40);
-        f.load(out, base40, 0);
-        f.ret(Some(out));
-        let id = f.finish();
-        let prog = pb.finish(id, 64);
+        let (prog, annots) = chained_store_loop();
         prog.verify().unwrap();
         let (seq, _) = run(&prog, FUEL);
         assert_eq!(seq.ret, Some(40)); // mem[40] = 40 after the chain
-        let annots = LoopAnnotations {
-            loops: vec![LoopAnnot {
-                id: 0,
-                func: id,
-                blocks: vec![BlockId(1)],
-                fork_start: Some(BlockId(1)),
-            }],
-        };
         let sim = SptSim::new(&prog, MachineConfig::default(), annots);
         let rep = sim.run(FUEL);
         assert_eq!(rep.ret, Some(40), "memory dependence must be honored");
@@ -1714,53 +1861,53 @@ mod tests {
 
     #[test]
     fn cross_thread_memory_dependence_detected_at_n4() {
-        // Same chained-store loop as memory_violation_detected_and_repaired:
-        // with 4 cores, downstream ring threads load words their
+        // With 4 cores, downstream ring threads load words their
         // predecessors store, exercising the drained-SSB vs LAB check.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.func("main", 0);
-        let i = f.reg();
-        let nn = f.reg();
-        let body = f.new_block();
-        let exit = f.new_block();
-        f.const_(i, 0);
-        f.const_(nn, 40);
-        f.jmp(body);
-        f.switch_to(body);
-        let cur = f.reg();
-        f.mov(cur, i);
-        f.addi(i, i, 1);
-        f.spt_fork(body);
-        let v = f.reg();
-        f.load(v, cur, 0);
-        let t = f.reg();
-        let one = f.const_reg(1);
-        f.bin(BinOp::Add, t, v, one);
-        f.store(t, cur, 1);
-        let c = f.reg();
-        f.bin(BinOp::CmpLt, c, i, nn);
-        f.br(c, body, exit);
-        f.switch_to(exit);
-        f.spt_kill();
-        let out = f.reg();
-        let base40 = f.const_reg(40);
-        f.load(out, base40, 0);
-        f.ret(Some(out));
-        let id = f.finish();
-        let prog = pb.finish(id, 64);
-        let annots = LoopAnnotations {
-            loops: vec![LoopAnnot {
-                id: 0,
-                func: id,
-                blocks: vec![BlockId(1)],
-                fork_start: Some(BlockId(1)),
-            }],
-        };
+        let (prog, annots) = chained_store_loop();
         let rep = SptSim::new(&prog, cfg_with_cores(4), annots).run(FUEL);
         assert_eq!(
             rep.ret,
             Some(40),
             "cross-thread memory dependence must be honored"
         );
+    }
+
+    #[test]
+    fn arena_and_legacy_regfile_bit_identical() {
+        // The slab layout with dirty-word checks and in-place merges must be
+        // indistinguishable from the legacy compare/snapshot-restore paths:
+        // same cycles, instructions, outcome counters, and return value on
+        // fast-commit-heavy, replay-heavy, and memory-violating loops at
+        // every ring width.
+        let cases: Vec<(&str, Program, LoopAnnotations)> = {
+            let (p1, a1) = parallel_loop(60, 8);
+            let (p2, a2) = serial_loop(50, 6);
+            let (p3, a3) = chained_store_loop();
+            vec![
+                ("parallel", p1, a1),
+                ("serial", p2, a2),
+                ("chained-store", p3, a3),
+            ]
+        };
+        for (name, prog, annots) in &cases {
+            for cores in [2usize, 4, 8] {
+                let mut arena = cfg_with_cores(cores);
+                arena.regfile = RegFileMode::Arena;
+                let mut legacy = cfg_with_cores(cores);
+                legacy.regfile = RegFileMode::Legacy;
+                let ra = SptSim::new(prog, arena, annots.clone()).run(FUEL);
+                let rl = SptSim::new(prog, legacy, annots.clone()).run(FUEL);
+                let ctx = format!("{name} @ {cores} cores");
+                assert_eq!(ra.ret, rl.ret, "{ctx}: ret");
+                assert_eq!(ra.cycles, rl.cycles, "{ctx}: cycles");
+                assert_eq!(ra.instrs, rl.instrs, "{ctx}: instrs");
+                assert_eq!(ra.steps, rl.steps, "{ctx}: steps");
+                assert_eq!(ra.forks, rl.forks, "{ctx}: forks");
+                assert_eq!(ra.fast_commits, rl.fast_commits, "{ctx}: fast commits");
+                assert_eq!(ra.replays, rl.replays, "{ctx}: replays");
+                assert_eq!(ra.kills, rl.kills, "{ctx}: kills");
+                assert_eq!(ra.spec_misspec, rl.spec_misspec, "{ctx}: misspec");
+            }
+        }
     }
 }
