@@ -35,8 +35,10 @@ use std::process::exit;
 const CORES: [usize; 3] = [2, 4, 8];
 const DEFAULT_OUT: &str = "BENCH_simperf.json";
 
-/// One ledger entry from a finished sweep.
-fn entry_json(label: &str, scale: Scale, report: &RunReport) -> Json {
+/// One ledger entry from a finished sweep. `arena` is the run's
+/// simulator-arena summary (see `arena_summary`), or `Json::Null` for
+/// entries recorded before the arena existed.
+fn entry_json(label: &str, scale: Scale, report: &RunReport, arena: Json) -> Json {
     let sum = |f: fn(&spt::PhaseTimings) -> f64| -> f64 {
         report.records.iter().map(|r| f(&r.timings)).sum()
     };
@@ -65,6 +67,16 @@ fn entry_json(label: &str, scale: Scale, report: &RunReport) -> Json {
                 .with("hits", report.cache.hits())
                 .with("misses", report.cache.misses()),
         )
+        .with("arena", arena)
+}
+
+/// This run's simulator-arena activity: checkout reuse/fresh deltas over
+/// the sweep, plus whether `SPT_ARENA` was on at all.
+fn arena_summary(before: spt::sim::ArenaStats, after: spt::sim::ArenaStats) -> Json {
+    Json::obj()
+        .with("enabled", spt::sim::arena_enabled())
+        .with("reuse", after.reuse.saturating_sub(before.reuse))
+        .with("fresh", after.fresh.saturating_sub(before.fresh))
 }
 
 /// Schema check for one ledger entry; returns the first problem found.
@@ -113,6 +125,50 @@ fn validate_entry(e: &Json) -> Result<(), String> {
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("cache missing unsigned key {k:?}"))?;
     }
+    // `arena` is object-or-explicit-null: entries recorded before the
+    // simulator arena existed carry `null` (the merge backfills it), so
+    // every entry exposes the same key set.
+    match e.get("arena") {
+        None => return Err("entry missing key \"arena\" (null for pre-arena entries)".into()),
+        Some(Json::Null) => {}
+        Some(a) => {
+            a.get("enabled")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| "arena missing bool key \"enabled\"".to_string())?;
+            for k in ["reuse", "fresh"] {
+                a.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("arena missing unsigned key {k:?}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every entry must expose the same top-level key set: optional fields
+/// are explicit nulls, never absent, so downstream tooling can diff
+/// entries without per-key existence checks.
+fn validate_uniform_keys(entries: &[Json]) -> Result<(), String> {
+    let keys = |e: &Json| -> Vec<String> {
+        match e {
+            Json::Object(pairs) => {
+                let mut ks: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+                ks.sort();
+                ks
+            }
+            _ => Vec::new(),
+        }
+    };
+    let first = keys(&entries[0]);
+    for e in &entries[1..] {
+        let k = keys(e);
+        if k != first {
+            return Err(format!(
+                "entry key drift: {:?} has keys {k:?}, expected {first:?}",
+                e.get("label").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -131,6 +187,7 @@ fn validate_ledger(doc: &Json) -> Result<usize, String> {
     for e in entries {
         validate_entry(e)?;
     }
+    validate_uniform_keys(entries)?;
     Ok(entries.len())
 }
 
@@ -158,6 +215,18 @@ fn merge_into_ledger(path: &str, entry: Json, label: &str) -> Json {
         Some(i) => entries[i] = entry,
         None => entries.push(entry),
     }
+    // Backfill keys the schema gained after an entry was recorded with
+    // explicit nulls, keeping every entry's key set uniform.
+    let entries: Vec<Json> = entries
+        .into_iter()
+        .map(|e| {
+            if e.get("arena").is_none() {
+                e.with("arena", Json::Null)
+            } else {
+                e
+            }
+        })
+        .collect();
     Json::obj()
         .with("benchmark", "simulator wall-clock: full fig_scale sweep")
         .with("entries", Json::Array(entries))
@@ -190,7 +259,9 @@ fn main() {
     } else {
         None
     };
+    let arena_before = spt::sim::arena_stats();
     let (_, report) = sweep.fig_scale(&names, &CORES, scale, &RunConfig::default());
+    let arena = arena_summary(arena_before, spt::sim::arena_stats());
     println!("{}", report.summary());
     println!(
         "[perf_bench] {:.0} ms wall, {} sim cycles, {:.0} sim cycles/sec",
@@ -209,7 +280,7 @@ fn main() {
         }
     }
 
-    let entry = entry_json(&label, scale, &report);
+    let entry = entry_json(&label, scale, &report, arena);
     if smoke {
         // CI: validate the schema of a fresh single-entry ledger; never
         // touch the committed file, never gate on timing.
@@ -240,4 +311,48 @@ fn main() {
         exit(1);
     }
     println!("wrote entry {label:?} to {out}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed ledger must always satisfy the current schema —
+    /// uniform key sets included (older entries carry explicit nulls for
+    /// keys the schema gained later).
+    #[test]
+    fn committed_ledger_satisfies_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simperf.json");
+        let text = std::fs::read_to_string(path).expect("read BENCH_simperf.json");
+        let doc = Json::parse(&text).expect("parse BENCH_simperf.json");
+        let n = validate_ledger(&doc).expect("committed ledger schema");
+        assert!(n >= 1);
+    }
+
+    /// Merging a new-schema entry into an old-schema ledger backfills
+    /// the old entries with explicit nulls instead of leaving key drift.
+    #[test]
+    fn merge_backfills_missing_arena_key() {
+        let old = Json::obj().with("label", "old");
+        let dir = std::env::temp_dir().join("spt_perf_bench_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.json");
+        let seed = Json::obj()
+            .with("benchmark", "seed")
+            .with("entries", Json::Array(vec![old]));
+        std::fs::write(&path, seed.pretty()).unwrap();
+
+        let new = Json::obj().with("label", "new").with("arena", Json::Null);
+        let doc = merge_into_ledger(path.to_str().unwrap(), new, "new");
+        let entries = doc.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), 2);
+        for e in entries {
+            assert!(
+                matches!(e.get("arena"), Some(Json::Null)),
+                "entry {:?} missing backfilled arena null",
+                e.get("label")
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -4,7 +4,7 @@ use crate::decode::{DecOp, DecodedProgram};
 use crate::event::{Branch, EvKind, Event, MemRef};
 use crate::mem::{wrap_addr, MemView};
 use crate::superstep::MemoTable;
-use spt_sir::{BlockId, FuncId, LatClass, Program, Reg, StmtRef, Terminator};
+use spt_sir::{BlockId, FuncId, LatClass, Reg, StmtRef, Terminator};
 
 /// One activation record's control state. Register values live in the
 /// cursor's slab (see [`Cursor`]), not in the frame, so frames are plain
@@ -24,6 +24,26 @@ pub struct Frame {
     base: u32,
     /// This frame's dirty mask starts at `dirty[dbase]`.
     dbase: u32,
+}
+
+/// The heap buffers of a [`Cursor`], detached from any decoded program's
+/// lifetime so a `SimArena` can retain the allocations across runs
+/// (DESIGN.md §3i). Contents are meaningless between runs — only the
+/// capacities matter; [`Cursor::empty_in`] clears before reuse.
+#[derive(Debug, Default)]
+pub struct CursorParts {
+    frames: Vec<Frame>,
+    slab: Vec<i64>,
+    dirty: Vec<u64>,
+}
+
+impl CursorParts {
+    /// Approximate retained heap bytes (arena telemetry).
+    pub fn approx_bytes(&self) -> usize {
+        self.frames.capacity() * std::mem::size_of::<Frame>()
+            + self.slab.capacity() * std::mem::size_of::<i64>()
+            + self.dirty.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 /// Write register `$r` of the frame with slab base `$base` / dirty base
@@ -71,7 +91,7 @@ macro_rules! write_reg {
 /// values its threads capture at first read.
 #[derive(Debug)]
 pub struct Cursor<'p> {
-    dec: &'p DecodedProgram<'p>,
+    dec: &'p DecodedProgram,
     frames: Vec<Frame>,
     /// Register arena: frame `i` at `[frames[i].base, frames[i].base +
     /// stride(frames[i].func))`; chunks are stacked in frame order.
@@ -120,7 +140,7 @@ impl<'p> Clone for Cursor<'p> {
 }
 
 impl<'p> Cursor<'p> {
-    fn empty(dec: &'p DecodedProgram<'p>) -> Self {
+    fn empty(dec: &'p DecodedProgram) -> Self {
         Cursor {
             dec,
             frames: Vec::new(),
@@ -154,34 +174,66 @@ impl<'p> Cursor<'p> {
     }
 
     /// A cursor positioned at the program's entry function.
-    pub fn at_entry(dec: &'p DecodedProgram<'p>) -> Self {
-        let entry = dec.prog().entry;
+    pub fn at_entry(dec: &'p DecodedProgram) -> Self {
+        Cursor::at_entry_in(dec, CursorParts::default())
+    }
+
+    /// [`Cursor::at_entry`] reusing the heap buffers in `parts` — the
+    /// arena path (DESIGN.md §3i). The cleared-then-refilled buffers hold
+    /// exactly what fresh construction would: `push_frame` zero-fills the
+    /// slab chunk and all-ones-fills the dirty words it appends.
+    pub fn at_entry_in(dec: &'p DecodedProgram, parts: CursorParts) -> Self {
+        let entry = dec.entry();
         let f = dec.func(entry);
-        let mut cur = Cursor::empty(dec);
+        let mut cur = Cursor::empty_in(dec, parts);
         cur.push_frame(entry, f.entry, None);
         cur
     }
 
     /// A cursor positioned at an arbitrary function (used by tests and by
     /// loop-region simulation).
-    pub fn at_func(dec: &'p DecodedProgram<'p>, func: FuncId, args: &[i64]) -> Self {
+    pub fn at_func(dec: &'p DecodedProgram, func: FuncId, args: &[i64]) -> Self {
         let f = dec.func(func);
-        let n_params = dec.prog().func(func).n_params;
         let mut cur = Cursor::empty(dec);
         cur.push_frame(func, f.entry, None);
-        for (i, &a) in args.iter().enumerate().take(n_params as usize) {
+        for (i, &a) in args.iter().enumerate().take(f.n_params as usize) {
             cur.slab[i] = a;
         }
         cur
     }
 
-    /// The underlying (tree-form) program.
-    pub fn prog(&self) -> &'p Program {
-        self.dec.prog()
+    /// A frameless cursor over `dec` reusing `parts`' allocations. Callers
+    /// must position it (`push_frame` via the `at_*` constructors, or
+    /// [`Cursor::fork_speculative_into`], which overwrites every field)
+    /// before stepping it.
+    pub fn empty_in(dec: &'p DecodedProgram, mut parts: CursorParts) -> Self {
+        parts.frames.clear();
+        parts.slab.clear();
+        parts.dirty.clear();
+        Cursor {
+            dec,
+            frames: parts.frames,
+            slab: parts.slab,
+            dirty: parts.dirty,
+            halted: false,
+            ret_val: None,
+            last_overwritten: 0,
+            last_ret_read: 0,
+        }
+    }
+
+    /// Detach this cursor's heap buffers for cross-run reuse. Contents are
+    /// dead once detached — only the allocations are retained.
+    pub fn into_parts(self) -> CursorParts {
+        CursorParts {
+            frames: self.frames,
+            slab: self.slab,
+            dirty: self.dirty,
+        }
     }
 
     /// The decoded program this cursor executes.
-    pub fn decoded(&self) -> &'p DecodedProgram<'p> {
+    pub fn decoded(&self) -> &'p DecodedProgram {
         self.dec
     }
 
@@ -695,7 +747,7 @@ impl<'p> Cursor<'p> {
 mod tests {
     use super::*;
     use crate::mem::Memory;
-    use spt_sir::{BinOp, ProgramBuilder};
+    use spt_sir::{BinOp, Program, ProgramBuilder};
 
     fn sum_loop_program() -> Program {
         // sum = Σ i for i = 1..=5, stored to mem[0]

@@ -144,6 +144,9 @@ struct BlockInfo {
 pub struct DecodedFunc {
     pub entry: BlockId,
     pub n_regs: u32,
+    /// Parameter count ([`spt_sir::Func::n_params`], captured at decode
+    /// time so entering a function needs no tree-form lookup).
+    pub n_params: u32,
     /// Slab chunk size of this function's frames: `n_regs` rounded up to a
     /// power of two (≥ 1), fixed at decode time. Padding slots beyond
     /// `n_regs` stay zero.
@@ -221,10 +224,12 @@ impl DecodedFunc {
     }
 }
 
-/// A program plus its decoded per-function instruction streams.
+/// A program's decoded per-function instruction streams. Owns every byte
+/// it needs (no borrow of the source [`Program`]), so a decoded program can
+/// outlive the tree form and be cached across runs (DESIGN.md §3i).
 #[derive(Debug)]
-pub struct DecodedProgram<'p> {
-    prog: &'p Program,
+pub struct DecodedProgram {
+    entry: FuncId,
     funcs: Vec<DecodedFunc>,
     n_flat_blocks: u32,
     /// Largest per-function frame stride (see
@@ -232,9 +237,9 @@ pub struct DecodedProgram<'p> {
     frame_stride: u32,
 }
 
-impl<'p> DecodedProgram<'p> {
+impl DecodedProgram {
     /// Decode every function of `prog`.
-    pub fn new(prog: &'p Program) -> Self {
+    pub fn new(prog: &Program) -> Self {
         let mut next_flat = 0u32;
         let funcs: Vec<DecodedFunc> = prog
             .funcs
@@ -243,7 +248,7 @@ impl<'p> DecodedProgram<'p> {
             .collect();
         let frame_stride = funcs.iter().map(|f| f.stride).max().unwrap_or(1);
         DecodedProgram {
-            prog,
+            entry: prog.entry,
             funcs,
             n_flat_blocks: next_flat,
             frame_stride,
@@ -257,10 +262,25 @@ impl<'p> DecodedProgram<'p> {
         self.n_flat_blocks
     }
 
-    /// The underlying program.
+    /// Entry function of the program ([`Program::entry`], captured at
+    /// decode time).
     #[inline]
-    pub fn prog(&self) -> &'p Program {
-        self.prog
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Approximate retained heap bytes of the decoded form (arena
+    /// telemetry; not exact — counts the major pools only).
+    pub fn approx_bytes(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| {
+                f.code.len() * std::mem::size_of::<DecodedInst>()
+                    + f.blocks.len() * std::mem::size_of::<BlockInfo>()
+                    + f.pool.len() * std::mem::size_of::<Reg>()
+            })
+            .sum::<usize>()
+            + self.funcs.len() * std::mem::size_of::<DecodedFunc>()
     }
 
     /// Largest per-function frame stride in the program (each function's
@@ -449,6 +469,7 @@ fn decode_func(prog: &Program, f: &spt_sir::Func, next_flat: &mut u32) -> Decode
     DecodedFunc {
         entry: f.entry,
         n_regs: f.n_regs,
+        n_params: f.n_params,
         stride: f.n_regs.next_power_of_two(),
         code,
         blocks,

@@ -25,7 +25,7 @@ pub mod mem;
 pub mod run;
 pub mod superstep;
 
-pub use cursor::{Cursor, Frame};
+pub use cursor::{Cursor, CursorParts, Frame};
 pub use decode::{DecOp, DecodedFunc, DecodedInst, DecodedProgram, MemoBlockInfo, OpRange};
 pub use event::{Branch, EvKind, Event, MemRef, SrcSet};
 pub use mem::{MemView, Memory};

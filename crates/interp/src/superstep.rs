@@ -83,6 +83,44 @@ impl MemoTable {
         }
     }
 
+    /// Reset to a state observationally equal to [`MemoTable::new`]
+    /// `(capacity)`, reusing slot allocations when the normalized capacity
+    /// matches (arena path, DESIGN.md §3i): live entries die behind the
+    /// generation bump, counters restart at zero.
+    pub fn reset(&mut self, capacity: usize) {
+        let cap = capacity.max(1).next_power_of_two();
+        if self.slots.len() != cap {
+            self.slots = (0..cap)
+                .map(|_| Slot {
+                    stamp: 0,
+                    block: 0,
+                    depth: 0,
+                    key: Vec::new(),
+                    events: Vec::new(),
+                })
+                .collect();
+            self.mask = cap - 1;
+            self.gen = 1;
+        } else {
+            self.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+        self.aborts = 0;
+    }
+
+    /// Approximate retained heap bytes (arena telemetry).
+    pub fn approx_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.key.capacity() * std::mem::size_of::<i64>()
+                    + s.events.capacity() * std::mem::size_of::<Event>()
+            })
+            .sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
     /// Current generation stamp (test hook).
     pub fn generation(&self) -> u32 {
         self.gen

@@ -180,6 +180,9 @@ struct Frame {
     memo_hits: f64,
     memo_misses: f64,
     superstep_ratio: Option<f64>,
+    arena_reuse: f64,
+    arena_fresh: f64,
+    arena_retained: f64,
     served: Vec<(String, f64)>,
     phase_ms: Vec<(String, f64)>,
     latency: Vec<(f64, f64)>,
@@ -205,6 +208,9 @@ impl Frame {
             memo_hits: scrape.sum("spt_memo_hits_total"),
             memo_misses: scrape.sum("spt_memo_misses_total"),
             superstep_ratio: scrape.get("spt_superstep_hit_ratio").map(|s| s.value),
+            arena_reuse: g("spt_arena_reuse_total"),
+            arena_fresh: g("spt_arena_fresh_total"),
+            arena_retained: g("spt_arena_retained_bytes"),
             served: scrape
                 .samples
                 .iter()
@@ -315,6 +321,13 @@ fn render(addr: &str, frame: &Frame, prev: Option<&Frame>, n: u64) -> String {
     out.push_str(&format!(
         "  superstep  hit {}\n",
         fmt_pct(frame.superstep_ratio.map(|r| 100.0 * r))
+    ));
+    out.push_str(&format!(
+        "  arena      reuse {}   reuse {:.0}, fresh {:.0}, retained {:.1} KB\n",
+        fmt_pct(hit_pct(frame.arena_reuse, frame.arena_fresh)),
+        frame.arena_reuse,
+        frame.arena_fresh,
+        frame.arena_retained / 1024.0
     ));
 
     out.push_str("  phases     ");

@@ -1,11 +1,11 @@
 //! Baseline single-core simulation: the optimized sequential program on one
 //! Itanium2-like in-order core (the paper's reference configuration).
 
+use crate::arena::{self, SimArena};
 use crate::engine::CycleBreakdown;
 use crate::metrics::{LoopAnnotations, LoopCycleTracker};
-use crate::pipeline::PipelineCore;
-use spt_interp::{Cursor, DecodedProgram, MemoTable, Memory};
-use spt_mach::{CacheSim, CacheStats, MachineConfig};
+use spt_interp::{Cursor, DecodedProgram, Memory};
+use spt_mach::{CacheStats, MachineConfig};
 use spt_sir::Program;
 use spt_trace::{NullSink, Pipe, TraceSink};
 
@@ -63,7 +63,11 @@ pub fn simulate_baseline_with_memory(
 }
 
 /// [`simulate_baseline`] with a trace sink: the single pipeline emits
-/// `StallTransition` events whenever its idle-cause changes class.
+/// `StallTransition` events whenever its idle-cause changes class. Routes
+/// through the thread-local [`SimArena`] when `SPT_ARENA` is on (the
+/// default), or a brand-new arena per run when off — both execute
+/// [`baseline_core`], so the two modes share every instruction of the
+/// simulation path.
 pub fn simulate_baseline_traced(
     prog: &Program,
     cfg: &MachineConfig,
@@ -71,17 +75,65 @@ pub fn simulate_baseline_traced(
     max_steps: u64,
     sink: &mut dyn TraceSink,
 ) -> (BaselineReport, Memory) {
-    let mut core = PipelineCore::new(cfg, Pipe::Main);
-    let mut cache = CacheSim::new(cfg);
-    let mut mem = Memory::for_program(prog);
     let dec = DecodedProgram::new(prog);
-    let mut cur = Cursor::at_entry(&dec);
+    if arena::arena_enabled() {
+        arena::with_thread_arena(|a| baseline_core(a, &dec, prog, cfg, annots, max_steps, sink))
+    } else {
+        baseline_core(
+            &mut SimArena::new(),
+            &dec,
+            prog,
+            cfg,
+            annots,
+            max_steps,
+            sink,
+        )
+    }
+}
+
+/// [`simulate_baseline`] with an explicit arena, reusing a decoded program
+/// the arena retained under fingerprint `fp` and retiring every component
+/// (decode included) back into it. The sweep's per-worker hot path.
+pub fn simulate_baseline_in(
+    arena: &mut SimArena,
+    fp: u64,
+    prog: &Program,
+    cfg: &MachineConfig,
+    annots: &LoopAnnotations,
+    max_steps: u64,
+) -> BaselineReport {
+    let dec = arena
+        .take_decoded(fp)
+        .unwrap_or_else(|| DecodedProgram::new(prog));
+    let (report, mem) = baseline_core(arena, &dec, prog, cfg, annots, max_steps, &mut NullSink);
+    arena.put_mem(mem);
+    arena.put_decoded(fp, dec);
+    report
+}
+
+/// The baseline simulation loop proper: heap components are checked out of
+/// `arena` (reset-or-fresh) and retired back at the end; the final memory
+/// image is returned to the caller.
+fn baseline_core(
+    arena: &mut SimArena,
+    dec: &DecodedProgram,
+    prog: &Program,
+    cfg: &MachineConfig,
+    annots: &LoopAnnotations,
+    max_steps: u64,
+    sink: &mut dyn TraceSink,
+) -> (BaselineReport, Memory) {
+    let mut core = arena.take_core(cfg, Pipe::Main);
+    let mut cache = arena.take_cache(cfg);
+    let mut mem = arena.take_mem(prog);
+    let mut cur = Cursor::at_entry_in(dec, arena.take_cursor_parts());
     let mut tracker = LoopCycleTracker::new(annots);
 
     // Superstepping is bit-identical by construction but bypassed on
     // traced runs so the trace layer sees the interpreter's native path.
     let traced = sink.enabled();
-    let mut memo = (cfg.superstep && !traced).then(|| MemoTable::new(dec.n_flat_blocks() as usize));
+    let mut memo =
+        (cfg.superstep && !traced).then(|| arena.take_memo(dec.n_flat_blocks() as usize));
     let mut steps = 0u64;
     while steps < max_steps {
         if let Some(memo) = memo.as_mut() {
@@ -119,6 +171,14 @@ pub fn simulate_baseline_traced(
         superstep_hits: memo.as_ref().map_or(0, |m| m.hits()),
         superstep_misses: memo.as_ref().map_or(0, |m| m.misses()),
     };
+
+    arena.put_cursor_parts(cur.into_parts());
+    arena.put_core(core);
+    arena.put_cache(cache);
+    if let Some(m) = memo {
+        arena.put_memo(m);
+    }
+    arena.publish_retained();
     (report, mem)
 }
 

@@ -20,6 +20,7 @@
 //! misspeculation ratio), per-loop attributions, and per-core fabric
 //! statistics.
 
+pub mod arena;
 pub mod baseline;
 pub mod engine;
 pub mod metrics;
@@ -29,8 +30,10 @@ pub mod specset;
 pub mod spt;
 pub mod ssb;
 
+pub use arena::{arena_enabled, arena_stats, with_thread_arena, ArenaStats, SimArena};
 pub use baseline::{
-    simulate_baseline, simulate_baseline_traced, simulate_baseline_with_memory, BaselineReport,
+    simulate_baseline, simulate_baseline_in, simulate_baseline_traced,
+    simulate_baseline_with_memory, BaselineReport,
 };
 pub use engine::{CycleBreakdown, Engine, StallBreakdown, StallKind};
 pub use metrics::{LoopAnnot, LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};

@@ -97,8 +97,15 @@ impl RegSet {
 
     /// `self ∪ other` as a sorted register list.
     pub fn union_sorted(&self, other: &RegSet) -> Vec<u32> {
-        let n = self.words.len().max(other.words.len());
         let mut out = Vec::new();
+        self.union_sorted_into(other, &mut out);
+        out
+    }
+
+    /// [`RegSet::union_sorted`] appending into a caller-owned buffer, so
+    /// hot paths can recycle the allocation across calls.
+    pub fn union_sorted_into(&self, other: &RegSet, out: &mut Vec<u32>) {
+        let n = self.words.len().max(other.words.len());
         for wi in 0..n {
             let mut bits = self.words.get(wi).copied().unwrap_or(0)
                 | other.words.get(wi).copied().unwrap_or(0);
@@ -109,7 +116,6 @@ impl RegSet {
                 out.push((wi * 64 + b as usize) as u32);
             }
         }
-        out
     }
 }
 

@@ -40,13 +40,14 @@
 //! instructions. A replay or squash invalidates every downstream ring
 //! thread (they forked from a context the recovery just rewrote).
 
+use crate::arena::{self, SimArena, SpecBufs};
 use crate::engine::{CycleBreakdown, Engine};
 use crate::metrics::{LoopAnnotations, LoopCycleTracker, PerCoreStats, PerLoopStats};
 use crate::pipeline::PipelineCore;
 use crate::recovery::policy_for;
 use crate::specset::{AddrList, AddrMembers, DepthRegSet, RegSet};
 use crate::ssb::{SpecMem, Ssb};
-use spt_interp::{Cursor, DecodedProgram, EvKind, Event, MemoTable, Memory};
+use spt_interp::{Cursor, DecodedProgram, EvKind, Event, Memory};
 use spt_mach::{CacheSim, CacheStats, MachineConfig, RegCheckPolicy, RegFileMode};
 use spt_sir::{BlockId, FuncId, Op, Program, Reg};
 use spt_trace::{NullSink, Pipe, StderrSink, TraceEvent, TraceSink};
@@ -184,10 +185,14 @@ impl<'a> SpecState<'a> {
     /// Fork a new thread state from `parent`, recycling a finished
     /// thread's buffers from `pool` when one is available so the hot
     /// fork path reuses register files, store-buffer slots and stamp
-    /// tables instead of allocating.
+    /// tables instead of allocating. When the within-run pool is empty,
+    /// buffers retained by the arena from *previous* runs (`bufs`) are
+    /// rebuilt the same way; only with both exhausted does the fork
+    /// allocate.
     #[allow(clippy::too_many_arguments)]
     fn acquire(
         pool: &mut Vec<SpecState<'a>>,
+        bufs: &mut Vec<SpecBufs>,
         parent: &Cursor<'a>,
         start: BlockId,
         mem_words: usize,
@@ -220,31 +225,93 @@ impl<'a> SpecState<'a> {
                 st.fork_cycle = fork_cycle;
                 st
             }
-            None => SpecState {
-                cursor: parent.fork_speculative(start),
-                core,
-                ssb: Ssb::with_words(mem_words),
-                lab: AddrMembers::new(),
-                srb: Vec::new(),
-                live_in_reads: RegSet::new(),
-                live_in_vals: Vec::new(),
-                spec_written: RegSet::new(),
-                post_fork_writes: RegSet::new(),
-                violated_addrs: AddrList::new(),
-                fork_level,
-                start_depth,
-                start_pos,
-                gate: 0,
-                gate_exact: false,
-                stalled: false,
-                loop_idx,
-                fork_cycle,
-            },
+            None => {
+                // Cross-run reuse: rebuild a SpecState around buffers a
+                // previous run retired into the arena. Every buffer is
+                // cleared exactly as the pool arm clears it (the SSB
+                // additionally grows to this run's memory: new slots carry
+                // stamp 0, old stamps are dead behind the epoch bump, so
+                // the result is observationally `Ssb::with_words`).
+                let mut st = match bufs.pop() {
+                    Some(b) => {
+                        let mut cursor = Cursor::empty_in(parent.decoded(), b.cursor);
+                        parent.fork_speculative_into(start, &mut cursor);
+                        SpecState {
+                            cursor,
+                            core,
+                            ssb: b.ssb,
+                            lab: b.lab,
+                            srb: b.srb,
+                            live_in_reads: b.live_in_reads,
+                            live_in_vals: b.live_in_vals,
+                            spec_written: b.spec_written,
+                            post_fork_writes: b.post_fork_writes,
+                            violated_addrs: b.violated_addrs,
+                            fork_level,
+                            start_depth,
+                            start_pos,
+                            gate: 0,
+                            gate_exact: false,
+                            stalled: false,
+                            loop_idx,
+                            fork_cycle,
+                        }
+                    }
+                    None => SpecState {
+                        cursor: parent.fork_speculative(start),
+                        core,
+                        ssb: Ssb::new(),
+                        lab: AddrMembers::new(),
+                        srb: Vec::new(),
+                        live_in_reads: RegSet::new(),
+                        live_in_vals: Vec::new(),
+                        spec_written: RegSet::new(),
+                        post_fork_writes: RegSet::new(),
+                        violated_addrs: AddrList::new(),
+                        fork_level,
+                        start_depth,
+                        start_pos,
+                        gate: 0,
+                        gate_exact: false,
+                        stalled: false,
+                        loop_idx,
+                        fork_cycle,
+                    },
+                };
+                st.ssb.clear();
+                st.ssb.ensure_words(mem_words);
+                st.lab.clear();
+                st.srb.clear();
+                st.live_in_reads.clear();
+                st.live_in_vals.clear();
+                st.spec_written.clear();
+                st.post_fork_writes.clear();
+                st.violated_addrs.clear();
+                st
+            }
+        }
+    }
+
+    /// Retire this thread's heap buffers into the arena's cross-run pool.
+    fn into_bufs(self) -> SpecBufs {
+        SpecBufs {
+            cursor: self.cursor.into_parts(),
+            ssb: self.ssb,
+            lab: self.lab,
+            srb: self.srb,
+            live_in_reads: self.live_in_reads,
+            live_in_vals: self.live_in_vals,
+            spec_written: self.spec_written,
+            post_fork_writes: self.post_fork_writes,
+            violated_addrs: self.violated_addrs,
         }
     }
 }
 
-/// What a fast commit leaves behind for downstream ring threads.
+/// What a fast commit leaves behind for downstream ring threads. Owned by
+/// the run as a scratch buffer and refilled per commit, so the steady
+/// state performs no per-commit allocation.
+#[derive(Default)]
 struct CommitEffects {
     /// Word addresses the committed thread's SSB wrote back.
     drained_addrs: Vec<u64>,
@@ -257,7 +324,9 @@ struct CommitEffects {
 /// Outcome of a dependence check, as seen by downstream ring threads.
 enum Recovered {
     /// The thread's context was adopted; downstream threads stay live.
-    FastCommit(Option<CommitEffects>),
+    /// The payload says whether the caller's [`CommitEffects`] scratch
+    /// was (re)filled for downstream consumption.
+    FastCommit(bool),
     /// Replay, squash, or divergence kill: the architectural state was
     /// rewritten, so every downstream thread is invalid.
     Rollback,
@@ -301,7 +370,7 @@ fn kill_all_threads<'a>(
 pub struct SptSim<'p> {
     prog: &'p Program,
     /// Pre-decoded instruction streams — the form the hot loops execute.
-    dec: DecodedProgram<'p>,
+    dec: DecodedProgram,
     cfg: MachineConfig,
     annots: LoopAnnotations,
 }
@@ -314,6 +383,33 @@ impl<'p> SptSim<'p> {
             cfg,
             annots,
         }
+    }
+
+    /// [`SptSim::new`] reusing a decoded program the arena retained under
+    /// fingerprint `fp` (the cores ∈ {2,4,8} runs of one benchmark share
+    /// one decode). Return the decode with [`SptSim::into_decoded`] +
+    /// [`SimArena::put_decoded`] when done.
+    pub fn new_in(
+        arena: &mut SimArena,
+        fp: u64,
+        prog: &'p Program,
+        cfg: MachineConfig,
+        annots: LoopAnnotations,
+    ) -> Self {
+        let dec = arena
+            .take_decoded(fp)
+            .unwrap_or_else(|| DecodedProgram::new(prog));
+        SptSim {
+            prog,
+            dec,
+            cfg,
+            annots,
+        }
+    }
+
+    /// Surrender the decoded program (for [`SimArena::put_decoded`]).
+    pub fn into_decoded(self) -> DecodedProgram {
+        self.dec
     }
 
     /// Static position of the first thing executed in `block` of `func`.
@@ -341,7 +437,7 @@ impl<'p> SptSim<'p> {
     /// and the floor is stored as an inexact lower bound. Scans that later
     /// see the bound at or below their main cycle refine it first via
     /// [`SptSim::refine_gate`], so eligibility decisions are unchanged.
-    fn refresh_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine, by: u64) {
+    fn refresh_gate(dec: &DecodedProgram, sp: &mut SpecState<'_>, eng: &Engine, by: u64) {
         if sp.cursor.is_halted() {
             sp.gate = u64::MAX;
             sp.gate_exact = true;
@@ -373,7 +469,7 @@ impl<'p> SptSim<'p> {
     /// Upgrade a lazily-computed gate lower bound to the exact issue
     /// cycle. A no-op once exact; exactness persists until the thread's
     /// next own step (nothing else moves its engine or cursor).
-    fn refine_gate(dec: &DecodedProgram<'_>, sp: &mut SpecState<'_>, eng: &Engine) {
+    fn refine_gate(dec: &DecodedProgram, sp: &mut SpecState<'_>, eng: &Engine) {
         if !sp.gate_exact {
             if let Some(pos) = sp.cursor.position() {
                 let depth = (sp.cursor.depth() - 1) as u32;
@@ -408,29 +504,83 @@ impl<'p> SptSim<'p> {
         self.run_with_memory_traced(max_steps, sink).0
     }
 
-    /// [`SptSim::run_with_memory`] with an explicit trace sink.
+    /// [`SptSim::run_with_memory`] with an explicit trace sink. Routes
+    /// through the thread-local [`SimArena`] when `SPT_ARENA` is on (the
+    /// default), or a brand-new arena per run when off — both execute
+    /// [`SptSim::run_core`], so the two modes share every instruction of
+    /// the simulation path.
     pub fn run_with_memory_traced(
         &self,
         max_steps: u64,
         sink: &mut dyn TraceSink,
     ) -> (SptReport, Memory) {
+        if arena::arena_enabled() {
+            arena::with_thread_arena(|a| self.run_core(a, max_steps, sink))
+        } else {
+            self.run_core(&mut SimArena::new(), max_steps, sink)
+        }
+    }
+
+    /// Run with an explicit arena, retiring every reusable component
+    /// (including the final memory image) back into it. The sweep's
+    /// per-worker hot path.
+    pub fn run_in(&self, arena: &mut SimArena, max_steps: u64) -> SptReport {
+        let (report, mem) = if std::env::var_os("SPT_DEBUG").is_some() {
+            self.run_core(arena, max_steps, &mut StderrSink)
+        } else {
+            self.run_core(arena, max_steps, &mut NullSink)
+        };
+        arena.put_mem(mem);
+        report
+    }
+
+    /// [`SptSim::run_in`] with an explicit trace sink, for tests that
+    /// compare the full event stream of warm-arena runs against fresh
+    /// construction byte for byte.
+    pub fn run_traced_in(
+        &self,
+        arena: &mut SimArena,
+        max_steps: u64,
+        sink: &mut dyn TraceSink,
+    ) -> SptReport {
+        let (report, mem) = self.run_core(arena, max_steps, sink);
+        arena.put_mem(mem);
+        report
+    }
+
+    /// The simulation loop proper: check every heap component out of
+    /// `arena` (reset-or-fresh), run, retire the components back. The
+    /// returned memory is *not* retired — callers that don't need it use
+    /// [`SptSim::run_in`].
+    fn run_core(
+        &self,
+        arena: &mut SimArena,
+        max_steps: u64,
+        sink: &mut dyn TraceSink,
+    ) -> (SptReport, Memory) {
         let cfg = &self.cfg;
         let cores = cfg.cores.max(2);
-        let mut mem = Memory::for_program(self.prog);
-        let mut cache = CacheSim::new(cfg);
-        let mut main = Cursor::at_entry(&self.dec);
-        let mut main_core = PipelineCore::new(cfg, Pipe::Main);
+        let mut mem = arena.take_mem(self.prog);
+        let mut cache = arena.take_cache(cfg);
+        let mut main = Cursor::at_entry_in(&self.dec, arena.take_cursor_parts());
+        let mut main_core = arena.take_core(cfg, Pipe::Main);
         // Speculative cores are created once and reused across threads:
         // `advance_to` + `reset_context` at each spawn model the RF copy,
         // while the engine keeps accumulating its per-core statistics.
         let mut spec_cores: Vec<PipelineCore> = (1..cores)
-            .map(|_| PipelineCore::new(cfg, Pipe::Spec))
+            .map(|_| arena.take_core(cfg, Pipe::Spec))
             .collect();
         let mut tracker = LoopCycleTracker::new(&self.annots);
         // Live speculative threads, oldest (next to be checked) first.
         let mut spec: Vec<SpecState<'_>> = Vec::new();
         // Finished thread states, retained so forks reuse their buffers.
         let mut pool: Vec<SpecState<'_>> = Vec::new();
+        // Thread buffers retained by the arena from previous runs, drawn
+        // on when `pool` is empty.
+        let mut bufs = arena.take_spec_bufs_pool();
+        // Per-commit effects scratch, recycled across every fast commit
+        // of the run.
+        let mut fx = CommitEffects::default();
 
         let mut per_loop: Vec<PerLoopStats> = self
             .annots
@@ -452,7 +602,7 @@ impl<'p> SptSim<'p> {
         // memo entirely), bypassed on traced runs so the trace layer sees
         // the interpreter's native path. Bit-identical by construction.
         let mut memo = (cfg.superstep && !sink.enabled())
-            .then(|| MemoTable::new(self.dec.n_flat_blocks() as usize));
+            .then(|| arena.take_memo(self.dec.n_flat_blocks() as usize));
         let mut steps = 0u64;
         let mut forks = 0u64;
         let mut forks_ignored = 0u64;
@@ -575,6 +725,7 @@ impl<'p> SptSim<'p> {
                             per_core[free].threads += 1;
                             let mut st = SpecState::acquire(
                                 &mut pool,
+                                &mut bufs,
                                 &spec[i].cursor,
                                 start,
                                 mem.len(),
@@ -680,11 +831,12 @@ impl<'p> SptSim<'p> {
                             &mut spec_checked,
                             &mut spec_misspec,
                             !spec.is_empty(),
+                            &mut fx,
                             sink,
                         );
                         match outcome {
-                            Recovered::FastCommit(effects) => {
-                                if let Some(fx) = effects {
+                            Recovered::FastCommit(has_effects) => {
+                                if has_effects {
                                     // The committed thread's stores just became
                                     // architectural: any downstream thread that
                                     // speculatively loaded one of those words read
@@ -781,6 +933,7 @@ impl<'p> SptSim<'p> {
                         per_core[1].threads += 1;
                         let mut st = SpecState::acquire(
                             &mut pool,
+                            &mut bufs,
                             &main,
                             start,
                             mem.len(),
@@ -916,13 +1069,33 @@ impl<'p> SptSim<'p> {
             superstep_hits: memo.as_ref().map_or(0, |m| m.hits()),
             superstep_misses: memo.as_ref().map_or(0, |m| m.misses()),
         };
+
+        // Retire every reusable component into the arena (memory goes back
+        // via `run_in`; traced callers keep it).
+        for sp in spec.drain(..) {
+            bufs.push(sp.into_bufs());
+        }
+        for sp in pool.drain(..) {
+            bufs.push(sp.into_bufs());
+        }
+        arena.put_spec_bufs_pool(bufs);
+        arena.put_cursor_parts(main.into_parts());
+        arena.put_core(main_core);
+        for c in spec_cores {
+            arena.put_core(c);
+        }
+        arena.put_cache(cache);
+        if let Some(m) = memo {
+            arena.put_memo(m);
+        }
+        arena.publish_retained();
         (report, mem)
     }
 
     /// One speculative-pipeline step. Returns the fork request (`spt_fork`
     /// function and start block) if this step executed one.
     fn step_spec(
-        dec: &DecodedProgram<'_>,
+        dec: &DecodedProgram,
         sp: &mut SpecState<'_>,
         core: &mut PipelineCore,
         cache: &mut CacheSim,
@@ -1049,6 +1222,7 @@ impl<'p> SptSim<'p> {
         spec_checked: &mut u64,
         spec_misspec: &mut u64,
         want_effects: bool,
+        fx: &mut CommitEffects,
         sink: &mut dyn TraceSink,
     ) -> Recovered {
         let cfg = &self.cfg;
@@ -1097,21 +1271,17 @@ impl<'p> SptSim<'p> {
             main_core.engine.advance_to(t);
             main_core.engine.reset_context(t);
             tracker.attribute_extra(main_core.engine.cycle() - before);
-            let effects = if want_effects {
-                Some(CommitEffects {
-                    drained_addrs: sp.ssb.addrs().collect(),
-                    // Downstream threads consume `written` only under
-                    // mark-based checking; skip the sorted-union
-                    // allocation otherwise.
-                    written: if cfg.reg_check == RegCheckPolicy::MarkBased {
-                        sp.spec_written.union_sorted(&sp.post_fork_writes)
-                    } else {
-                        Vec::new()
-                    },
-                })
-            } else {
-                None
-            };
+            if want_effects {
+                fx.drained_addrs.clear();
+                fx.drained_addrs.extend(sp.ssb.addrs());
+                // Downstream threads consume `written` only under
+                // mark-based checking; skip the sorted union otherwise.
+                fx.written.clear();
+                if cfg.reg_check == RegCheckPolicy::MarkBased {
+                    sp.spec_written
+                        .union_sorted_into(&sp.post_fork_writes, &mut fx.written);
+                }
+            }
             sp.ssb.drain_to(mem);
             // Commit the speculative context. The register copy-back is a
             // *merge* at the fork-level frame: registers the speculative
@@ -1163,7 +1333,7 @@ impl<'p> SptSim<'p> {
                 );
             }
             pool.push(sp);
-            return Recovered::FastCommit(effects);
+            return Recovered::FastCommit(want_effects);
         }
 
         if violated && policy.squash_on_violation() {
